@@ -1,0 +1,15 @@
+package ivn
+
+import (
+	"ivn/internal/em"
+	"ivn/internal/scenario"
+	"ivn/internal/tag"
+)
+
+// benchScenario is the shared hot-path scenario for library benchmarks.
+func benchScenario() scenario.Scenario {
+	return scenario.NewTank(0.5, em.Water, 0.10)
+}
+
+// benchTag is the shared tag model for library benchmarks.
+func benchTag() tag.Model { return tag.StandardTag() }

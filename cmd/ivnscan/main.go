@@ -1,0 +1,100 @@
+// Command ivnscan probes a single IVN deployment scenario: it builds a
+// CIB system, places a sensor at the requested geometry, and reports the
+// full link budget — delivered peak power, power-up verdict, and uplink
+// decode outcome.
+//
+// Usage:
+//
+//	ivnscan -medium water -depth 0.11 -air 0.9 -antennas 8 -tag miniature
+//	ivnscan -medium air -air 25 -antennas 8 -tag standard
+//	ivnscan -swine gastric -antennas 8 -tag standard -sessions 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ivn"
+	"ivn/internal/em"
+	"ivn/internal/scenario"
+	"ivn/internal/tag"
+)
+
+func main() {
+	var (
+		medium   = flag.String("medium", "water", "propagation medium (see -list-media)")
+		depth    = flag.Float64("depth", 0.10, "sensor depth inside the medium, meters")
+		air      = flag.Float64("air", 0.9, "antenna-to-medium air distance (or range for -medium air), meters")
+		antennas = flag.Int("antennas", 8, "CIB antenna count (1-10)")
+		tagName  = flag.String("tag", "standard", "tag model: standard | miniature")
+		swine    = flag.String("swine", "", "swine placement instead of a tank: gastric | subcutaneous")
+		sessions = flag.Int("sessions", 1, "number of independent sessions to attempt")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		listM    = flag.Bool("list-media", false, "list media presets and exit")
+	)
+	flag.Parse()
+
+	if *listM {
+		for _, m := range em.Presets() {
+			fmt.Printf("%-18s εr=%-5.1f σ=%.2f S/m  loss %.2f dB/cm @915 MHz\n",
+				m.Name, m.EpsilonR, m.Conductivity, m.LossDBPerCM(915e6))
+		}
+		return
+	}
+
+	var model tag.Model
+	switch *tagName {
+	case "standard":
+		model = tag.StandardTag()
+	case "miniature":
+		model = tag.MiniatureTag()
+	default:
+		fmt.Fprintf(os.Stderr, "ivnscan: unknown tag %q\n", *tagName)
+		os.Exit(2)
+	}
+
+	var sc scenario.Scenario
+	switch {
+	case *swine == "gastric":
+		sc = scenario.NewSwine(scenario.Gastric)
+	case *swine == "subcutaneous":
+		sc = scenario.NewSwine(scenario.Subcutaneous)
+	case *swine != "":
+		fmt.Fprintf(os.Stderr, "ivnscan: unknown swine placement %q\n", *swine)
+		os.Exit(2)
+	case *medium == "air":
+		sc = scenario.NewAir(*air)
+	default:
+		m, ok := em.MediumByName(*medium)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ivnscan: unknown medium %q (try -list-media)\n", *medium)
+			os.Exit(2)
+		}
+		sc = scenario.NewTank(*air, m, *depth)
+	}
+
+	sys, err := ivn.New(ivn.Config{Antennas: *antennas, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivnscan: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario: %s\n", sc.Name())
+	fmt.Printf("tag:      %s (sensitivity %.1f dBm peak)\n", model.Name, model.SensitivityDBm())
+	fmt.Printf("plan:     %v Hz on %d antennas at %.0f MHz\n",
+		sys.FrequencyPlan(), *antennas, sys.Beamformer.CenterFreq/1e6)
+
+	okCount := 0
+	for i := 0; i < *sessions; i++ {
+		session, err := sys.Inventory(sc, model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivnscan: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("session %d: %s\n", i+1, session)
+		if session.Decoded {
+			okCount++
+		}
+	}
+	fmt.Printf("result: %d/%d sessions decoded\n", okCount, *sessions)
+}

@@ -1,0 +1,105 @@
+// Command ivnsim runs IVN's evaluation experiments and prints the rows of
+// the corresponding paper figure or table.
+//
+// Usage:
+//
+//	ivnsim -list
+//	ivnsim -run fig9 [-seed 1] [-trials 150] [-csv]
+//	ivnsim -run all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ivn/internal/ivnsim"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "experiment id to run, or \"all\"")
+		seed   = flag.Uint64("seed", 1, "random seed (equal seeds reproduce identical tables)")
+		trials = flag.Int("trials", 0, "override the experiment's trial count (0 = default)")
+		quick  = flag.Bool("quick", false, "reduced workload")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir = flag.String("out", "", "also write each result to DIR/<id>.txt and DIR/<id>.csv")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range ivnsim.Registry() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+			fmt.Printf("%-20s paper: %s\n", "", e.Paper)
+		}
+	case *run == "all":
+		for _, e := range ivnsim.Registry() {
+			if err := runOne(e, *seed, *trials, *quick, *csv, *outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	case *run != "":
+		e, err := ivnsim.ByID(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runOne(e, *seed, *trials, *quick, *csv, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, csv bool, outDir string) error {
+	cfg := ivnsim.Config{Seed: seed, Trials: trials, Quick: quick}
+	start := time.Now()
+	table, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if csv {
+		if err := table.RenderCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if outDir != "" {
+		if err := writeOutputs(table, outDir); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("(%s in %v, seed %d)\n\n", e.ID, time.Since(start).Round(time.Millisecond), seed)
+	return nil
+}
+
+func writeOutputs(table *ivnsim.Table, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	txt, err := os.Create(filepath.Join(dir, table.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := table.Render(txt); err != nil {
+		return err
+	}
+	csvF, err := os.Create(filepath.Join(dir, table.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvF.Close()
+	return table.RenderCSV(csvF)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ivn/internal/ivnsim"
+)
+
+func TestRunOneWritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	e, err := ivnsim.ByID("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silence stdout during the run.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	err = runOne(e, 1, 0, true, false, dir)
+	os.Stdout = old
+	devnull.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "fig2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "Diode I-V") {
+		t.Fatalf("txt output missing title:\n%s", txt)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "V (V),") {
+		t.Fatalf("csv output missing header:\n%s", csv)
+	}
+}
+
+func TestRunOneCSVToStdout(t *testing.T) {
+	e, err := ivnsim.ByID("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := runOne(e, 1, 0, true, true, "")
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+	if !strings.Contains(out, "distance (cm),air loss (dB)") {
+		t.Fatalf("CSV stdout missing header:\n%s", out)
+	}
+}
+
+func TestWriteOutputsBadDir(t *testing.T) {
+	e, err := ivnsim.ByID("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(ivnsim.Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A path under an existing *file* cannot be created.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeOutputs(tab, filepath.Join(f, "sub")); err == nil {
+		t.Fatal("writeOutputs into a file path succeeded")
+	}
+}

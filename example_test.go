@@ -1,0 +1,67 @@
+package ivn_test
+
+import (
+	"fmt"
+	"log"
+
+	"ivn"
+	"ivn/internal/em"
+	"ivn/internal/scenario"
+	"ivn/internal/tag"
+)
+
+// The three-line flow: build a system, place a sensor, run an exchange.
+func ExampleNew() {
+	sys, err := ivn.New(ivn.Config{Antennas: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.FrequencyPlan())
+	// Output:
+	// [0 7 20 49 68 73 90 113]
+}
+
+// Inventory runs the full power-up → Query → RN16 → ACK → EPC exchange.
+func ExampleSystem_Inventory() {
+	sys, err := ivn.New(ivn.Config{Antennas: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := scenario.NewTank(0.9, em.Water, 0.08)
+	sc.FixedOrientation = 0
+	session, err := sys.Inventory(sc, tag.MiniatureTag())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(session.Powered, session.Decoded, fmt.Sprintf("%x", session.EPC))
+	// Output:
+	// true true e20068100001
+}
+
+// WriteWord triggers an actuator register through deep tissue.
+func ExampleSystem_WriteWord() {
+	sys, err := ivn.New(ivn.Config{Antennas: 8, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := scenario.NewTank(0.5, em.GastricFluid, 0.05)
+	sc.FixedOrientation = 0
+	res, err := sys.WriteWord(sc, tag.StandardTag(), 0, 0x0001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Written)
+	// Output:
+	// true
+}
+
+// OptimizePlan reproduces the paper's one-time frequency selection.
+func ExampleOptimizePlan() {
+	plan, err := ivn.OptimizePlan(3, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(plan.Offsets), plan.Offsets[0] == 0, plan.RMS <= plan.Limit)
+	// Output:
+	// 3 true true
+}

@@ -1,0 +1,63 @@
+// Long-range RFID: the paper's secondary result. CIB extends the reading
+// range of off-the-shelf passive RFIDs far beyond a conventional reader —
+// the paper demonstrates 38 m against a 5.2 m single-antenna baseline
+// (Fig. 8, Fig. 13a). This example sweeps distance for 1, 2, 4 and 8
+// antennas and prints the distance-vs-antennas frontier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ivn"
+	"ivn/internal/scenario"
+	"ivn/internal/tag"
+)
+
+func main() {
+	distances := []float64{2, 5, 10, 15, 20, 25, 30, 35, 40, 50}
+	counts := []int{1, 2, 4, 8}
+
+	fmt.Println("reading success by distance and antenna count (standard RFID, line of sight)")
+	fmt.Printf("%-10s", "range (m)")
+	for _, n := range counts {
+		fmt.Printf("  %d-antenna", n)
+	}
+	fmt.Println()
+
+	best := map[int]float64{}
+	for _, d := range distances {
+		fmt.Printf("%-10.0f", d)
+		for _, n := range counts {
+			sys, err := ivn.New(ivn.Config{Antennas: n, Seed: uint64(17 + n)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Two attempts per point; a reading counts if either decodes.
+			ok := false
+			for attempt := 0; attempt < 2 && !ok; attempt++ {
+				s, err := sys.Inventory(scenario.NewAir(d), tag.StandardTag())
+				if err != nil {
+					log.Fatal(err)
+				}
+				ok = s.Decoded
+			}
+			mark := "-"
+			if ok {
+				mark = "read"
+				if d > best[n] {
+					best[n] = d
+				}
+			}
+			fmt.Printf("  %-9s", mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, n := range counts {
+		fmt.Printf("%d antenna(s): reads out to ≈%.0f m\n", n, best[n])
+	}
+	if best[1] > 0 {
+		fmt.Printf("range gain 8 vs 1 antennas: %.1fx (paper: 7.6x, 5.2 m → 38 m)\n", best[8]/best[1])
+	}
+}

@@ -1,0 +1,3 @@
+module ivn
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package baseline implements the comparators IVN is evaluated against:
+//
+//   - SingleAntenna: one transmit chain (the denominator of every "power
+//     gain" number in the paper).
+//   - BlindArray: the paper's "10-antenna transmitter" — N chains on the
+//     SAME carrier frequency with unknown random phases. Its gain over a
+//     single antenna comes entirely from radiating N× total power; at any
+//     given point the phasors may also cancel.
+//   - OracleMRT: coherent maximum-ratio beamforming with perfect channel
+//     knowledge — the upper bound that is unobtainable for battery-free
+//     sensors (it needs channel feedback) but shows what CIB is giving up.
+//   - PhasedArray: angle-steered precoding assuming free-space geometry;
+//     correct in line-of-sight air, wrong through inhomogeneous tissue
+//     (footnote 5 of the paper).
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ivn/internal/radio"
+	"ivn/internal/rng"
+)
+
+// SingleAntenna returns the one-chain carrier set at freq with the given
+// emitted amplitude (√W).
+func SingleAntenna(freq, amplitude float64) []radio.Carrier {
+	return []radio.Carrier{{Freq: freq, Phase: 0, Amplitude: amplitude}}
+}
+
+// BlindArray returns n same-frequency carriers with independent random
+// phases, each emitting perAntennaAmplitude. This is the optimized
+// multi-antenna baseline of §6.1.1(c): it cannot focus because it has no
+// channel knowledge and — unlike CIB — no frequency diversity to scan
+// alignments over time.
+func BlindArray(n int, freq, perAntennaAmplitude float64, r *rng.Rand) ([]radio.Carrier, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: n=%d", n)
+	}
+	out := make([]radio.Carrier, n)
+	for i := range out {
+		out[i] = radio.Carrier{Freq: freq, Phase: r.Phase(), Amplitude: perAntennaAmplitude}
+	}
+	return out, nil
+}
+
+// OracleMRT returns n same-frequency carriers whose phases pre-rotate
+// each channel's phase away (maximum-ratio transmission), given perfect
+// knowledge of the channel coefficients. All phasors then add coherently
+// at the sensor: the unreachable ideal for battery-free devices.
+func OracleMRT(freq, perAntennaAmplitude float64, chans []complex128) ([]radio.Carrier, error) {
+	if len(chans) == 0 {
+		return nil, fmt.Errorf("baseline: no channels")
+	}
+	out := make([]radio.Carrier, len(chans))
+	for i, h := range chans {
+		out[i] = radio.Carrier{
+			Freq:      freq,
+			Phase:     -cmplx.Phase(h),
+			Amplitude: perAntennaAmplitude,
+		}
+	}
+	return out, nil
+}
+
+// PhasedArray returns carriers precoded to steer a free-space beam toward
+// a target at the given angle, for antennas spaced `spacing` meters apart
+// along a line. The precoding assumes air propagation: through layered
+// tissue the true phases differ and the beam degrades — exactly why
+// angle-steering fails for in-vivo sensors (§7, "Antenna-array
+// beamforming... becomes intractable with multi-layer tissues").
+func PhasedArray(n int, freq, perAntennaAmplitude, spacing, steerAngle float64) ([]radio.Carrier, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: n=%d", n)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("baseline: spacing %v <= 0", spacing)
+	}
+	lambda := 299792458.0 / freq
+	out := make([]radio.Carrier, n)
+	for i := range out {
+		// Progressive phase to align path lengths toward steerAngle.
+		ph := 2 * math.Pi * float64(i) * spacing * math.Sin(steerAngle) / lambda
+		out[i] = radio.Carrier{Freq: freq, Phase: ph, Amplitude: perAntennaAmplitude}
+	}
+	return out, nil
+}
+
+// PeakReceivedPower returns the maximum instantaneous power of the
+// superposition of carriers through the given per-carrier channels,
+// scanned over `duration` seconds at `samples` points. For same-frequency
+// carrier sets the envelope is constant and one sample suffices; for CIB
+// sets the scan finds the beat maximum. This is the quantity the paper's
+// "peak power" measurements capture (§6.1.1).
+func PeakReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
+	if len(carriers) != len(chans) {
+		return 0, fmt.Errorf("baseline: %d carriers, %d channels", len(carriers), len(chans))
+	}
+	if len(carriers) == 0 {
+		return 0, nil
+	}
+	if duration <= 0 || samples < 1 {
+		return 0, fmt.Errorf("baseline: bad scan spec duration=%v samples=%d", duration, samples)
+	}
+	// Reference frequency: the first carrier; only offsets matter.
+	f0 := carriers[0].Freq
+	best := 0.0
+	for k := 0; k < samples; k++ {
+		t := duration * float64(k) / float64(samples)
+		var re, im float64
+		for i, c := range carriers {
+			ph := 2*math.Pi*(c.Freq-f0)*t + c.Phase
+			s, cs := math.Sincos(ph)
+			v := complex(c.Amplitude*cs, c.Amplitude*s) * chans[i]
+			re += real(v)
+			im += imag(v)
+		}
+		if p := re*re + im*im; p > best {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// AverageReceivedPower returns the time-averaged received power of the
+// superposition — equal for CIB and a blind array with the same channels
+// and per-antenna power ("the average received energy is the same across
+// both encoding schemes", §3.4).
+func AverageReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
+	if len(carriers) != len(chans) {
+		return 0, fmt.Errorf("baseline: %d carriers, %d channels", len(carriers), len(chans))
+	}
+	if len(carriers) == 0 {
+		return 0, nil
+	}
+	if duration <= 0 || samples < 1 {
+		return 0, fmt.Errorf("baseline: bad scan spec duration=%v samples=%d", duration, samples)
+	}
+	f0 := carriers[0].Freq
+	var acc float64
+	for k := 0; k < samples; k++ {
+		t := duration * float64(k) / float64(samples)
+		var re, im float64
+		for i, c := range carriers {
+			ph := 2*math.Pi*(c.Freq-f0)*t + c.Phase
+			s, cs := math.Sincos(ph)
+			v := complex(c.Amplitude*cs, c.Amplitude*s) * chans[i]
+			re += real(v)
+			im += imag(v)
+		}
+		acc += re*re + im*im
+	}
+	return acc / float64(samples), nil
+}

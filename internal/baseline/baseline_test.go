@@ -1,0 +1,272 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ivn/internal/core"
+	"ivn/internal/em"
+	"ivn/internal/rng"
+)
+
+func unitChans(n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func randomChans(n int, r *rng.Rand) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = r.UnitPhasor()
+	}
+	return out
+}
+
+func TestSingleAntennaPeak(t *testing.T) {
+	cs := SingleAntenna(915e6, 2)
+	p, err := PeakReceivedPower(cs, []complex128{complex(0.5, 0)}, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-12 { // (2·0.5)²
+		t.Fatalf("single-antenna peak %v, want 1", p)
+	}
+}
+
+func TestOracleMRTAchievesNSquared(t *testing.T) {
+	r := rng.New(1)
+	const n = 10
+	chans := randomChans(n, r)
+	cs, err := OracleMRT(915e6, 1, chans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PeakReceivedPower(cs, chans, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-n*n) > 1e-9 {
+		t.Fatalf("MRT peak %v, want %d", p, n*n)
+	}
+}
+
+func TestBlindArrayAverageGainIsN(t *testing.T) {
+	// The blind baseline's expected gain over a single antenna is N — all
+	// of it from radiating N× power (paper Fig. 11 discussion: "This gain
+	// comes entirely from increasing the total amount of power
+	// transmitted").
+	r := rng.New(2)
+	const n = 10
+	const trials = 3000
+	var acc float64
+	for i := 0; i < trials; i++ {
+		chans := unitChans(n)
+		cs, err := BlindArray(n, 915e6, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := PeakReceivedPower(cs, chans, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc += p
+	}
+	mean := acc / trials
+	if math.Abs(mean-n)/float64(n) > 0.1 {
+		t.Fatalf("blind-array mean gain %v, want ≈%d", mean, n)
+	}
+}
+
+func TestBlindArrayHasDeepNulls(t *testing.T) {
+	// Unlike CIB, the blind array sometimes delivers much LESS than one
+	// antenna (destructive interference with no way out — Fig. 12's tail).
+	r := rng.New(3)
+	const n = 10
+	worst := math.Inf(1)
+	for i := 0; i < 2000; i++ {
+		cs, _ := BlindArray(n, 915e6, 1, r)
+		p, _ := PeakReceivedPower(cs, unitChans(n), 1, 1)
+		worst = math.Min(worst, p)
+	}
+	if worst > 0.5 {
+		t.Fatalf("blind array never nulled below 0.5 (worst %v); fading model broken", worst)
+	}
+}
+
+func TestCIBBeatsBlindArrayAlmostAlways(t *testing.T) {
+	// The Fig. 12 property at the core of the paper: with equal antennas
+	// and per-antenna power, CIB's scanned peak beats the blind array's
+	// static level in nearly every channel draw.
+	r := rng.New(4)
+	offsets := core.PaperOffsets()
+	const n = 10
+	wins, trials := 0, 400
+	for i := 0; i < trials; i++ {
+		chans := randomChans(n, r)
+		// CIB: offset carriers, random phases.
+		cibCarriers, err := BlindArray(n, 915e6, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range cibCarriers {
+			cibCarriers[j].Freq = 915e6 + offsets[j]
+		}
+		pCIB, err := PeakReceivedPower(cibCarriers, chans, 1, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blind, err := BlindArray(n, 915e6, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pBlind, err := PeakReceivedPower(blind, chans, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pCIB > pBlind {
+			wins++
+		}
+	}
+	if frac := float64(wins) / float64(trials); frac < 0.97 {
+		t.Fatalf("CIB won only %.1f%% of draws, want > 97%%", frac*100)
+	}
+}
+
+func TestPhasedArraySteersInAir(t *testing.T) {
+	// In free space with boresight geometry, a 0-steer phased array adds
+	// coherently at a distant on-axis point.
+	const n = 8
+	freq := 915e6
+	lambda := em.Wavelength(freq)
+	spacing := lambda / 2
+	cs, err := PhasedArray(n, freq, 1, spacing, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-axis target: all path lengths equal ⇒ identical channels.
+	p, err := PeakReceivedPower(cs, unitChans(n), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-n*n) > 1e-9 {
+		t.Fatalf("boresight phased-array peak %v, want %d", p, n*n)
+	}
+}
+
+func TestPhasedArrayFailsThroughTissue(t *testing.T) {
+	// The same precoding through a layered-tissue channel with per-antenna
+	// phase scrambling loses most of its gain (paper footnote 5).
+	r := rng.New(5)
+	const n = 8
+	freq := 915e6
+	lambda := em.Wavelength(freq)
+	cs, err := PhasedArray(n, freq, 1, lambda/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tissue channels: equal magnitude, scrambled phases (the layered
+	// stack decorrelates the inter-antenna phase relationship).
+	var acc float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		chans := randomChans(n, r)
+		p, err := PeakReceivedPower(cs, chans, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc += p
+	}
+	mean := acc / trials
+	// Down from N²=64 to ≈N=8.
+	if mean > 2*n {
+		t.Fatalf("phased array through scrambling still averages %v, want ≈%d", mean, n)
+	}
+}
+
+func TestAveragePowerEqualAcrossSchemes(t *testing.T) {
+	// §3.4: "the average received energy is the same across both encoding
+	// schemes" — CIB and the blind array deliver identical mean power for
+	// the same channels and per-antenna power.
+	r := rng.New(6)
+	const n = 6
+	chans := randomChans(n, r)
+	offsets := core.PaperOffsets()[:n]
+	cib, _ := BlindArray(n, 915e6, 1, r)
+	for j := range cib {
+		cib[j].Freq = 915e6 + offsets[j]
+	}
+	blind, _ := BlindArray(n, 915e6, 1, r)
+	aCIB, err := AverageReceivedPower(cib, chans, 1, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aBlind, err := AverageReceivedPower(blind, chans, 1, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blind array's average IS its static level, which varies per
+	// draw; compare CIB's time average to the channel-power sum instead.
+	var sum float64
+	for _, h := range chans {
+		m := real(h)*real(h) + imag(h)*imag(h)
+		sum += m
+	}
+	if math.Abs(aCIB-sum)/sum > 0.05 {
+		t.Fatalf("CIB average %v, want Σ|h|² = %v", aCIB, sum)
+	}
+	_ = aBlind // the blind array's average equals its own static level by construction
+}
+
+func TestValidationErrors(t *testing.T) {
+	r := rng.New(7)
+	if _, err := BlindArray(0, 915e6, 1, r); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := OracleMRT(915e6, 1, nil); err == nil {
+		t.Fatal("empty channels accepted")
+	}
+	if _, err := PhasedArray(0, 915e6, 1, 0.1, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := PhasedArray(4, 915e6, 1, 0, 0); err == nil {
+		t.Fatal("zero spacing accepted")
+	}
+	cs := SingleAntenna(915e6, 1)
+	if _, err := PeakReceivedPower(cs, nil, 1, 10); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+	if _, err := PeakReceivedPower(cs, unitChans(1), 0, 10); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := AverageReceivedPower(cs, nil, 1, 10); err == nil {
+		t.Fatal("average channel mismatch accepted")
+	}
+	if _, err := AverageReceivedPower(cs, unitChans(1), 1, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if p, err := PeakReceivedPower(nil, nil, 1, 10); err != nil || p != 0 {
+		t.Fatal("empty carrier set should give 0 peak")
+	}
+	if p, err := AverageReceivedPower(nil, nil, 1, 10); err != nil || p != 0 {
+		t.Fatal("empty carrier set should give 0 average")
+	}
+}
+
+func BenchmarkPeakReceivedPower(b *testing.B) {
+	r := rng.New(1)
+	offsets := core.PaperOffsets()
+	cs, _ := BlindArray(10, 915e6, 1, r)
+	for j := range cs {
+		cs[j].Freq = 915e6 + offsets[j]
+	}
+	chans := randomChans(10, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PeakReceivedPower(cs, chans, 1, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package circuit models the analog front end of a battery-free sensor:
+// diodes, the multi-stage charge-pump rectifier (energy harvester), and
+// the storage/duty-cycling logic built on top of it.
+//
+// This is the substrate behind the paper's threshold effect (§2.1.1): a
+// practical diode conducts only above a threshold voltage V_th, so an
+// N-stage harvester delivers V_DC = N(V_s − V_th) (Eq. 1) and harvests
+// nothing at all when the RF amplitude stays below V_th. CIB exists to
+// push the *peak* amplitude past that threshold.
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diode is a two-terminal rectifying element described by its I-V curve.
+type Diode interface {
+	// Current returns the diode current in amperes at forward voltage v.
+	Current(v float64) float64
+	// Threshold returns the effective turn-on voltage in volts.
+	Threshold() float64
+}
+
+// IdealDiode conducts any forward current at zero voltage drop and blocks
+// reverse current entirely — the left curve of the paper's Fig. 2.
+type IdealDiode struct {
+	// OnConductance is the forward slope in siemens (default 1 S).
+	OnConductance float64
+}
+
+// Current implements Diode.
+func (d IdealDiode) Current(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	g := d.OnConductance
+	if g == 0 {
+		g = 1
+	}
+	return g * v
+}
+
+// Threshold implements Diode; an ideal diode has none.
+func (IdealDiode) Threshold() float64 { return 0 }
+
+// ThresholdDiode is the piecewise-linear "realistic" diode of Fig. 2's
+// right curve: zero current below Vth, linear conduction above it.
+type ThresholdDiode struct {
+	// Vth is the turn-on voltage; standard IC processes land between
+	// 200 mV and 400 mV (paper §2.1.1).
+	Vth float64
+	// OnConductance is the forward slope above threshold (default 1 S).
+	OnConductance float64
+}
+
+// Current implements Diode.
+func (d ThresholdDiode) Current(v float64) float64 {
+	if v <= d.Vth {
+		return 0
+	}
+	g := d.OnConductance
+	if g == 0 {
+		g = 1
+	}
+	return g * (v - d.Vth)
+}
+
+// Threshold implements Diode.
+func (d ThresholdDiode) Threshold() float64 { return d.Vth }
+
+// ShockleyDiode is the exponential junction model
+// I = I_s·(e^{v/(n·V_T)} − 1), the smooth curve practical diodes follow.
+type ShockleyDiode struct {
+	// Is is the saturation current (A); typical Schottky RF detector
+	// diodes are ~1e-8 A.
+	Is float64
+	// N is the ideality factor (1..2).
+	N float64
+	// VT is the thermal voltage (V); 25.85 mV at 300 K when zero.
+	VT float64
+}
+
+// Current implements Diode.
+func (d ShockleyDiode) Current(v float64) float64 {
+	vt := d.VT
+	if vt == 0 {
+		vt = 0.02585
+	}
+	n := d.N
+	if n == 0 {
+		n = 1
+	}
+	// Clamp the exponent to avoid overflow on absurd inputs.
+	x := v / (n * vt)
+	if x > 80 {
+		x = 80
+	}
+	return d.Is * (math.Exp(x) - 1)
+}
+
+// Threshold implements Diode: the conventional turn-on point where the
+// exponential reaches 1 mA.
+func (d ShockleyDiode) Threshold() float64 {
+	vt := d.VT
+	if vt == 0 {
+		vt = 0.02585
+	}
+	n := d.N
+	if n == 0 {
+		n = 1
+	}
+	if d.Is <= 0 {
+		return 0
+	}
+	return n * vt * math.Log(1e-3/d.Is+1)
+}
+
+// IVCurve samples a diode's I-V relationship at points evenly spaced over
+// [vMin, vMax]; it reproduces the paper's Fig. 2. The returned slices have
+// n entries each.
+func IVCurve(d Diode, vMin, vMax float64, n int) (volts, amps []float64, err error) {
+	if n < 2 || vMax <= vMin {
+		return nil, nil, fmt.Errorf("circuit: bad IV sweep [%v,%v] n=%d", vMin, vMax, n)
+	}
+	volts = make([]float64, n)
+	amps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := vMin + (vMax-vMin)*float64(i)/float64(n-1)
+		volts[i] = v
+		amps[i] = d.Current(v)
+	}
+	return volts, amps, nil
+}
+
+// ConductionAngle returns the fraction of an RF cycle during which a
+// sinusoid of amplitude vs forward-biases a diode with threshold vth — the
+// ω highlighted in the paper's Fig. 4. It is 0 when vs <= vth (the
+// deep-tissue regime where no energy can be harvested) and approaches 1/2
+// as vs ≫ vth.
+func ConductionAngle(vs, vth float64) float64 {
+	if vs <= vth || vs <= 0 {
+		return 0
+	}
+	if vth <= 0 {
+		return 0.5
+	}
+	// The diode conducts while vs·cos(θ) > vth: a window of 2·acos(vth/vs)
+	// out of 2π.
+	return math.Acos(vth/vs) / math.Pi
+}

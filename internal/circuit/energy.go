@@ -1,0 +1,88 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Storage is the energy reservoir of a duty-cycled battery-free sensor: a
+// capacitor that accumulates harvested charge until there is enough to run
+// the sensor's logic for one operation, then dumps it (paper §2.3: "duty
+// cycling the sensor's operation so that it may accumulate sufficient
+// energy before communication or actuation").
+type Storage struct {
+	// Capacitance in farads.
+	Capacitance float64
+	// OperatingVoltage is the minimum voltage at which the logic runs.
+	OperatingVoltage float64
+	// OperationEnergy is the energy one operation (e.g. decoding a query
+	// and backscattering a reply) consumes, in joules.
+	OperationEnergy float64
+
+	stored float64 // joules
+}
+
+// NewStorage validates and builds a Storage.
+func NewStorage(capacitance, operatingVoltage, operationEnergy float64) (*Storage, error) {
+	if capacitance <= 0 {
+		return nil, fmt.Errorf("circuit: capacitance %v <= 0", capacitance)
+	}
+	if operatingVoltage <= 0 {
+		return nil, fmt.Errorf("circuit: operating voltage %v <= 0", operatingVoltage)
+	}
+	if operationEnergy <= 0 {
+		return nil, fmt.Errorf("circuit: operation energy %v <= 0", operationEnergy)
+	}
+	return &Storage{
+		Capacitance:      capacitance,
+		OperatingVoltage: operatingVoltage,
+		OperationEnergy:  operationEnergy,
+	}, nil
+}
+
+// Deposit adds harvested energy (joules), saturating at the capacitor's
+// capacity at twice the operating voltage (a crude over-voltage clamp).
+func (s *Storage) Deposit(joules float64) {
+	if joules <= 0 {
+		return
+	}
+	s.stored += joules
+	maxV := 2 * s.OperatingVoltage
+	maxE := 0.5 * s.Capacitance * maxV * maxV
+	if s.stored > maxE {
+		s.stored = maxE
+	}
+}
+
+// Stored returns the currently stored energy in joules.
+func (s *Storage) Stored() float64 { return s.stored }
+
+// Voltage returns the capacitor voltage √(2E/C).
+func (s *Storage) Voltage() float64 {
+	if s.stored <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * s.stored / s.Capacitance)
+}
+
+// Ready reports whether the sensor has both reached its operating voltage
+// and banked enough energy for one operation.
+func (s *Storage) Ready() bool {
+	return s.Voltage() >= s.OperatingVoltage && s.stored >= s.OperationEnergy
+}
+
+// Operate spends one operation's energy. It returns false (and spends
+// nothing) when the sensor is not Ready.
+func (s *Storage) Operate() bool {
+	if !s.Ready() {
+		return false
+	}
+	s.stored -= s.OperationEnergy
+	if s.stored < 0 {
+		s.stored = 0
+	}
+	return true
+}
+
+// Drain empties the reservoir (a power-off or brown-out event).
+func (s *Storage) Drain() { s.stored = 0 }

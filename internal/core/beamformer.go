@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ivn/internal/gen2"
+	"ivn/internal/radio"
+	"ivn/internal/rng"
+)
+
+// Beamformer is the CIB transmitter: an antenna array whose chains emit
+// the same synchronized Gen2 command on offset carriers fᵢ = f₀ + Δfᵢ.
+type Beamformer struct {
+	// CenterFreq is f₀ (the prototype uses 915 MHz).
+	CenterFreq float64
+	// Offsets is the Δf plan; Offsets[0] must be 0.
+	Offsets []float64
+	// Array is the transmit hardware (one chain per offset).
+	Array *radio.Array
+	// PIE is the downlink line coding shared by all chains.
+	PIE gen2.PIEParams
+}
+
+// Config assembles a Beamformer.
+type Config struct {
+	// CenterFreq is f₀ in Hz; zero means 915 MHz.
+	CenterFreq float64
+	// Offsets is the Δf plan; nil means PaperOffsets truncated/validated
+	// to Antennas entries.
+	Offsets []float64
+	// Antennas is the chain count; zero means len(Offsets).
+	Antennas int
+	// DriveAmplitude is the per-chain PA drive in √W; zero means a drive
+	// that saturates the default PA near its 30 dBm P1dB (1 W out).
+	DriveAmplitude float64
+	// PA and Ant configure each chain; zero values mean the prototype's
+	// 30 dBm-P1dB amplifier and 7 dBi antennas.
+	PA  radio.PowerAmp
+	Ant radio.Antenna
+	// SampleRate is the envelope synthesis rate for PIE; zero means 8 MHz.
+	SampleRate float64
+}
+
+// DefaultConfig mirrors the paper's prototype: 915 MHz center, the
+// published 10-offset plan, 30 dBm chains, 7 dBi antennas.
+func DefaultConfig() Config {
+	return Config{
+		CenterFreq: 915e6,
+		Offsets:    PaperOffsets(),
+		PA:         radio.DefaultPA(),
+		Ant:        radio.Antenna{GainDBi: 7},
+		SampleRate: 8e6,
+	}
+}
+
+// New builds a Beamformer from cfg and locks its oscillators from r.
+func New(cfg Config, r *rng.Rand) (*Beamformer, error) {
+	if cfg.CenterFreq == 0 {
+		cfg.CenterFreq = 915e6
+	}
+	if cfg.CenterFreq <= 0 {
+		return nil, fmt.Errorf("core: center frequency %v <= 0", cfg.CenterFreq)
+	}
+	if cfg.Offsets == nil {
+		cfg.Offsets = PaperOffsets()
+	}
+	if cfg.Antennas == 0 {
+		cfg.Antennas = len(cfg.Offsets)
+	}
+	if cfg.Antennas < 1 || cfg.Antennas > len(cfg.Offsets) {
+		return nil, fmt.Errorf("core: %d antennas with %d offsets", cfg.Antennas, len(cfg.Offsets))
+	}
+	offsets := append([]float64(nil), cfg.Offsets[:cfg.Antennas]...)
+	if err := ValidateOffsets(offsets); err != nil {
+		return nil, err
+	}
+	if cfg.PA == (radio.PowerAmp{}) {
+		cfg.PA = radio.DefaultPA()
+	}
+	if cfg.DriveAmplitude == 0 {
+		// Drive each chain to its rated 30 dBm (1 W) operating point.
+		cfg.DriveAmplitude = cfg.PA.OperatingDrive()
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 8e6
+	}
+	freqs := make([]float64, len(offsets))
+	for i, df := range offsets {
+		freqs[i] = cfg.CenterFreq + df
+	}
+	arr, err := radio.NewUniformArray(freqs, cfg.DriveAmplitude, cfg.PA, cfg.Ant)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("core: nil RNG")
+	}
+	arr.Lock(r)
+	return &Beamformer{
+		CenterFreq: cfg.CenterFreq,
+		Offsets:    offsets,
+		Array:      arr,
+		PIE:        gen2.DefaultPIE(cfg.SampleRate),
+	}, nil
+}
+
+// N returns the antenna count.
+func (b *Beamformer) N() int { return len(b.Offsets) }
+
+// Relock re-randomizes every PLL phase — a new "trial" in the paper's
+// experimental sense.
+func (b *Beamformer) Relock(r *rng.Rand) { b.Array.Lock(r) }
+
+// Carriers returns the emitted tone set for CW (power-delivery) intervals.
+func (b *Beamformer) Carriers() []radio.Carrier { return b.Array.Carriers() }
+
+// EqualPowerCarriers returns the tone set with per-chain amplitude scaled
+// by 1/√N so total radiated power matches a single chain — the paper's
+// note that CIB still yields an N× peak-power gain under a fixed power
+// budget (§3.4).
+func (b *Beamformer) EqualPowerCarriers() []radio.Carrier {
+	cs := b.Array.Carriers()
+	scale := 1 / math.Sqrt(float64(len(cs)))
+	for i := range cs {
+		cs[i].Amplitude *= scale
+	}
+	return cs
+}
+
+// Transmission is one synchronized downlink command: the carriers plus the
+// shared PIE amplitude envelope they all modulate. At any receiver the
+// observed envelope is the product of the beamforming envelope (set by the
+// carrier offsets and channel phases) and this command envelope — the
+// tag sees the same command edges from every antenna because the
+// transmissions are time-synchronized (§3.2).
+type Transmission struct {
+	Carriers []radio.Carrier
+	// Envelope is the PIE amplitude sequence at SampleRate.
+	Envelope []float64
+	// SampleRate is the envelope sample rate in Hz.
+	SampleRate float64
+	// Duration is the command's on-air time in seconds.
+	Duration float64
+	// Command is the serialized frame for reference.
+	Command gen2.Bits
+}
+
+// TransmitCommand builds the synchronized transmission for cmd, verifying
+// that the frequency plan keeps the envelope flat enough over the
+// command's actual duration (Eq. 9 with Δt = this command's length, which
+// covers the §3.7 multi-sensor case of longer Select+Query compounds).
+func (b *Beamformer) TransmitCommand(cmd gen2.Command, preamble bool) (*Transmission, error) {
+	bits := cmd.AppendBits(nil)
+	dur := b.PIE.FrameDuration(bits, preamble)
+	ok, err := SatisfiesFlatness(b.Offsets, DefaultFlatnessAlpha, dur)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: offset plan RMS %.1f Hz violates flatness for a %.0f µs command",
+			RMSOffset(b.Offsets), dur*1e6)
+	}
+	env, err := b.PIE.EncodeFrame(bits, preamble)
+	if err != nil {
+		return nil, err
+	}
+	return &Transmission{
+		Carriers:   b.Carriers(),
+		Envelope:   env,
+		SampleRate: b.PIE.SampleRate,
+		Duration:   dur,
+		Command:    bits,
+	}, nil
+}
+
+// TransmitSelectThenQuery builds the §3.7 multi-sensor compound: a Select
+// addressing one sensor's EPC prefix followed by a Query, with the
+// flatness constraint checked against the combined duration.
+func (b *Beamformer) TransmitSelectThenQuery(sel *gen2.Select, q *gen2.Query) (*Transmission, *Transmission, error) {
+	selBits := sel.AppendBits(nil)
+	qBits := q.AppendBits(nil)
+	total := b.PIE.FrameDuration(selBits, false) + b.PIE.FrameDuration(qBits, true)
+	ok, err := SatisfiesFlatness(b.Offsets, DefaultFlatnessAlpha, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("core: offset plan violates flatness over the %.0f µs Select+Query compound", total*1e6)
+	}
+	ts, err := b.TransmitCommand(sel, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	tq, err := b.TransmitCommand(q, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ts, tq, nil
+}
+
+// HopCenter implements the §3.7 frequency-hopping extension: given a probe
+// function reporting delivered peak power at a candidate center frequency,
+// it moves the beamformer to the best band. Returns the chosen center.
+func (b *Beamformer) HopCenter(candidates []float64, probe func(center float64) float64) (float64, error) {
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("core: no candidate centers")
+	}
+	best, bestP := candidates[0], probe(candidates[0])
+	for _, c := range candidates[1:] {
+		if p := probe(c); p > bestP {
+			best, bestP = c, p
+		}
+	}
+	b.CenterFreq = best
+	for i, chain := range b.Array.Chains {
+		chain.Osc.Freq = best + b.Offsets[i]
+	}
+	return best, nil
+}

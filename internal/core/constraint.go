@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The query-amplitude-flatness constraint (paper §3.6, Eqs. 7–9).
+//
+// A backscatter tag decodes the downlink by envelope detection with a
+// decision threshold at half the amplitude swing, so it tolerates envelope
+// fluctuation only up to a fraction α < 0.5 over the duration Δt of a
+// command. Expanding the CIB envelope to first order around a peak gives
+//
+//	(1/N)·Σ Δfᵢ² ≤ α / (2π²Δt²)             (Eq. 9)
+//
+// i.e. the RMS frequency offset is bounded by √(α)/(√2·π·Δt).
+
+// DefaultFlatnessAlpha is the fluctuation bound; the paper requires
+// α < 0.5 and designs against it.
+const DefaultFlatnessAlpha = 0.5
+
+// DefaultQueryDuration is the paper's Δt for a typical reader query.
+const DefaultQueryDuration = 800e-6
+
+// RMSOffset returns √((1/N)·ΣΔfᵢ²) over the full set (including the zero
+// reference, matching the paper's 1/N normalization).
+func RMSOffset(offsets []float64) float64 {
+	if len(offsets) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, f := range offsets {
+		acc += f * f
+	}
+	return math.Sqrt(acc / float64(len(offsets)))
+}
+
+// FlatnessLimit returns the maximum admissible RMS offset for fluctuation
+// bound alpha and command duration dt: √(α/(2π²Δt²)). For α = 0.5 and
+// Δt = 800 µs this is ≈ 199 Hz, the figure the paper quotes.
+func FlatnessLimit(alpha, dt float64) (float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, fmt.Errorf("core: flatness α %v outside (0,1)", alpha)
+	}
+	if dt <= 0 {
+		return 0, fmt.Errorf("core: command duration %v <= 0", dt)
+	}
+	return math.Sqrt(alpha / (2 * math.Pi * math.Pi * dt * dt)), nil
+}
+
+// SatisfiesFlatness reports whether an offset set meets Eq. 9 for the
+// given α and command duration.
+func SatisfiesFlatness(offsets []float64, alpha, dt float64) (bool, error) {
+	limit, err := FlatnessLimit(alpha, dt)
+	if err != nil {
+		return false, err
+	}
+	return RMSOffset(offsets) <= limit, nil
+}
+
+// EnvelopeDropNearPeak returns the worst-case first-order envelope decay
+// over a window dt after a perfectly aligned peak, as a fraction of the
+// peak (the left side of Eq. 7 under the Eq. 8 expansion):
+// 2π²dt²·(ΣΔfᵢ²)/N.
+func EnvelopeDropNearPeak(offsets []float64, dt float64) float64 {
+	if len(offsets) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, f := range offsets {
+		acc += f * f
+	}
+	return 2 * math.Pi * math.Pi * dt * dt * acc / float64(len(offsets))
+}

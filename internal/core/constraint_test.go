@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlatnessLimitMatchesPaper199Hz(t *testing.T) {
+	// "the root mean square of Δfᵢ should be less than 199 Hz" for
+	// α = 0.5 (implied by the decoding threshold) and Δt = 800 µs.
+	limit, err := FlatnessLimit(0.5, 800e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(limit-199) > 1 {
+		t.Fatalf("flatness limit = %v Hz, want ≈199", limit)
+	}
+}
+
+func TestFlatnessLimitErrors(t *testing.T) {
+	for _, c := range [][2]float64{{0, 1e-3}, {1, 1e-3}, {-0.1, 1e-3}, {0.5, 0}, {0.5, -1}} {
+		if _, err := FlatnessLimit(c[0], c[1]); err == nil {
+			t.Errorf("FlatnessLimit(%v, %v) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestPaperOffsetsSatisfyFlatness(t *testing.T) {
+	ok, err := SatisfiesFlatness(PaperOffsets(), 0.5, 800e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("published plan (RMS %.1f Hz) violates its own constraint", RMSOffset(PaperOffsets()))
+	}
+}
+
+func TestPaperOffsetsRMS(t *testing.T) {
+	// Direct check: RMS of {0,7,...,137} over N=10 ≈ 81.9 Hz.
+	rms := RMSOffset(PaperOffsets())
+	if math.Abs(rms-81.9) > 0.5 {
+		t.Fatalf("paper plan RMS = %v Hz, want ≈81.9", rms)
+	}
+}
+
+func TestRMSOffsetEdge(t *testing.T) {
+	if RMSOffset(nil) != 0 {
+		t.Fatal("empty RMS != 0")
+	}
+	if got := RMSOffset([]float64{0, 3, 4}); math.Abs(got-math.Sqrt(25.0/3)) > 1e-12 {
+		t.Fatalf("RMS = %v", got)
+	}
+}
+
+func TestSatisfiesFlatnessRejectsWideSets(t *testing.T) {
+	// kHz-scale offsets would modulate the envelope within a single query.
+	wide := []float64{0, 1000, 2000, 5000}
+	ok, err := SatisfiesFlatness(wide, 0.5, 800e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("kHz offsets passed the flatness constraint")
+	}
+}
+
+func TestEnvelopeDropNearPeakFirstOrder(t *testing.T) {
+	// The analytic drop bound must upper-bound the true envelope decay
+	// close to a perfect peak (Taylor's inequality direction in Eq. 8
+	// means cos-sum ≥ first-order bound... verify the analytic form
+	// against the definition instead).
+	offsets := PaperOffsets()
+	dt := 100e-6
+	var sum float64
+	for _, f := range offsets {
+		sum += f * f
+	}
+	want := 2 * math.Pi * math.Pi * dt * dt * sum / float64(len(offsets))
+	if got := EnvelopeDropNearPeak(offsets, dt); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("drop = %v, want %v", got, want)
+	}
+	if EnvelopeDropNearPeak(nil, dt) != 0 {
+		t.Fatal("empty set drop != 0")
+	}
+}
+
+func TestEnvelopeActuallyStaysFlatOverQuery(t *testing.T) {
+	// End-to-end check of the constraint's purpose: starting from a
+	// perfectly aligned peak, the true envelope over an 800 µs window must
+	// not fluctuate more than α for the published plan.
+	offsets := PaperOffsets()
+	betas := make([]float64, len(offsets)) // aligned at t=0
+	n := 800
+	lo, hi := math.Inf(1), 0.0
+	for k := 0; k < n; k++ {
+		tm := 800e-6 * float64(k) / float64(n)
+		y := Envelope(offsets, betas, tm)
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	fluct := (hi - lo) / hi
+	if fluct > 0.5 {
+		t.Fatalf("true envelope fluctuation over a query = %v, want <= 0.5", fluct)
+	}
+}
+
+func TestWideOffsetsBreakEnvelopeOverQuery(t *testing.T) {
+	// Conversely a constraint-violating plan really does fluctuate.
+	offsets := []float64{0, 1000, 2500, 4000}
+	betas := make([]float64, len(offsets))
+	n := 800
+	lo, hi := math.Inf(1), 0.0
+	for k := 0; k < n; k++ {
+		tm := 800e-6 * float64(k) / float64(n)
+		y := Envelope(offsets, betas, tm)
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	if (hi-lo)/hi < 0.5 {
+		t.Fatalf("kHz plan fluctuation only %v; constraint would be pointless", (hi-lo)/hi)
+	}
+}

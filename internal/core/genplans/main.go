@@ -1,0 +1,35 @@
+// Command genplans performs the long offline frequency-plan optimization
+// whose results are embedded as core.BestKnownPlan. Re-run it (and paste
+// the output) after any change to the optimizer or its objective:
+//
+//	go run ./internal/core/genplans
+package main
+
+import (
+	"fmt"
+
+	"ivn/internal/core"
+	"ivn/internal/rng"
+)
+
+func main() {
+	cfg := core.DefaultOptimizerConfig()
+	cfg.Trials = 96
+	cfg.SamplesPerTrial = 4096
+	cfg.Restarts = 8
+	cfg.StepsPerRestart = 120
+	for n := 2; n <= 10; n++ {
+		best := core.Plan{}
+		for seed := uint64(1); seed <= 3; seed++ {
+			p, err := core.Optimize(n, cfg, rng.New(seed*1000+uint64(n)))
+			if err != nil {
+				panic(err)
+			}
+			if p.Score > best.Score {
+				best = p
+			}
+		}
+		fmt.Printf("%d: %v, // score %.4f (E[peak]/N = %.3f), RMS %.1f Hz\n",
+			n, best.Offsets, best.Score, best.Score/float64(n), best.RMS)
+	}
+}

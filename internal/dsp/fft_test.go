@@ -1,0 +1,217 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"ivn/internal/rng"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFFTKnownImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if !approxEq(real(v), 1, 1e-12) || !approxEq(imag(v), 0, 1e-12) {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTKnownDC(t *testing.T) {
+	// FFT of a constant signal concentrates all energy in bin 0.
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = 3
+	}
+	FFT(x)
+	if !approxEq(real(x[0]), 48, 1e-9) {
+		t.Fatalf("DC bin = %v, want 48", x[0])
+	}
+	for i, v := range x[1:] {
+		if cmplx.Abs(v) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 0", i+1, v)
+		}
+	}
+}
+
+func TestFFTSingleToneBin(t *testing.T) {
+	// A complex exponential at bin k lands exactly in bin k.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * k * float64(i) / n
+		s, c := math.Sincos(ph)
+		x[i] = complex(c, s)
+	}
+	FFT(x)
+	for i, v := range x {
+		want := 0.0
+		if i == k {
+			want = n
+		}
+		if !approxEq(cmplx.Abs(v), want, 1e-9) {
+			t.Fatalf("bin %d magnitude = %v, want %v", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestIFFTInverts(t *testing.T) {
+	r := rng.New(1)
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = r.ComplexCircular(1)
+	}
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("sample %d: round trip %v != %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rng.New(2)
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = r.ComplexCircular(1)
+	}
+	timeEnergy := Energy(x)
+	FFT(x)
+	freqEnergy := Energy(x) / float64(len(x))
+	if !approxEq(timeEnergy, freqEnergy, 1e-8*timeEnergy) {
+		t.Fatalf("Parseval violated: time %v vs freq %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rng.New(3)
+	const n = 64
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.ComplexCircular(1)
+		b[i] = r.ComplexCircular(1)
+		sum[i] = a[i] + 2*b[i]
+	}
+	FFT(a)
+	FFT(b)
+	FFT(sum)
+	for i := 0; i < n; i++ {
+		want := a[i] + 2*b[i]
+		if cmplx.Abs(sum[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFT of length 12 did not panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	FFT(nil) // must not panic
+	x := []complex128{complex(2, 1)}
+	FFT(x)
+	if x[0] != complex(2, 1) {
+		t.Fatalf("length-1 FFT changed the sample: %v", x[0])
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	r := rng.New(4)
+	const n = 128
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = r.ComplexCircular(1)
+	}
+	X := make([]complex128, n)
+	copy(X, x)
+	FFT(X)
+	for _, k := range []int{0, 1, 7, 63, 100} {
+		got := Goertzel(x, float64(k)/n)
+		if cmplx.Abs(got-X[k]) > 1e-6*(1+cmplx.Abs(X[k])) {
+			t.Fatalf("Goertzel bin %d = %v, FFT = %v", k, got, X[k])
+		}
+	}
+}
+
+func TestGoertzelRealTone(t *testing.T) {
+	const n = 1000
+	const k = 50.0 // cycles over the record
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * k * float64(i) / n)
+	}
+	// A real cosine of amplitude 1 puts magnitude n/2 at its frequency.
+	got := cmplx.Abs(GoertzelReal(x, k/n))
+	if !approxEq(got, n/2, 1) {
+		t.Fatalf("GoertzelReal magnitude = %v, want ≈%v", got, n/2.0)
+	}
+	// And near-zero far away from it.
+	off := cmplx.Abs(GoertzelReal(x, 0.31))
+	if off > n*0.01 {
+		t.Fatalf("GoertzelReal off-tone leakage = %v", off)
+	}
+}
+
+func TestQuickFFTRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	f := func(sizeExp uint8, seed uint32) bool {
+		n := 1 << (sizeExp%9 + 1) // 2..512
+		local := r.Split("case")
+		_ = seed
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = local.ComplexCircular(1)
+		}
+		orig := make([]complex128, n)
+		copy(orig, x)
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	r := rng.New(1)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = r.ComplexCircular(1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

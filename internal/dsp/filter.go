@@ -1,0 +1,223 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadCutoff reports a filter design request with a cutoff outside the
+// representable (0, Nyquist) range.
+var ErrBadCutoff = errors.New("dsp: cutoff must lie in (0, 0.5) cycles/sample")
+
+// FIR is a finite-impulse-response filter described by its real taps. The
+// zero value is a pass-nothing filter; construct with the design functions.
+type FIR struct {
+	Taps []float64
+}
+
+// DesignLowpass returns a windowed-sinc low-pass FIR with the given cutoff
+// (normalized, cycles per sample, 0 < cutoff < 0.5) and tap count. An even
+// tap count is rounded up to keep the filter symmetric (type I, linear
+// phase).
+func DesignLowpass(cutoff float64, taps int, w Window) (FIR, error) {
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return FIR{}, fmt.Errorf("%w: got %v", ErrBadCutoff, cutoff)
+	}
+	if taps < 3 {
+		return FIR{}, fmt.Errorf("dsp: lowpass needs >= 3 taps, got %d", taps)
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	mid := taps / 2
+	for i := range h {
+		n := float64(i - mid)
+		if n == 0 {
+			h[i] = 2 * cutoff
+		} else {
+			h[i] = math.Sin(2*math.Pi*cutoff*n) / (math.Pi * n)
+		}
+	}
+	win := w.Coefficients(taps)
+	var sum float64
+	for i := range h {
+		h[i] *= win[i]
+		sum += h[i]
+	}
+	// Normalize for unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return FIR{Taps: h}, nil
+}
+
+// DesignHighpass returns a windowed-sinc high-pass FIR via spectral
+// inversion of the corresponding low-pass.
+func DesignHighpass(cutoff float64, taps int, w Window) (FIR, error) {
+	lp, err := DesignLowpass(cutoff, taps, w)
+	if err != nil {
+		return FIR{}, err
+	}
+	h := lp.Taps
+	for i := range h {
+		h[i] = -h[i]
+	}
+	h[len(h)/2] += 1
+	return FIR{Taps: h}, nil
+}
+
+// DesignBandpass returns a windowed-sinc band-pass FIR passing
+// (lo, hi) normalized frequencies.
+func DesignBandpass(lo, hi float64, taps int, w Window) (FIR, error) {
+	if !(0 < lo && lo < hi && hi < 0.5) {
+		return FIR{}, fmt.Errorf("%w: band (%v, %v)", ErrBadCutoff, lo, hi)
+	}
+	hiLP, err := DesignLowpass(hi, taps, w)
+	if err != nil {
+		return FIR{}, err
+	}
+	loLP, err := DesignLowpass(lo, len(hiLP.Taps), w)
+	if err != nil {
+		return FIR{}, err
+	}
+	h := make([]float64, len(hiLP.Taps))
+	for i := range h {
+		h[i] = hiLP.Taps[i] - loLP.Taps[i]
+	}
+	return FIR{Taps: h}, nil
+}
+
+// DesignBandstop returns a windowed-sinc band-stop (notch) FIR rejecting
+// (lo, hi). This models the high-rejection SAW filter in IVN's out-of-band
+// reader front end (paper §5b).
+func DesignBandstop(lo, hi float64, taps int, w Window) (FIR, error) {
+	bp, err := DesignBandpass(lo, hi, taps, w)
+	if err != nil {
+		return FIR{}, err
+	}
+	h := bp.Taps
+	for i := range h {
+		h[i] = -h[i]
+	}
+	h[len(h)/2] += 1
+	return FIR{Taps: h}, nil
+}
+
+// Len returns the number of taps.
+func (f FIR) Len() int { return len(f.Taps) }
+
+// GroupDelay returns the filter's constant group delay in samples
+// ((taps-1)/2 for the symmetric designs produced here).
+func (f FIR) GroupDelay() int { return (len(f.Taps) - 1) / 2 }
+
+// Apply convolves x with the filter and returns the same-length output
+// (zero-padded edges, delay NOT compensated).
+func (f FIR) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	f.ApplyTo(out, x)
+	return out
+}
+
+// ApplyTo convolves x with the filter into dst, which must have len(x)
+// elements. It is allocation-free.
+func (f FIR) ApplyTo(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("dsp: FIR.ApplyTo length mismatch")
+	}
+	taps := f.Taps
+	for i := range dst {
+		var acc float64
+		for k, t := range taps {
+			j := i - k
+			if j >= 0 && j < len(x) {
+				acc += t * x[j]
+			}
+		}
+		dst[i] = acc
+	}
+}
+
+// ApplyComplex convolves a complex baseband signal with the (real) filter.
+func (f FIR) ApplyComplex(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	taps := f.Taps
+	for i := range out {
+		var acc complex128
+		for k, t := range taps {
+			j := i - k
+			if j >= 0 && j < len(x) {
+				acc += complex(t, 0) * x[j]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Response returns the filter's complex frequency response at normalized
+// frequency f (cycles per sample).
+func (f FIR) Response(freq float64) complex128 {
+	var acc complex128
+	for n, t := range f.Taps {
+		ph := -2 * math.Pi * freq * float64(n)
+		s, c := math.Sincos(ph)
+		acc += complex(t*c, t*s)
+	}
+	return acc
+}
+
+// AttenuationDB returns the filter's power attenuation at normalized
+// frequency f, in dB (positive = attenuated).
+func (f FIR) AttenuationDB(freq float64) float64 {
+	r := f.Response(freq)
+	mag2 := real(r)*real(r) + imag(r)*imag(r)
+	if mag2 <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(mag2)
+}
+
+// MovingAverage returns a boxcar FIR of n taps (unity DC gain), the cheap
+// smoother used by envelope trackers.
+func MovingAverage(n int) FIR {
+	if n < 1 {
+		n = 1
+	}
+	taps := make([]float64, n)
+	for i := range taps {
+		taps[i] = 1 / float64(n)
+	}
+	return FIR{Taps: taps}
+}
+
+// SinglePole is a one-pole IIR smoother y[n] = a·x[n] + (1-a)·y[n-1], the
+// discrete-time model of an RC envelope-detector load.
+type SinglePole struct {
+	// Alpha is the smoothing coefficient in (0, 1]; smaller = slower.
+	Alpha float64
+	state float64
+}
+
+// Step advances the filter by one sample and returns the new output.
+func (p *SinglePole) Step(x float64) float64 {
+	p.state += p.Alpha * (x - p.state)
+	return p.state
+}
+
+// Reset clears the internal state to v.
+func (p *SinglePole) Reset(v float64) { p.state = v }
+
+// Value returns the current output without advancing.
+func (p *SinglePole) Value() float64 { return p.state }
+
+// RCAlpha converts an RC time constant (seconds) and sample rate to the
+// equivalent single-pole Alpha.
+func RCAlpha(tau, sampleRate float64) float64 {
+	if tau <= 0 {
+		return 1
+	}
+	dt := 1 / sampleRate
+	return dt / (tau + dt)
+}

@@ -1,0 +1,238 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowpassPassAndStop(t *testing.T) {
+	f, err := DesignLowpass(0.1, 101, Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := f.AttenuationDB(0.01); a > 0.5 {
+		t.Fatalf("passband attenuation at 0.01 = %v dB, want ≈0", a)
+	}
+	if a := f.AttenuationDB(0.25); a < 40 {
+		t.Fatalf("stopband attenuation at 0.25 = %v dB, want > 40", a)
+	}
+}
+
+func TestLowpassUnityDCGain(t *testing.T) {
+	f, err := DesignLowpass(0.2, 51, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tap := range f.Taps {
+		sum += tap
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("DC gain = %v, want 1", sum)
+	}
+}
+
+func TestHighpassRejectsDC(t *testing.T) {
+	f, err := DesignHighpass(0.1, 101, Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := f.AttenuationDB(0.001); a < 40 {
+		t.Fatalf("DC attenuation = %v dB, want > 40", a)
+	}
+	if a := f.AttenuationDB(0.3); a > 1 {
+		t.Fatalf("passband attenuation at 0.3 = %v dB, want ≈0", a)
+	}
+}
+
+func TestBandpassShape(t *testing.T) {
+	f, err := DesignBandpass(0.1, 0.2, 151, Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := f.AttenuationDB(0.15); a > 1 {
+		t.Fatalf("in-band attenuation = %v dB", a)
+	}
+	for _, stop := range []float64{0.02, 0.35} {
+		if a := f.AttenuationDB(stop); a < 30 {
+			t.Fatalf("out-of-band attenuation at %v = %v dB, want > 30", stop, a)
+		}
+	}
+}
+
+func TestBandstopRejectsNotch(t *testing.T) {
+	// This is the SAW-filter model: reject the CIB band, pass the reader band.
+	f, err := DesignBandstop(0.1, 0.2, 151, Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := f.AttenuationDB(0.15); a < 30 {
+		t.Fatalf("notch attenuation = %v dB, want > 30", a)
+	}
+	for _, pass := range []float64{0.02, 0.35} {
+		if a := f.AttenuationDB(pass); a > 1.5 {
+			t.Fatalf("passband attenuation at %v = %v dB", pass, a)
+		}
+	}
+}
+
+func TestDesignRejectsBadCutoff(t *testing.T) {
+	for _, c := range []float64{-0.1, 0, 0.5, 0.9} {
+		if _, err := DesignLowpass(c, 31, Hann); err == nil {
+			t.Fatalf("DesignLowpass(%v) accepted an invalid cutoff", c)
+		}
+	}
+	if _, err := DesignBandpass(0.3, 0.2, 31, Hann); err == nil {
+		t.Fatal("DesignBandpass accepted an inverted band")
+	}
+	if _, err := DesignLowpass(0.1, 2, Hann); err == nil {
+		t.Fatal("DesignLowpass accepted 2 taps")
+	}
+}
+
+func TestEvenTapCountRoundedUp(t *testing.T) {
+	f, err := DesignLowpass(0.1, 50, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len()%2 == 0 {
+		t.Fatalf("tap count %d is even; symmetric design requires odd", f.Len())
+	}
+}
+
+func TestFIRApplyConvolution(t *testing.T) {
+	// Identity filter passes the signal unchanged.
+	f := FIR{Taps: []float64{1}}
+	x := []float64{1, 2, 3, 4}
+	got := f.Apply(x)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("identity filter altered sample %d", i)
+		}
+	}
+	// Delay-by-one filter shifts right.
+	d := FIR{Taps: []float64{0, 1}}
+	got = d.Apply(x)
+	want := []float64{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delay filter: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIRApplyComplexMatchesReal(t *testing.T) {
+	f, err := DesignLowpass(0.2, 21, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -1, 2, 0.5, -0.25, 3, 1, 0}
+	xc := make([]complex128, len(x))
+	for i, v := range x {
+		xc[i] = complex(v, 0)
+	}
+	want := f.Apply(x)
+	got := f.ApplyComplex(xc)
+	for i := range want {
+		if math.Abs(real(got[i])-want[i]) > 1e-12 || math.Abs(imag(got[i])) > 1e-12 {
+			t.Fatalf("sample %d: complex %v vs real %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	ma := MovingAverage(4)
+	x := []float64{4, 4, 4, 4, 4, 4, 4, 4}
+	got := ma.Apply(x)
+	// After the warm-up region the output equals the input mean.
+	for i := 3; i < len(got); i++ {
+		if math.Abs(got[i]-4) > 1e-12 {
+			t.Fatalf("steady-state sample %d = %v, want 4", i, got[i])
+		}
+	}
+}
+
+func TestSinglePoleConverges(t *testing.T) {
+	p := SinglePole{Alpha: 0.2}
+	var out float64
+	for i := 0; i < 200; i++ {
+		out = p.Step(10)
+	}
+	if math.Abs(out-10) > 1e-6 {
+		t.Fatalf("single pole settled at %v, want 10", out)
+	}
+}
+
+func TestRCAlphaLimits(t *testing.T) {
+	if a := RCAlpha(0, 1e6); a != 1 {
+		t.Fatalf("RCAlpha(0) = %v, want 1 (no smoothing)", a)
+	}
+	a := RCAlpha(1e-3, 1e6)
+	if a <= 0 || a >= 1 {
+		t.Fatalf("RCAlpha out of (0,1): %v", a)
+	}
+}
+
+func TestGroupDelay(t *testing.T) {
+	f, err := DesignLowpass(0.1, 101, Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd := f.GroupDelay(); gd != 50 {
+		t.Fatalf("group delay = %d, want 50", gd)
+	}
+}
+
+func TestQuickLowpassStopbandBeatsPassband(t *testing.T) {
+	f := func(c uint8) bool {
+		cutoff := 0.05 + float64(c%30)/100 // 0.05..0.34
+		fir, err := DesignLowpass(cutoff, 101, Blackman)
+		if err != nil {
+			return false
+		}
+		pass := fir.AttenuationDB(cutoff / 4)
+		stop := fir.AttenuationDB(math.Min(0.49, cutoff*1.8+0.05))
+		return stop > pass
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEndpointsAndPeak(t *testing.T) {
+	for _, w := range []Window{Hann, Blackman} {
+		c := w.Coefficients(65)
+		if c[0] > 0.01 || c[64] > 0.01 {
+			t.Fatalf("%v window endpoints not near zero: %v %v", w, c[0], c[64])
+		}
+		if math.Abs(c[32]-1) > 0.01 {
+			t.Fatalf("%v window center = %v, want ≈1", w, c[32])
+		}
+	}
+}
+
+func TestWindowStringAndTrivialSizes(t *testing.T) {
+	if Hamming.String() != "hamming" || Rectangular.String() != "rectangular" {
+		t.Fatal("window names wrong")
+	}
+	if got := Hann.Coefficients(1); got[0] != 1 {
+		t.Fatalf("single-sample window = %v, want 1", got[0])
+	}
+	if got := Hann.Coefficients(0); len(got) != 0 {
+		t.Fatal("zero-length window not empty")
+	}
+}
+
+func BenchmarkFIRApply(b *testing.B) {
+	f, _ := DesignLowpass(0.1, 101, Blackman)
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 10)
+	}
+	dst := make([]float64, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ApplyTo(dst, x)
+	}
+}

@@ -1,0 +1,71 @@
+package dsp
+
+import "fmt"
+
+// Decimate keeps every factor-th sample of x. It does not pre-filter; call
+// a FIR low-pass first when aliasing matters.
+func Decimate(x []complex128, factor int) ([]complex128, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor %d < 1", factor)
+	}
+	out := make([]complex128, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out, nil
+}
+
+// DecimateFloat keeps every factor-th sample of a real signal.
+func DecimateFloat(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: decimation factor %d < 1", factor)
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out, nil
+}
+
+// Upsample inserts factor−1 linearly interpolated samples between adjacent
+// input samples, producing len(x)·factor outputs (the last input value is
+// held). Linear interpolation suffices for the smooth sub-kHz envelopes CIB
+// produces; no polyphase machinery is warranted.
+func Upsample(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: upsample factor %d < 1", factor)
+	}
+	if factor == 1 || len(x) == 0 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	out := make([]float64, len(x)*factor)
+	for i := 0; i < len(x); i++ {
+		cur := x[i]
+		next := cur
+		if i+1 < len(x) {
+			next = x[i+1]
+		}
+		for k := 0; k < factor; k++ {
+			frac := float64(k) / float64(factor)
+			out[i*factor+k] = cur + (next-cur)*frac
+		}
+	}
+	return out, nil
+}
+
+// RepeatHold expands x by holding each sample factor times (zero-order
+// hold), the shape a digital modulator presents to a DAC.
+func RepeatHold(x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: hold factor %d < 1", factor)
+	}
+	out := make([]float64, 0, len(x)*factor)
+	for _, v := range x {
+		for k := 0; k < factor; k++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Tone synthesizes n samples of a complex exponential e^{j(2πft/fs + phase)}
+// with amplitude amp at sample rate fs.
+func Tone(n int, freq, phase, amp, fs float64) []complex128 {
+	out := make([]complex128, n)
+	AddToneTo(out, freq, phase, amp, fs)
+	return out
+}
+
+// AddToneTo accumulates a complex exponential into dst. Accumulation (rather
+// than overwrite) is the natural primitive for multi-carrier synthesis: a
+// CIB transmission is exactly a sum of tones with distinct frequencies and
+// phases.
+func AddToneTo(dst []complex128, freq, phase, amp, fs float64) {
+	// Phasor recurrence: one complex multiply per sample instead of a
+	// Sincos call. Renormalize periodically to bound drift.
+	step := 2 * math.Pi * freq / fs
+	ss, cs := math.Sincos(step)
+	rot := complex(cs, ss)
+	s0, c0 := math.Sincos(phase)
+	cur := complex(amp*c0, amp*s0)
+	for i := range dst {
+		dst[i] += cur
+		cur *= rot
+		if i&1023 == 1023 {
+			// Re-anchor magnitude to amp to cancel accumulated rounding.
+			m := cmplx.Abs(cur)
+			if m != 0 {
+				cur = cur * complex(amp/m, 0)
+			}
+		}
+	}
+}
+
+// Mix frequency-shifts x by shift Hz at sample rate fs, in place, and
+// returns x. Mixing by -f downconverts a carrier at f to DC.
+func Mix(x []complex128, shift, fs float64) []complex128 {
+	step := 2 * math.Pi * shift / fs
+	ss, cs := math.Sincos(step)
+	rot := complex(cs, ss)
+	cur := complex(1, 0)
+	for i := range x {
+		x[i] *= cur
+		cur *= rot
+		if i&1023 == 1023 {
+			m := cmplx.Abs(cur)
+			if m != 0 {
+				cur = cur * complex(1/m, 0)
+			}
+		}
+	}
+	return x
+}
+
+// Magnitude writes |x[i]| into a new slice.
+func Magnitude(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Power writes |x[i]|² into a new slice.
+func Power(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	return out
+}
+
+// PeakAbs returns the maximum |x[i]| and its index. For an empty slice it
+// returns (0, -1).
+func PeakAbs(x []complex128) (peak float64, idx int) {
+	idx = -1
+	for i, v := range x {
+		m := real(v)*real(v) + imag(v)*imag(v)
+		if m > peak {
+			peak, idx = m, i
+		}
+	}
+	return math.Sqrt(peak), idx
+}
+
+// PeakFloat returns the maximum value and index of a real signal. For an
+// empty slice it returns (-Inf, -1).
+func PeakFloat(x []float64) (peak float64, idx int) {
+	peak, idx = math.Inf(-1), -1
+	for i, v := range x {
+		if v > peak {
+			peak, idx = v, i
+		}
+	}
+	return
+}
+
+// MeanPower returns the average of |x[i]|².
+func MeanPower(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, v := range x {
+		acc += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return acc / float64(len(x))
+}
+
+// Energy returns Σ|x[i]|².
+func Energy(x []complex128) float64 {
+	var acc float64
+	for _, v := range x {
+		acc += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return acc
+}
+
+// Scale multiplies every sample by k in place and returns x.
+func Scale(x []complex128, k float64) []complex128 {
+	ck := complex(k, 0)
+	for i := range x {
+		x[i] *= ck
+	}
+	return x
+}
+
+// AddInto accumulates src into dst (dst[i] += src[i]); the slices must have
+// equal length.
+func AddInto(dst, src []complex128) {
+	if len(dst) != len(src) {
+		panic("dsp: AddInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// DB converts a power ratio to decibels; DB(0) is -Inf.
+func DB(powerRatio float64) float64 {
+	return 10 * math.Log10(powerRatio)
+}
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// AmplitudeFromDB converts decibels to an amplitude (voltage) ratio.
+func AmplitudeFromDB(db float64) float64 {
+	return math.Pow(10, db/20)
+}
+
+// Envelope returns the instantaneous amplitude |x| smoothed by a single-pole
+// RC with the given time constant. This mirrors the diode+RC envelope
+// detector a backscatter tag uses to decode reader commands.
+func Envelope(x []complex128, tau, fs float64) []float64 {
+	out := make([]float64, len(x))
+	p := SinglePole{Alpha: RCAlpha(tau, fs)}
+	if len(x) > 0 {
+		p.Reset(cmplx.Abs(x[0]))
+	}
+	for i, v := range x {
+		out[i] = p.Step(cmplx.Abs(v))
+	}
+	return out
+}
+
+// FluctuationRatio returns (max − min)/max of a positive envelope segment —
+// the paper's amplitude-flatness metric α (Eq. 7). It returns 0 for an
+// empty or all-zero segment.
+func FluctuationRatio(env []float64) float64 {
+	if len(env) == 0 {
+		return 0
+	}
+	lo, hi := env[0], env[0]
+	for _, v := range env[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= 0 {
+		return 0
+	}
+	return (hi - lo) / hi
+}
+
+// Mean returns the arithmetic mean of x, or 0 for empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}

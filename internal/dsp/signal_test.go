@@ -1,0 +1,334 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+func TestToneFrequencyAndAmplitude(t *testing.T) {
+	const fs, f, amp = 1e6, 12500.0, 2.5
+	x := Tone(4096, f, 0, amp, fs)
+	// Magnitude must be constant.
+	for i, v := range x {
+		if math.Abs(cmplx.Abs(v)-amp) > 1e-9 {
+			t.Fatalf("sample %d magnitude %v, want %v", i, cmplx.Abs(v), amp)
+		}
+	}
+	// Spectral peak must land on the right bin.
+	X := make([]complex128, len(x))
+	copy(X, x)
+	FFT(X)
+	_, idx := PeakAbs(X)
+	wantBin := int(math.Round(f / fs * float64(len(x))))
+	if idx != wantBin {
+		t.Fatalf("spectral peak at bin %d, want %d", idx, wantBin)
+	}
+}
+
+func TestTonePhaseContinuityLong(t *testing.T) {
+	// The phasor recurrence must not drift over long records.
+	const fs, f = 1e6, 31250.0
+	x := Tone(1<<17, f, 0.3, 1, fs)
+	n := len(x) - 1
+	wantPh := math.Mod(2*math.Pi*f*float64(n)/fs+0.3, 2*math.Pi)
+	gotPh := math.Mod(cmplx.Phase(x[n])+2*math.Pi, 2*math.Pi)
+	diff := math.Abs(gotPh - wantPh)
+	if diff > math.Pi {
+		diff = 2*math.Pi - diff
+	}
+	if diff > 1e-6 {
+		t.Fatalf("phase drift after %d samples: %v rad", n, diff)
+	}
+}
+
+func TestAddToneToSuperimposes(t *testing.T) {
+	const fs = 1e6
+	dst := Tone(1024, 1000, 0, 1, fs)
+	AddToneTo(dst, 2000, 0, 1, fs)
+	X := make([]complex128, len(dst))
+	copy(X, dst)
+	FFT(X)
+	b1 := int(math.Round(1000 / fs * 1024))
+	b2 := int(math.Round(2000 / fs * 1024))
+	p := SpectrumPower(X)
+	if p[b1] < 1e3 || p[b2] < 1e3 {
+		t.Fatalf("expected energy at bins %d and %d, got %v and %v", b1, b2, p[b1], p[b2])
+	}
+}
+
+func TestMixShiftsFrequency(t *testing.T) {
+	const fs, f = 1e6, 50000.0
+	x := Tone(4096, f, 0, 1, fs)
+	Mix(x, -f, fs) // downconvert to DC
+	// After mixing to DC the signal is (nearly) constant.
+	for i := 1; i < len(x); i++ {
+		if cmplx.Abs(x[i]-x[0]) > 1e-6 {
+			t.Fatalf("post-mix sample %d differs from DC: %v vs %v", i, x[i], x[0])
+		}
+	}
+}
+
+func TestPeakAbsAndPeakFloat(t *testing.T) {
+	x := []complex128{1, complex(0, -5), 2}
+	peak, idx := PeakAbs(x)
+	if idx != 1 || math.Abs(peak-5) > 1e-12 {
+		t.Fatalf("PeakAbs = (%v, %d), want (5, 1)", peak, idx)
+	}
+	if _, idx := PeakAbs(nil); idx != -1 {
+		t.Fatal("PeakAbs(nil) should report index -1")
+	}
+	pf, pi := PeakFloat([]float64{-3, -1, -2})
+	if pi != 1 || pf != -1 {
+		t.Fatalf("PeakFloat = (%v, %d), want (-1, 1)", pf, pi)
+	}
+}
+
+func TestMeanPowerAndEnergy(t *testing.T) {
+	x := []complex128{complex(3, 4), complex(0, 0)}
+	if e := Energy(x); math.Abs(e-25) > 1e-12 {
+		t.Fatalf("Energy = %v, want 25", e)
+	}
+	if mp := MeanPower(x); math.Abs(mp-12.5) > 1e-12 {
+		t.Fatalf("MeanPower = %v, want 12.5", mp)
+	}
+	if MeanPower(nil) != 0 {
+		t.Fatal("MeanPower(nil) != 0")
+	}
+}
+
+func TestScaleAndAddInto(t *testing.T) {
+	x := []complex128{1, complex(2, 2)}
+	Scale(x, 2)
+	if x[0] != 2 || x[1] != complex(4, 4) {
+		t.Fatalf("Scale result %v", x)
+	}
+	y := []complex128{1, 1}
+	AddInto(y, x)
+	if y[0] != 3 || y[1] != complex(5, 4) {
+		t.Fatalf("AddInto result %v", y)
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if got := DB(100); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("DB(100) = %v, want 20", got)
+	}
+	if got := FromDB(30); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("FromDB(30) = %v, want 1000", got)
+	}
+	if got := AmplitudeFromDB(20); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("AmplitudeFromDB(20) = %v, want 10", got)
+	}
+	if !math.IsInf(DB(0), -1) {
+		t.Fatal("DB(0) should be -Inf")
+	}
+}
+
+func TestEnvelopeTracksAmplitudeSteps(t *testing.T) {
+	const fs = 1e6
+	// 1 ms of amplitude 1, then 1 ms of amplitude 0.2 (a PIE-like notch).
+	x := Tone(1000, 100e3, 0, 1, fs)
+	x = append(x, Tone(1000, 100e3, 0, 0.2, fs)...)
+	env := Envelope(x, 5e-6, fs)
+	if math.Abs(env[900]-1) > 0.05 {
+		t.Fatalf("high-state envelope = %v, want ≈1", env[900])
+	}
+	if math.Abs(env[1900]-0.2) > 0.05 {
+		t.Fatalf("low-state envelope = %v, want ≈0.2", env[1900])
+	}
+}
+
+func TestFluctuationRatio(t *testing.T) {
+	if got := FluctuationRatio([]float64{1, 1, 1}); got != 0 {
+		t.Fatalf("flat envelope fluctuation = %v, want 0", got)
+	}
+	if got := FluctuationRatio([]float64{1, 0.5}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("fluctuation = %v, want 0.5", got)
+	}
+	if got := FluctuationRatio(nil); got != 0 {
+		t.Fatalf("empty fluctuation = %v, want 0", got)
+	}
+	if got := FluctuationRatio([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero fluctuation = %v, want 0", got)
+	}
+}
+
+func TestNormalizedCrossCorrelationPerfectMatch(t *testing.T) {
+	tmpl := []float64{1, -1, 1, 1, -1, -1, 1, -1}
+	x := append(make([]float64, 13), tmpl...)
+	x = append(x, make([]float64, 7)...)
+	best, lag := MaxCorrelation(x, tmpl)
+	if lag != 13 {
+		t.Fatalf("best lag = %d, want 13", lag)
+	}
+	if best < 0.999 {
+		t.Fatalf("best correlation = %v, want ≈1", best)
+	}
+}
+
+func TestNormalizedCrossCorrelationScaleInvariant(t *testing.T) {
+	tmpl := []float64{1, -1, 1, -1, 1, 1, -1, 1}
+	x := make([]float64, len(tmpl))
+	for i, v := range tmpl {
+		x[i] = 0.001*v + 5 // scaled down and offset
+	}
+	best, _ := MaxCorrelation(x, tmpl)
+	if best < 0.999 {
+		t.Fatalf("correlation should be scale/offset invariant, got %v", best)
+	}
+}
+
+func TestCorrelationRejectsNoise(t *testing.T) {
+	r := rng.New(77)
+	tmpl := []float64{1, 1, -1, 1, -1, -1, 1, -1, -1, 1, 1, -1}
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	best, _ := MaxCorrelation(x, tmpl)
+	if best > 0.8 {
+		t.Fatalf("noise correlated at %v; the 0.8 threshold would false-trigger", best)
+	}
+}
+
+func TestCorrelationDegenerateInputs(t *testing.T) {
+	if got := NormalizedCrossCorrelation([]float64{1, 2}, []float64{1, 2, 3}); got != nil {
+		t.Fatal("template longer than signal should yield nil")
+	}
+	if _, lag := MaxCorrelation(nil, []float64{1}); lag != -1 {
+		t.Fatal("degenerate MaxCorrelation should report lag -1")
+	}
+	// Constant segment has zero variance; correlation must be 0, not NaN.
+	got := NormalizedCrossCorrelation([]float64{3, 3, 3, 3}, []float64{1, -1})
+	for _, v := range got {
+		if math.IsNaN(v) {
+			t.Fatal("correlation produced NaN on zero-variance segment")
+		}
+	}
+}
+
+func TestCoherentAverageBoostsSNR(t *testing.T) {
+	r := rng.New(5)
+	const period, reps = 256, 64
+	clean := make([]complex128, period)
+	for i := range clean {
+		clean[i] = complex(math.Sin(2*math.Pi*float64(i)/64), 0)
+	}
+	noisy := make([]complex128, period*reps)
+	for p := 0; p < reps; p++ {
+		for i := 0; i < period; i++ {
+			noisy[p*period+i] = clean[i] + r.ComplexCircular(1)
+		}
+	}
+	avg := CoherentAverage(noisy, period)
+	var errPow float64
+	for i := range avg {
+		d := avg[i] - clean[i]
+		errPow += real(d)*real(d) + imag(d)*imag(d)
+	}
+	errPow /= float64(period)
+	// Noise power 2 per sample reduced by reps=64 → ≈0.031.
+	if errPow > 0.1 {
+		t.Fatalf("residual noise power %v after %d-fold averaging, want < 0.1", errPow, reps)
+	}
+}
+
+func TestCoherentAverageEdgeCases(t *testing.T) {
+	if CoherentAverage(nil, 8) != nil {
+		t.Fatal("nil input should yield nil")
+	}
+	if CoherentAverage(make([]complex128, 4), 8) != nil {
+		t.Fatal("input shorter than a period should yield nil")
+	}
+	if CoherentAverage(make([]complex128, 4), 0) != nil {
+		t.Fatal("non-positive period should yield nil")
+	}
+}
+
+func TestCorrelateComplexPeak(t *testing.T) {
+	tmpl := []complex128{1, -1, complex(0, 1), complex(0, -1)}
+	x := append(make([]complex128, 9), tmpl...)
+	x = append(x, make([]complex128, 5)...)
+	corr := CorrelateComplex(x, tmpl)
+	_, idx := PeakAbs(corr)
+	if idx != 9 {
+		t.Fatalf("matched-filter peak at %d, want 9", idx)
+	}
+}
+
+func TestDecimateAndUpsample(t *testing.T) {
+	x := []complex128{0, 1, 2, 3, 4, 5, 6}
+	d, err := Decimate(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{0, 3, 6}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Decimate = %v, want %v", d, want)
+		}
+	}
+	if _, err := Decimate(x, 0); err == nil {
+		t.Fatal("Decimate(0) accepted")
+	}
+
+	u, err := Upsample([]float64{0, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU := []float64{0, 1, 2, 2}
+	for i := range wantU {
+		if math.Abs(u[i]-wantU[i]) > 1e-12 {
+			t.Fatalf("Upsample = %v, want %v", u, wantU)
+		}
+	}
+
+	h, err := RepeatHold([]float64{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantH := []float64{1, 1, 1, 2, 2, 2}
+	for i := range wantH {
+		if h[i] != wantH[i] {
+			t.Fatalf("RepeatHold = %v, want %v", h, wantH)
+		}
+	}
+}
+
+func TestDecimateFloat(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	d, err := DecimateFloat(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 3 || d[0] != 0 || d[1] != 2 || d[2] != 4 {
+		t.Fatalf("DecimateFloat = %v", d)
+	}
+	if _, err := DecimateFloat(x, -1); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+}
+
+func BenchmarkAddTone(b *testing.B) {
+	dst := make([]complex128, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddToneTo(dst, 12345, 0.5, 1, 1e6)
+	}
+}
+
+func BenchmarkNormalizedCrossCorrelation(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	tmpl := x[1000:1096]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NormalizedCrossCorrelation(x, tmpl)
+	}
+}

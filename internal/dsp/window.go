@@ -1,0 +1,71 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window used in FIR design and spectral
+// analysis.
+type Window int
+
+const (
+	// Rectangular applies no tapering.
+	Rectangular Window = iota
+	// Hann is the raised-cosine window; -31 dB first sidelobe.
+	Hann
+	// Hamming is the optimized raised cosine; -43 dB first sidelobe.
+	Hamming
+	// Blackman trades main-lobe width for -58 dB sidelobes; it is the
+	// default for filter design in this package.
+	Blackman
+)
+
+// String returns the conventional window name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window samples. For n <= 1 it returns all ones.
+func (w Window) Coefficients(n int) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	den := float64(n - 1)
+	for i := range out {
+		t := float64(i) / den
+		switch w {
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Apply multiplies x element-wise by the window in place and returns x.
+func (w Window) Apply(x []float64) []float64 {
+	c := w.Coefficients(len(x))
+	for i := range x {
+		x[i] *= c[i]
+	}
+	return x
+}

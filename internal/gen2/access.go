@@ -1,0 +1,238 @@
+package gen2
+
+import (
+	"fmt"
+)
+
+// Access-layer commands (Gen2 §6.3.2.12.3): once a tag holds a handle
+// (ReqRN in the Open state), the reader can Read and Write its memory
+// banks. This is the protocol path behind the paper's actuation vision —
+// "delivering drugs" and controlling "bioactuators" (§1) map to Writes
+// into the sensor's user memory, and "monitoring internal vital signs"
+// to Reads of sensor registers.
+
+// MemoryBank identifies a Gen2 memory bank.
+type MemoryBank byte
+
+// Gen2 memory banks.
+const (
+	BankReserved MemoryBank = 0
+	BankEPC      MemoryBank = 1
+	BankTID      MemoryBank = 2
+	BankUser     MemoryBank = 3
+)
+
+// String names the bank.
+func (b MemoryBank) String() string {
+	switch b {
+	case BankReserved:
+		return "Reserved"
+	case BankEPC:
+		return "EPC"
+	case BankTID:
+		return "TID"
+	case BankUser:
+		return "User"
+	default:
+		return fmt.Sprintf("MemoryBank(%d)", byte(b))
+	}
+}
+
+// Read requests wordCount 16-bit words from a tag's memory: 8-bit opcode
+// 11000010, 2-bit bank, 8-bit word pointer, 8-bit word count, 16-bit
+// handle, CRC-16 (58 bits total; the spec's EBV pointer is modeled as a
+// single byte, which covers every realistic sensor map).
+type Read struct {
+	Bank      MemoryBank
+	WordPtr   byte
+	WordCount byte
+	// Handle is the RN16 handle from ReqRN.
+	Handle uint16
+}
+
+// Type implements Command.
+func (*Read) Type() CommandType { return CmdRead }
+
+// AppendBits implements Command.
+func (rd *Read) AppendBits(dst Bits) Bits {
+	start := len(dst)
+	dst = dst.AppendUint(0b11000010, 8)
+	dst = dst.AppendUint(uint64(rd.Bank&3), 2)
+	dst = dst.AppendUint(uint64(rd.WordPtr), 8)
+	dst = dst.AppendUint(uint64(rd.WordCount), 8)
+	dst = dst.AppendUint(uint64(rd.Handle), 16)
+	crc := CRC16(dst[start:])
+	return dst.AppendUint(uint64(crc), 16)
+}
+
+// DecodeFromBits implements Command.
+func (rd *Read) DecodeFromBits(b Bits) error {
+	if len(b) != 58 {
+		return fmt.Errorf("%w: Read needs 58 bits, got %d", ErrShortFrame, len(b))
+	}
+	op, err := b.Uint(0, 8)
+	if err != nil {
+		return err
+	}
+	if op != 0b11000010 {
+		return fmt.Errorf("%w: prefix %08b is not Read", ErrBadCommand, op)
+	}
+	if !CheckCRC16(b) {
+		return fmt.Errorf("%w: Read CRC-16", ErrBadCRC)
+	}
+	bank, _ := b.Uint(8, 2)
+	ptr, _ := b.Uint(10, 8)
+	count, _ := b.Uint(18, 8)
+	handle, _ := b.Uint(26, 16)
+	rd.Bank = MemoryBank(bank)
+	rd.WordPtr = byte(ptr)
+	rd.WordCount = byte(count)
+	rd.Handle = uint16(handle)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (rd *Read) String() string {
+	return fmt.Sprintf("Read{%s[%d:%d] handle=%#04x}", rd.Bank, rd.WordPtr, int(rd.WordPtr)+int(rd.WordCount), rd.Handle)
+}
+
+// Write stores one 16-bit word: 8-bit opcode 11000011, 2-bit bank, 8-bit
+// word pointer, 16-bit data, 16-bit handle, CRC-16 (66 bits). The spec's
+// cover-coding (data XOR fresh RN16) is omitted — it protects secrecy on
+// the air interface, which the simulator does not model adversarially.
+type Write struct {
+	Bank    MemoryBank
+	WordPtr byte
+	Data    uint16
+	Handle  uint16
+}
+
+// Type implements Command.
+func (*Write) Type() CommandType { return CmdWrite }
+
+// AppendBits implements Command.
+func (w *Write) AppendBits(dst Bits) Bits {
+	start := len(dst)
+	dst = dst.AppendUint(0b11000011, 8)
+	dst = dst.AppendUint(uint64(w.Bank&3), 2)
+	dst = dst.AppendUint(uint64(w.WordPtr), 8)
+	dst = dst.AppendUint(uint64(w.Data), 16)
+	dst = dst.AppendUint(uint64(w.Handle), 16)
+	crc := CRC16(dst[start:])
+	return dst.AppendUint(uint64(crc), 16)
+}
+
+// DecodeFromBits implements Command.
+func (w *Write) DecodeFromBits(b Bits) error {
+	if len(b) != 66 {
+		return fmt.Errorf("%w: Write needs 66 bits, got %d", ErrShortFrame, len(b))
+	}
+	op, err := b.Uint(0, 8)
+	if err != nil {
+		return err
+	}
+	if op != 0b11000011 {
+		return fmt.Errorf("%w: prefix %08b is not Write", ErrBadCommand, op)
+	}
+	if !CheckCRC16(b) {
+		return fmt.Errorf("%w: Write CRC-16", ErrBadCRC)
+	}
+	bank, _ := b.Uint(8, 2)
+	ptr, _ := b.Uint(10, 8)
+	data, _ := b.Uint(18, 16)
+	handle, _ := b.Uint(34, 16)
+	w.Bank = MemoryBank(bank)
+	w.WordPtr = byte(ptr)
+	w.Data = uint16(data)
+	w.Handle = uint16(handle)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (w *Write) String() string {
+	return fmt.Sprintf("Write{%s[%d]=%#04x handle=%#04x}", w.Bank, w.WordPtr, w.Data, w.Handle)
+}
+
+// ReadReply is the tag's response to Read: header bit 0, the data words,
+// the handle, CRC-16 over all of it.
+type ReadReply struct {
+	Words  []uint16
+	Handle uint16
+}
+
+// AppendBits serializes the reply.
+func (r *ReadReply) AppendBits(dst Bits) Bits {
+	start := len(dst)
+	dst = dst.AppendUint(0, 1) // header: success
+	for _, w := range r.Words {
+		dst = dst.AppendUint(uint64(w), 16)
+	}
+	dst = dst.AppendUint(uint64(r.Handle), 16)
+	crc := CRC16(dst[start:])
+	return dst.AppendUint(uint64(crc), 16)
+}
+
+// DecodeFromBits parses a reply carrying wordCount words.
+func (r *ReadReply) DecodeFromBits(b Bits, wordCount int) error {
+	want := 1 + wordCount*16 + 16 + 16
+	if len(b) != want {
+		return fmt.Errorf("%w: ReadReply with %d words needs %d bits, got %d", ErrShortFrame, wordCount, want, len(b))
+	}
+	if hdr, err := b.Uint(0, 1); err != nil {
+		return err
+	} else if hdr != 0 {
+		return fmt.Errorf("%w: error header in ReadReply", ErrBadCommand)
+	}
+	if !CheckCRC16(b) {
+		return fmt.Errorf("%w: ReadReply CRC-16", ErrBadCRC)
+	}
+	r.Words = make([]uint16, wordCount)
+	for i := 0; i < wordCount; i++ {
+		v, _ := b.Uint(1+i*16, 16)
+		r.Words[i] = uint16(v)
+	}
+	h, _ := b.Uint(1+wordCount*16, 16)
+	r.Handle = uint16(h)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (r *ReadReply) String() string {
+	return fmt.Sprintf("ReadReply{%d words, handle=%#04x}", len(r.Words), r.Handle)
+}
+
+// WriteReply is the tag's delayed response to a successful Write: header
+// bit 0, handle, CRC-16.
+type WriteReply struct {
+	Handle uint16
+}
+
+// AppendBits serializes the reply.
+func (w *WriteReply) AppendBits(dst Bits) Bits {
+	start := len(dst)
+	dst = dst.AppendUint(0, 1)
+	dst = dst.AppendUint(uint64(w.Handle), 16)
+	crc := CRC16(dst[start:])
+	return dst.AppendUint(uint64(crc), 16)
+}
+
+// DecodeFromBits parses the 33-bit reply.
+func (w *WriteReply) DecodeFromBits(b Bits) error {
+	if len(b) != 33 {
+		return fmt.Errorf("%w: WriteReply needs 33 bits, got %d", ErrShortFrame, len(b))
+	}
+	if hdr, err := b.Uint(0, 1); err != nil {
+		return err
+	} else if hdr != 0 {
+		return fmt.Errorf("%w: error header in WriteReply", ErrBadCommand)
+	}
+	if !CheckCRC16(b) {
+		return fmt.Errorf("%w: WriteReply CRC-16", ErrBadCRC)
+	}
+	h, _ := b.Uint(1, 16)
+	w.Handle = uint16(h)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (w *WriteReply) String() string { return fmt.Sprintf("WriteReply{handle=%#04x}", w.Handle) }

@@ -1,0 +1,495 @@
+package gen2
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CommandType identifies a reader→tag command.
+type CommandType int
+
+// Reader command types.
+const (
+	CmdUnknown CommandType = iota
+	CmdQuery
+	CmdQueryRep
+	CmdQueryAdjust
+	CmdACK
+	CmdNAK
+	CmdReqRN
+	CmdSelect
+	CmdRead
+	CmdWrite
+	CmdAccess
+)
+
+// String names the command.
+func (c CommandType) String() string {
+	switch c {
+	case CmdQuery:
+		return "Query"
+	case CmdQueryRep:
+		return "QueryRep"
+	case CmdQueryAdjust:
+		return "QueryAdjust"
+	case CmdACK:
+		return "ACK"
+	case CmdNAK:
+		return "NAK"
+	case CmdReqRN:
+		return "ReqRN"
+	case CmdSelect:
+		return "Select"
+	case CmdRead:
+		return "Read"
+	case CmdWrite:
+		return "Write"
+	case CmdAccess:
+		return "Access"
+	default:
+		return "Unknown"
+	}
+}
+
+// Command is the interface every reader frame implements, mirroring
+// gopacket's DecodingLayer pattern: serialization appends to a caller
+// buffer, decoding fills a preallocated struct in place.
+type Command interface {
+	// Type identifies the frame.
+	Type() CommandType
+	// AppendBits serializes the frame (including its CRC, when the frame
+	// carries one) onto dst and returns the extended slice.
+	AppendBits(dst Bits) Bits
+	// DecodeFromBits parses the frame from b, which must contain exactly
+	// one frame.
+	DecodeFromBits(b Bits) error
+	fmt.Stringer
+}
+
+// ErrBadCommand reports undecodable command bits.
+var ErrBadCommand = errors.New("gen2: bad command")
+
+// ErrBadCRC reports a failed checksum.
+var ErrBadCRC = errors.New("gen2: CRC mismatch")
+
+// Session selects one of the four Gen2 inventory sessions S0–S3.
+type Session byte
+
+// Inventory sessions.
+const (
+	S0 Session = iota
+	S1
+	S2
+	S3
+)
+
+// Query starts an inventory round (Gen2 §6.3.2.12.1.1): 22 bits total.
+type Query struct {
+	// DR selects the TRcal divide ratio (false: 8, true: 64/3).
+	DR bool
+	// M selects the uplink encoding: 0 = FM0, 1..3 = Miller 2/4/8.
+	M byte
+	// TRext asks the tag for an extended pilot-tone preamble. The paper's
+	// 12-bit correlation preamble assumes TRext=0 FM0 framing.
+	TRext bool
+	// Sel restricts the round to tags matching the last Select (0/1: all,
+	// 2: ~SL, 3: SL).
+	Sel byte
+	// Session is the inventory session for this round.
+	Session Session
+	// Target inventories tags whose session flag is A (false) or B (true).
+	Target bool
+	// Q sets the slot-count range: tags draw a slot from [0, 2^Q).
+	Q byte
+}
+
+// Type implements Command.
+func (*Query) Type() CommandType { return CmdQuery }
+
+// AppendBits implements Command.
+func (q *Query) AppendBits(dst Bits) Bits {
+	start := len(dst)
+	dst = dst.AppendUint(0b1000, 4)
+	dst = dst.AppendUint(b2u(q.DR), 1)
+	dst = dst.AppendUint(uint64(q.M&3), 2)
+	dst = dst.AppendUint(b2u(q.TRext), 1)
+	dst = dst.AppendUint(uint64(q.Sel&3), 2)
+	dst = dst.AppendUint(uint64(q.Session&3), 2)
+	dst = dst.AppendUint(b2u(q.Target), 1)
+	dst = dst.AppendUint(uint64(q.Q&0xF), 4)
+	crc := CRC5(dst[start:])
+	return dst.AppendUint(uint64(crc), 5)
+}
+
+// DecodeFromBits implements Command.
+func (q *Query) DecodeFromBits(b Bits) error {
+	if len(b) != 22 {
+		return fmt.Errorf("%w: Query needs 22 bits, got %d", ErrShortFrame, len(b))
+	}
+	cmd, err := b.Uint(0, 4)
+	if err != nil {
+		return err
+	}
+	if cmd != 0b1000 {
+		return fmt.Errorf("%w: prefix %04b is not Query", ErrBadCommand, cmd)
+	}
+	if !CheckCRC5(b) {
+		return fmt.Errorf("%w: Query CRC-5", ErrBadCRC)
+	}
+	fields, _ := b.Uint(4, 13)
+	q.DR = fields>>12&1 == 1
+	q.M = byte(fields >> 10 & 3)
+	q.TRext = fields>>9&1 == 1
+	q.Sel = byte(fields >> 7 & 3)
+	q.Session = Session(fields >> 5 & 3)
+	q.Target = fields>>4&1 == 1
+	q.Q = byte(fields & 0xF)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (q *Query) String() string {
+	return fmt.Sprintf("Query{M=%d TRext=%t Sel=%d S%d Target=%t Q=%d}",
+		q.M, q.TRext, q.Sel, q.Session, q.Target, q.Q)
+}
+
+// QueryRep advances to the next slot of the current round: 4 bits.
+type QueryRep struct {
+	Session Session
+}
+
+// Type implements Command.
+func (*QueryRep) Type() CommandType { return CmdQueryRep }
+
+// AppendBits implements Command.
+func (q *QueryRep) AppendBits(dst Bits) Bits {
+	dst = dst.AppendUint(0b00, 2)
+	return dst.AppendUint(uint64(q.Session&3), 2)
+}
+
+// DecodeFromBits implements Command.
+func (q *QueryRep) DecodeFromBits(b Bits) error {
+	if len(b) != 4 {
+		return fmt.Errorf("%w: QueryRep needs 4 bits, got %d", ErrShortFrame, len(b))
+	}
+	cmd, err := b.Uint(0, 2)
+	if err != nil {
+		return err
+	}
+	if cmd != 0 {
+		return fmt.Errorf("%w: prefix %02b is not QueryRep", ErrBadCommand, cmd)
+	}
+	s, _ := b.Uint(2, 2)
+	q.Session = Session(s)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (q *QueryRep) String() string { return fmt.Sprintf("QueryRep{S%d}", q.Session) }
+
+// QueryAdjust tweaks Q mid-round: 9 bits.
+type QueryAdjust struct {
+	Session Session
+	// UpDn adjusts Q: +1 (0b110), 0 (0b000), −1 (0b011).
+	UpDn byte
+}
+
+// Valid UpDn codes.
+const (
+	QUp   byte = 0b110
+	QSame byte = 0b000
+	QDown byte = 0b011
+)
+
+// Type implements Command.
+func (*QueryAdjust) Type() CommandType { return CmdQueryAdjust }
+
+// AppendBits implements Command.
+func (q *QueryAdjust) AppendBits(dst Bits) Bits {
+	dst = dst.AppendUint(0b1001, 4)
+	dst = dst.AppendUint(uint64(q.Session&3), 2)
+	return dst.AppendUint(uint64(q.UpDn&7), 3)
+}
+
+// DecodeFromBits implements Command.
+func (q *QueryAdjust) DecodeFromBits(b Bits) error {
+	if len(b) != 9 {
+		return fmt.Errorf("%w: QueryAdjust needs 9 bits, got %d", ErrShortFrame, len(b))
+	}
+	cmd, err := b.Uint(0, 4)
+	if err != nil {
+		return err
+	}
+	if cmd != 0b1001 {
+		return fmt.Errorf("%w: prefix %04b is not QueryAdjust", ErrBadCommand, cmd)
+	}
+	s, _ := b.Uint(4, 2)
+	ud, _ := b.Uint(6, 3)
+	q.Session = Session(s)
+	q.UpDn = byte(ud)
+	switch q.UpDn {
+	case QUp, QSame, QDown:
+	default:
+		return fmt.Errorf("%w: UpDn %03b", ErrBadCommand, q.UpDn)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (q *QueryAdjust) String() string {
+	return fmt.Sprintf("QueryAdjust{S%d UpDn=%03b}", q.Session, q.UpDn)
+}
+
+// ACK acknowledges a tag's RN16 and solicits its EPC: 18 bits.
+type ACK struct {
+	RN16 uint16
+}
+
+// Type implements Command.
+func (*ACK) Type() CommandType { return CmdACK }
+
+// AppendBits implements Command.
+func (a *ACK) AppendBits(dst Bits) Bits {
+	dst = dst.AppendUint(0b01, 2)
+	return dst.AppendUint(uint64(a.RN16), 16)
+}
+
+// DecodeFromBits implements Command.
+func (a *ACK) DecodeFromBits(b Bits) error {
+	if len(b) != 18 {
+		return fmt.Errorf("%w: ACK needs 18 bits, got %d", ErrShortFrame, len(b))
+	}
+	cmd, err := b.Uint(0, 2)
+	if err != nil {
+		return err
+	}
+	if cmd != 0b01 {
+		return fmt.Errorf("%w: prefix %02b is not ACK", ErrBadCommand, cmd)
+	}
+	rn, _ := b.Uint(2, 16)
+	a.RN16 = uint16(rn)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (a *ACK) String() string { return fmt.Sprintf("ACK{RN16=%#04x}", a.RN16) }
+
+// NAK returns all tags in the round to Arbitrate: 8 bits.
+type NAK struct{}
+
+// Type implements Command.
+func (*NAK) Type() CommandType { return CmdNAK }
+
+// AppendBits implements Command.
+func (*NAK) AppendBits(dst Bits) Bits { return dst.AppendUint(0b11000000, 8) }
+
+// DecodeFromBits implements Command.
+func (*NAK) DecodeFromBits(b Bits) error {
+	if len(b) != 8 {
+		return fmt.Errorf("%w: NAK needs 8 bits, got %d", ErrShortFrame, len(b))
+	}
+	cmd, err := b.Uint(0, 8)
+	if err != nil {
+		return err
+	}
+	if cmd != 0b11000000 {
+		return fmt.Errorf("%w: prefix %08b is not NAK", ErrBadCommand, cmd)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (*NAK) String() string { return "NAK{}" }
+
+// ReqRN requests a new handle from an acknowledged tag: 40 bits.
+type ReqRN struct {
+	RN16 uint16
+}
+
+// Type implements Command.
+func (*ReqRN) Type() CommandType { return CmdReqRN }
+
+// AppendBits implements Command.
+func (r *ReqRN) AppendBits(dst Bits) Bits {
+	start := len(dst)
+	dst = dst.AppendUint(0b11000001, 8)
+	dst = dst.AppendUint(uint64(r.RN16), 16)
+	crc := CRC16(dst[start:])
+	return dst.AppendUint(uint64(crc), 16)
+}
+
+// DecodeFromBits implements Command.
+func (r *ReqRN) DecodeFromBits(b Bits) error {
+	if len(b) != 40 {
+		return fmt.Errorf("%w: ReqRN needs 40 bits, got %d", ErrShortFrame, len(b))
+	}
+	cmd, err := b.Uint(0, 8)
+	if err != nil {
+		return err
+	}
+	if cmd != 0b11000001 {
+		return fmt.Errorf("%w: prefix %08b is not ReqRN", ErrBadCommand, cmd)
+	}
+	if !CheckCRC16(b) {
+		return fmt.Errorf("%w: ReqRN CRC-16", ErrBadCRC)
+	}
+	rn, _ := b.Uint(8, 16)
+	r.RN16 = uint16(rn)
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (r *ReqRN) String() string { return fmt.Sprintf("ReqRN{RN16=%#04x}", r.RN16) }
+
+// Select asserts or clears tag flags by EPC-memory mask match (Gen2
+// §6.3.2.12.1.1). The paper's multi-sensor extension (§3.7) uses exactly
+// this: "it may incorporate a select command into its query, specifying
+// the identifier of the sensor it wishes to communicate with."
+type Select struct {
+	// Target chooses which flag the action modifies (4 = SL, 0–3 =
+	// session S0–S3 inventoried flag).
+	Target byte
+	// Action encodes assert/deassert behavior for matching and
+	// non-matching tags (3 bits).
+	Action byte
+	// MemBank selects the memory bank the mask applies to (1 = EPC).
+	MemBank byte
+	// Pointer is the starting bit address of the mask comparison.
+	Pointer byte
+	// Mask is the bit pattern to match.
+	Mask Bits
+	// Truncate asks matching tags to reply with truncated EPCs.
+	Truncate bool
+}
+
+// Type implements Command.
+func (*Select) Type() CommandType { return CmdSelect }
+
+// AppendBits implements Command.
+func (s *Select) AppendBits(dst Bits) Bits {
+	start := len(dst)
+	dst = dst.AppendUint(0b1010, 4)
+	dst = dst.AppendUint(uint64(s.Target&7), 3)
+	dst = dst.AppendUint(uint64(s.Action&7), 3)
+	dst = dst.AppendUint(uint64(s.MemBank&3), 2)
+	dst = dst.AppendUint(uint64(s.Pointer), 8)
+	dst = dst.AppendUint(uint64(len(s.Mask)), 8)
+	dst = dst.AppendBits(s.Mask)
+	dst = dst.AppendUint(b2u(s.Truncate), 1)
+	crc := CRC16(dst[start:])
+	return dst.AppendUint(uint64(crc), 16)
+}
+
+// DecodeFromBits implements Command.
+func (s *Select) DecodeFromBits(b Bits) error {
+	const fixed = 4 + 3 + 3 + 2 + 8 + 8
+	if len(b) < fixed+1+16 {
+		return fmt.Errorf("%w: Select needs >= %d bits, got %d", ErrShortFrame, fixed+17, len(b))
+	}
+	cmd, err := b.Uint(0, 4)
+	if err != nil {
+		return err
+	}
+	if cmd != 0b1010 {
+		return fmt.Errorf("%w: prefix %04b is not Select", ErrBadCommand, cmd)
+	}
+	maskLen, err := b.Uint(20, 8)
+	if err != nil {
+		return err
+	}
+	want := fixed + int(maskLen) + 1 + 16
+	if len(b) != want {
+		return fmt.Errorf("%w: Select with %d-bit mask needs %d bits, got %d", ErrShortFrame, maskLen, want, len(b))
+	}
+	if !CheckCRC16(b) {
+		return fmt.Errorf("%w: Select CRC-16", ErrBadCRC)
+	}
+	t, _ := b.Uint(4, 3)
+	a, _ := b.Uint(7, 3)
+	mb, _ := b.Uint(10, 2)
+	ptr, _ := b.Uint(12, 8)
+	s.Target = byte(t)
+	s.Action = byte(a)
+	s.MemBank = byte(mb)
+	s.Pointer = byte(ptr)
+	s.Mask = append(Bits(nil), b[fixed:fixed+int(maskLen)]...)
+	tr, _ := b.Uint(fixed+int(maskLen), 1)
+	s.Truncate = tr == 1
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s *Select) String() string {
+	return fmt.Sprintf("Select{Target=%d Action=%d Bank=%d Ptr=%d Mask=%s}",
+		s.Target, s.Action, s.MemBank, s.Pointer, s.Mask)
+}
+
+// DecodeCommand dispatches on the frame prefix and returns the decoded
+// command. It is the package's gopacket-style "root decoder".
+func DecodeCommand(b Bits) (Command, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: %d bits", ErrShortFrame, len(b))
+	}
+	p2, err := b.Uint(0, 2)
+	if err != nil {
+		return nil, err
+	}
+	var c Command
+	switch p2 {
+	case 0b00:
+		c = &QueryRep{}
+	case 0b01:
+		c = &ACK{}
+	default:
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: %d bits", ErrShortFrame, len(b))
+		}
+		p4, err := b.Uint(0, 4)
+		if err != nil {
+			return nil, err
+		}
+		switch p4 {
+		case 0b1000:
+			c = &Query{}
+		case 0b1001:
+			c = &QueryAdjust{}
+		case 0b1010:
+			c = &Select{}
+		case 0b1100:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("%w: %d bits", ErrShortFrame, len(b))
+			}
+			p8, err := b.Uint(0, 8)
+			if err != nil {
+				return nil, err
+			}
+			switch p8 {
+			case 0b11000000:
+				c = &NAK{}
+			case 0b11000001:
+				c = &ReqRN{}
+			case 0b11000010:
+				c = &Read{}
+			case 0b11000011:
+				c = &Write{}
+			case 0b11000110:
+				c = &Access{}
+			default:
+				return nil, fmt.Errorf("%w: prefix %08b", ErrBadCommand, p8)
+			}
+		default:
+			return nil, fmt.Errorf("%w: prefix %04b", ErrBadCommand, p4)
+		}
+	}
+	if err := c.DecodeFromBits(b); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

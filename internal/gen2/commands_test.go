@@ -1,0 +1,333 @@
+package gen2
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := &Query{DR: true, M: 0, TRext: false, Sel: 3, Session: S2, Target: true, Q: 4}
+	bits := q.AppendBits(nil)
+	if len(bits) != 22 {
+		t.Fatalf("Query frame is %d bits, want 22", len(bits))
+	}
+	var got Query
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if got != *q {
+		t.Fatalf("round trip %+v != %+v", got, *q)
+	}
+}
+
+func TestQueryCRCRejectsCorruption(t *testing.T) {
+	q := &Query{Q: 7}
+	bits := q.AppendBits(nil)
+	bits[6] ^= 1
+	var got Query
+	err := got.DecodeFromBits(bits)
+	if !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("corrupted Query error = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestQueryWrongLengthAndPrefix(t *testing.T) {
+	var q Query
+	if err := q.DecodeFromBits(make(Bits, 21)); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("short frame error = %v", err)
+	}
+	bits := (&QueryAdjust{UpDn: QSame}).AppendBits(nil)
+	bits = append(bits, make(Bits, 13)...)
+	if err := q.DecodeFromBits(bits[:22]); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("wrong prefix error = %v", err)
+	}
+}
+
+func TestQueryRepRoundTrip(t *testing.T) {
+	q := &QueryRep{Session: S3}
+	bits := q.AppendBits(nil)
+	if len(bits) != 4 {
+		t.Fatalf("QueryRep is %d bits, want 4", len(bits))
+	}
+	var got QueryRep
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if got.Session != S3 {
+		t.Fatalf("session = %v", got.Session)
+	}
+}
+
+func TestQueryAdjustRoundTripAndValidation(t *testing.T) {
+	for _, ud := range []byte{QUp, QSame, QDown} {
+		q := &QueryAdjust{Session: S1, UpDn: ud}
+		bits := q.AppendBits(nil)
+		var got QueryAdjust
+		if err := got.DecodeFromBits(bits); err != nil {
+			t.Fatal(err)
+		}
+		if got != *q {
+			t.Fatalf("round trip %+v != %+v", got, *q)
+		}
+	}
+	bad := &QueryAdjust{Session: S1, UpDn: 0b101}
+	bits := bad.AppendBits(nil)
+	var got QueryAdjust
+	if err := got.DecodeFromBits(bits); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("invalid UpDn error = %v", err)
+	}
+}
+
+func TestACKRoundTrip(t *testing.T) {
+	a := &ACK{RN16: 0xBEEF}
+	bits := a.AppendBits(nil)
+	if len(bits) != 18 {
+		t.Fatalf("ACK is %d bits, want 18", len(bits))
+	}
+	var got ACK
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if got.RN16 != 0xBEEF {
+		t.Fatalf("RN16 = %#x", got.RN16)
+	}
+}
+
+func TestNAKRoundTrip(t *testing.T) {
+	bits := (&NAK{}).AppendBits(nil)
+	if len(bits) != 8 {
+		t.Fatalf("NAK is %d bits", len(bits))
+	}
+	var got NAK
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReqRNRoundTripAndCRC(t *testing.T) {
+	r := &ReqRN{RN16: 0x1234}
+	bits := r.AppendBits(nil)
+	if len(bits) != 40 {
+		t.Fatalf("ReqRN is %d bits, want 40", len(bits))
+	}
+	var got ReqRN
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if got.RN16 != 0x1234 {
+		t.Fatalf("RN16 = %#x", got.RN16)
+	}
+	bits[20] ^= 1
+	if err := got.DecodeFromBits(bits); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("corrupted ReqRN error = %v", err)
+	}
+}
+
+func TestSelectRoundTrip(t *testing.T) {
+	mask, _ := ParseBits("11100010")
+	s := &Select{Target: 4, Action: 0, MemBank: 1, Pointer: 16, Mask: mask, Truncate: false}
+	bits := s.AppendBits(nil)
+	var got Select
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if got.Target != 4 || got.MemBank != 1 || got.Pointer != 16 || !got.Mask.Equal(mask) {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestSelectEmptyMask(t *testing.T) {
+	s := &Select{Target: 4, Action: 1, MemBank: 1}
+	bits := s.AppendBits(nil)
+	var got Select
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Mask) != 0 {
+		t.Fatalf("mask = %v", got.Mask)
+	}
+}
+
+func TestSelectLengthMismatch(t *testing.T) {
+	mask, _ := ParseBits("1010")
+	s := &Select{Target: 0, MemBank: 1, Mask: mask}
+	bits := s.AppendBits(nil)
+	var got Select
+	if err := got.DecodeFromBits(bits[:len(bits)-1]); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("truncated Select error = %v", err)
+	}
+}
+
+func TestDecodeCommandDispatch(t *testing.T) {
+	mask, _ := ParseBits("10")
+	cmds := []Command{
+		&Query{Q: 2, Session: S1},
+		&QueryRep{Session: S1},
+		&QueryAdjust{Session: S0, UpDn: QDown},
+		&ACK{RN16: 0xCAFE},
+		&NAK{},
+		&ReqRN{RN16: 0x0102},
+		&Select{Target: 4, MemBank: 1, Mask: mask},
+	}
+	for _, c := range cmds {
+		bits := c.AppendBits(nil)
+		got, err := DecodeCommand(bits)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Type(), err)
+		}
+		if got.Type() != c.Type() {
+			t.Fatalf("dispatched %s as %s", c.Type(), got.Type())
+		}
+		if got.String() == "" || !strings.Contains(got.String(), got.Type().String()[:3]) {
+			t.Fatalf("%s: unhelpful String %q", got.Type(), got.String())
+		}
+		// Re-serialization must be byte-identical (gopacket-style
+		// serialize/decode symmetry).
+		if !got.AppendBits(nil).Equal(bits) {
+			t.Fatalf("%s: re-serialization differs", c.Type())
+		}
+	}
+}
+
+func TestDecodeCommandErrors(t *testing.T) {
+	if _, err := DecodeCommand(Bits{1}); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("1-bit decode error = %v", err)
+	}
+	if _, err := DecodeCommand(Bits{1, 1, 1}); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("3-bit decode error = %v", err)
+	}
+	// 1011 is an unused prefix.
+	if _, err := DecodeCommand(Bits{1, 0, 1, 1, 0, 0}); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("unknown prefix error = %v", err)
+	}
+	// 11000111 is an unmodeled extended command.
+	b, _ := ParseBits("1100011100000000")
+	if _, err := DecodeCommand(b); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("unknown extended prefix error = %v", err)
+	}
+}
+
+func TestCommandTypeStrings(t *testing.T) {
+	names := map[CommandType]string{
+		CmdQuery: "Query", CmdQueryRep: "QueryRep", CmdQueryAdjust: "QueryAdjust",
+		CmdACK: "ACK", CmdNAK: "NAK", CmdReqRN: "ReqRN", CmdSelect: "Select",
+		CmdUnknown: "Unknown",
+	}
+	for ct, want := range names {
+		if ct.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ct, ct.String(), want)
+		}
+	}
+}
+
+func TestQuickQueryRoundTrip(t *testing.T) {
+	f := func(m, sel, q byte, dr, trext, target bool, session byte) bool {
+		orig := &Query{
+			DR: dr, M: m & 3, TRext: trext, Sel: sel & 3,
+			Session: Session(session & 3), Target: target, Q: q & 0xF,
+		}
+		bits := orig.AppendBits(nil)
+		var got Query
+		if err := got.DecodeFromBits(bits); err != nil {
+			return false
+		}
+		return got == *orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSelectRoundTrip(t *testing.T) {
+	f := func(target, action, bank, ptr byte, maskBytes []byte, trunc bool) bool {
+		if len(maskBytes) > 8 {
+			maskBytes = maskBytes[:8]
+		}
+		mask := BitsFromBytes(maskBytes)
+		orig := &Select{
+			Target: target & 7, Action: action & 7, MemBank: bank & 3,
+			Pointer: ptr, Mask: mask, Truncate: trunc,
+		}
+		bits := orig.AppendBits(nil)
+		var got Select
+		if err := got.DecodeFromBits(bits); err != nil {
+			return false
+		}
+		return got.Target == orig.Target && got.Action == orig.Action &&
+			got.MemBank == orig.MemBank && got.Pointer == orig.Pointer &&
+			got.Mask.Equal(orig.Mask) && got.Truncate == orig.Truncate
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEPCReplyRoundTrip(t *testing.T) {
+	epc := []byte{0xE2, 0x00, 0x12, 0x34, 0x56, 0x78}
+	r, err := NewEPCReply(epc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := r.AppendBits(nil)
+	wantLen := 16 + len(epc)*8 + 16
+	if len(bits) != wantLen {
+		t.Fatalf("EPC reply is %d bits, want %d", len(bits), wantLen)
+	}
+	var got EPCReply
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if got.PC != r.PC || len(got.EPC) != len(epc) {
+		t.Fatalf("round trip %+v", got)
+	}
+	for i := range epc {
+		if got.EPC[i] != epc[i] {
+			t.Fatalf("EPC byte %d differs", i)
+		}
+	}
+	bits[20] ^= 1
+	if err := got.DecodeFromBits(bits); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("corrupted EPC reply error = %v", err)
+	}
+}
+
+func TestNewEPCReplyValidation(t *testing.T) {
+	if _, err := NewEPCReply([]byte{1}); err == nil {
+		t.Fatal("odd EPC accepted")
+	}
+	if _, err := NewEPCReply(nil); err == nil {
+		t.Fatal("empty EPC accepted")
+	}
+	if _, err := NewEPCReply(make([]byte, 64)); err == nil {
+		t.Fatal("oversized EPC accepted")
+	}
+}
+
+func TestRN16ReplyRoundTrip(t *testing.T) {
+	r := &RN16Reply{RN16: 0xA5C3}
+	bits := r.AppendBits(nil)
+	var got RN16Reply
+	if err := got.DecodeFromBits(bits); err != nil {
+		t.Fatal(err)
+	}
+	if got.RN16 != 0xA5C3 {
+		t.Fatalf("RN16 = %#x", got.RN16)
+	}
+	if err := got.DecodeFromBits(bits[:10]); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("short RN16 error = %v", err)
+	}
+}
+
+func BenchmarkQueryEncodeDecode(b *testing.B) {
+	q := &Query{Q: 4, Session: S2}
+	var buf Bits
+	var got Query
+	for i := 0; i < b.N; i++ {
+		buf = q.AppendBits(buf[:0])
+		if err := got.DecodeFromBits(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package gen2
+
+// CRC-5 and CRC-16 exactly as EPC Gen2 (ISO/IEC 18000-63) specifies them.
+// Both are computed bit-serially over the unpacked Bits representation;
+// command frames are short enough that table-driven byte processing would
+// buy nothing.
+
+// CRC5 computes the Gen2 CRC-5 over bits: polynomial x⁵+x³+1 (0b01001),
+// preset 0b01001. The Query command carries this checksum.
+func CRC5(bits Bits) byte {
+	const poly = 0x09 // x⁵+x³+1, low 5 bits
+	reg := byte(0x09) // preset per the Gen2 spec
+	for _, b := range bits {
+		msb := reg >> 4 & 1
+		reg = reg << 1 & 0x1F
+		if msb^b == 1 {
+			reg ^= poly
+		}
+	}
+	return reg & 0x1F
+}
+
+// CheckCRC5 verifies a frame whose final 5 bits are its CRC-5.
+func CheckCRC5(frame Bits) bool {
+	if len(frame) < 5 {
+		return false
+	}
+	data, crcBits := frame[:len(frame)-5], frame[len(frame)-5:]
+	want, err := crcBits.Uint(0, 5)
+	if err != nil {
+		return false
+	}
+	return CRC5(data) == byte(want)
+}
+
+// CRC16 computes the Gen2 CRC-16 over bits: CRC-16/CCITT with polynomial
+// x¹⁶+x¹²+x⁵+1 (0x1021), preset 0xFFFF, and the result transmitted
+// ones-complemented. Tag EPC backscatter and reader Select/ReqRN commands
+// carry this checksum.
+func CRC16(bits Bits) uint16 {
+	reg := uint16(0xFFFF)
+	for _, b := range bits {
+		msb := byte(reg >> 15 & 1)
+		reg <<= 1
+		if msb^b == 1 {
+			reg ^= 0x1021
+		}
+	}
+	return ^reg
+}
+
+// CheckCRC16 verifies a frame whose final 16 bits are its (complemented)
+// CRC-16. Per the spec, recomputing the raw CRC over data plus the
+// transmitted checksum leaves the residue 0x1D0F.
+func CheckCRC16(frame Bits) bool {
+	if len(frame) < 16 {
+		return false
+	}
+	data, crcBits := frame[:len(frame)-16], frame[len(frame)-16:]
+	want, err := crcBits.Uint(0, 16)
+	if err != nil {
+		return false
+	}
+	return CRC16(data) == uint16(want)
+}

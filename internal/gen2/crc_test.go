@@ -1,0 +1,91 @@
+package gen2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC5KnownVector(t *testing.T) {
+	// All-zero 17-bit payload: the register just shifts the preset out.
+	zero := make(Bits, 17)
+	c := CRC5(zero)
+	if c > 0x1F {
+		t.Fatalf("CRC5 = %#x exceeds 5 bits", c)
+	}
+	// CRC must change when any payload bit flips.
+	for i := range zero {
+		flipped := append(Bits(nil), zero...)
+		flipped[i] = 1
+		if CRC5(flipped) == c {
+			t.Fatalf("flipping bit %d left CRC5 unchanged", i)
+		}
+	}
+}
+
+func TestCheckCRC5RoundTrip(t *testing.T) {
+	payload, _ := ParseBits("10001011010001010")
+	frame := payload.AppendUint(uint64(CRC5(payload)), 5)
+	if !CheckCRC5(frame) {
+		t.Fatal("self-generated CRC5 frame failed check")
+	}
+	frame[3] ^= 1
+	if CheckCRC5(frame) {
+		t.Fatal("corrupted frame passed CRC5")
+	}
+	if CheckCRC5(Bits{1, 0}) {
+		t.Fatal("too-short frame passed CRC5")
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT over ASCII "123456789" (standard check value 0x29B1);
+	// Gen2 transmits the complement.
+	data := BitsFromBytes([]byte("123456789"))
+	if got := CRC16(data); got != ^uint16(0x29B1) {
+		t.Fatalf("CRC16 = %#04x, want %#04x", got, ^uint16(0x29B1))
+	}
+}
+
+func TestCheckCRC16RoundTripAndResidue(t *testing.T) {
+	payload := BitsFromBytes([]byte{0x30, 0x00, 0xE2, 0x00, 0x12, 0x34})
+	frame := payload.AppendUint(uint64(CRC16(payload)), 16)
+	if !CheckCRC16(frame) {
+		t.Fatal("self-generated CRC16 frame failed check")
+	}
+	frame[10] ^= 1
+	if CheckCRC16(frame) {
+		t.Fatal("corrupted frame passed CRC16")
+	}
+	if CheckCRC16(Bits{1}) {
+		t.Fatal("too-short frame passed CRC16")
+	}
+}
+
+func TestQuickCRC16DetectsSingleBitErrors(t *testing.T) {
+	f := func(data []byte, pos uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		payload := BitsFromBytes(data)
+		frame := payload.AppendUint(uint64(CRC16(payload)), 16)
+		i := int(pos) % len(frame)
+		frame[i] ^= 1
+		return !CheckCRC16(frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCRC5DetectsSingleBitErrors(t *testing.T) {
+	f := func(v uint32, pos uint8) bool {
+		payload := Bits{}.AppendUint(uint64(v), 17)
+		frame := payload.AppendUint(uint64(CRC5(payload)), 5)
+		i := int(pos) % len(frame)
+		frame[i] ^= 1
+		return !CheckCRC5(frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package gen2
+
+import (
+	"fmt"
+
+	"ivn/internal/rng"
+)
+
+// InventoryController is the reader-side inventory engine: it runs
+// slotted-ALOHA sweeps against a tag population, re-sizing the Q
+// parameter between sweeps from a collision-based backlog estimate.
+// IVN's multi-sensor story (§3.7) rides on this machinery:
+// "In order to avoid collision between multiple sensors, IVN can leverage
+// a variety of techniques from standard backscatter communications."
+type InventoryController struct {
+	// Session is the inventory session to run rounds in.
+	Session Session
+	// InitialQ seeds the slot-count exponent (0-15).
+	InitialQ byte
+	// MaxCommands bounds a round (guards against livelock).
+	MaxCommands int
+}
+
+// NewInventoryController returns a controller with spec-typical defaults.
+func NewInventoryController(session Session) *InventoryController {
+	return &InventoryController{
+		Session:     session,
+		InitialQ:    4,
+		MaxCommands: 4096,
+	}
+}
+
+// SlotOutcome classifies one slot of a round.
+type SlotOutcome int
+
+// Slot outcomes.
+const (
+	SlotEmpty SlotOutcome = iota
+	SlotSingle
+	SlotCollision
+)
+
+// String names the outcome.
+func (s SlotOutcome) String() string {
+	switch s {
+	case SlotEmpty:
+		return "empty"
+	case SlotSingle:
+		return "single"
+	case SlotCollision:
+		return "collision"
+	default:
+		return fmt.Sprintf("SlotOutcome(%d)", int(s))
+	}
+}
+
+// RoundStats summarizes a completed round.
+type RoundStats struct {
+	// EPCs are the identifiers read, in singulation order.
+	EPCs [][]byte
+	// Commands is the number of reader commands issued.
+	Commands int
+	// Slots, Empties, Singles, Collisions count slot outcomes.
+	Slots, Empties, Singles, Collisions int
+	// FinalQ is the floating Q at round end.
+	FinalQ float64
+}
+
+// Efficiency returns singles per slot — the throughput metric slotted
+// ALOHA maximizes near Q ≈ log2(population).
+func (s RoundStats) Efficiency() float64 {
+	if s.Slots == 0 {
+		return 0
+	}
+	return float64(s.Singles) / float64(s.Slots)
+}
+
+// medium abstracts what the controller can observe of the air interface.
+// With more than one tag backscattering in a slot the reader sees a
+// collision (CRC/preamble failure), not bits.
+type medium struct {
+	tags []*TagLogic
+}
+
+// broadcast sends a command to every powered tag and classifies replies.
+func (m *medium) broadcast(c Command) (SlotOutcome, Reply, *TagLogic) {
+	var got []Reply
+	var responders []*TagLogic
+	for _, t := range m.tags {
+		if r := t.HandleCommand(c); r.Kind != ReplyNone {
+			got = append(got, r)
+			responders = append(responders, t)
+		}
+	}
+	switch len(got) {
+	case 0:
+		return SlotEmpty, Reply{Kind: ReplyNone}, nil
+	case 1:
+		return SlotSingle, got[0], responders[0]
+	default:
+		return SlotCollision, Reply{Kind: ReplyNone}, nil
+	}
+}
+
+// RunRound inventories a population of powered tags. Each sweep issues a
+// Query with the current Q and walks all 2^Q slots with QueryReps, ACKing
+// singles; after the sweep the backlog is estimated from the collision
+// count (Schoute's 2.39·c estimator) and Q is re-sized for the next sweep.
+// The round ends when a sweep drains (no replies) or MaxCommands is hit.
+func (ic *InventoryController) RunRound(tags []*TagLogic, r *rng.Rand) (*RoundStats, error) {
+	if len(tags) == 0 {
+		return nil, fmt.Errorf("gen2: no tags to inventory")
+	}
+	maxCmds := ic.MaxCommands
+	if maxCmds <= 0 {
+		maxCmds = 4096
+	}
+	m := &medium{tags: tags}
+	stats := &RoundStats{}
+	q := ic.InitialQ & 0xF
+
+	issue := func(c Command) (SlotOutcome, Reply, *TagLogic) {
+		stats.Commands++
+		return m.broadcast(c)
+	}
+
+	for stats.Commands < maxCmds {
+		// One sweep: Query opens slot 0; QueryReps advance.
+		outcome, reply, _ := issue(&Query{Session: ic.Session, Q: q})
+		sweepSingles, sweepCollisions := 0, 0
+		slots := 1 << uint(q)
+		for slot := 0; slot < slots && stats.Commands < maxCmds; slot++ {
+			stats.Slots++
+			switch outcome {
+			case SlotSingle:
+				stats.Singles++
+				sweepSingles++
+				var rn RN16Reply
+				if err := rn.DecodeFromBits(reply.Bits); err != nil {
+					return nil, fmt.Errorf("gen2: bad RN16 reply: %w", err)
+				}
+				ackOutcome, epcReply, _ := issue(&ACK{RN16: rn.RN16})
+				if ackOutcome == SlotSingle && epcReply.Kind == ReplyEPC {
+					var er EPCReply
+					if err := er.DecodeFromBits(epcReply.Bits); err == nil {
+						stats.EPCs = append(stats.EPCs, er.EPC)
+					}
+				}
+			case SlotCollision:
+				stats.Collisions++
+				sweepCollisions++
+			case SlotEmpty:
+				stats.Empties++
+			}
+			if slot < slots-1 {
+				outcome, reply, _ = issue(&QueryRep{Session: ic.Session})
+			}
+		}
+		if sweepSingles == 0 && sweepCollisions == 0 {
+			break // drained
+		}
+		// Schoute backlog estimate: ≈2.39 tags per colliding slot.
+		backlog := int(2.39*float64(sweepCollisions) + 0.5)
+		if backlog == 0 {
+			// Singles only: one more tight sweep catches stragglers that
+			// were mid-handshake.
+			q = 1
+			continue
+		}
+		nq := byte(0)
+		for 1<<uint(nq) < backlog && nq < 15 {
+			nq++
+		}
+		q = nq
+	}
+	stats.FinalQ = float64(q)
+	_ = r
+	return stats, nil
+}
+
+// InventoryAll runs rounds with alternating target flags until every tag
+// has been read or maxRounds is exhausted, returning the union of EPCs.
+// Real deployments flip the Target between A and B so tags inventoried in
+// one round answer the next.
+func (ic *InventoryController) InventoryAll(tags []*TagLogic, maxRounds int, r *rng.Rand) ([][]byte, error) {
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("gen2: maxRounds %d < 1", maxRounds)
+	}
+	seen := map[string]bool{}
+	var out [][]byte
+	for round := 0; round < maxRounds && len(seen) < len(tags); round++ {
+		stats, err := ic.RunRound(tags, r)
+		if err != nil {
+			return nil, err
+		}
+		for _, epc := range stats.EPCs {
+			if !seen[string(epc)] {
+				seen[string(epc)] = true
+				out = append(out, epc)
+			}
+		}
+	}
+	return out, nil
+}

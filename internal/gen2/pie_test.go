@@ -1,0 +1,267 @@
+package gen2
+
+import (
+	"math"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+const pieFS = 8e6 // 8 MS/s envelope rate
+
+func TestPIEQueryRoundTrip(t *testing.T) {
+	p := DefaultPIE(pieFS)
+	q := &Query{Session: S1, Q: 5, Target: true}
+	bits := q.AppendBits(nil)
+	env, err := p.EncodeFrame(bits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append post-frame CW, as a real reader does while listening.
+	env = append(env, onesN(2000)...)
+	got, info, err := p.DecodeFrame(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(bits) {
+		t.Fatalf("decoded %s, want %s", got, bits)
+	}
+	if math.Abs(info.Tari-p.Tari)/p.Tari > 0.05 {
+		t.Fatalf("measured Tari %v, want %v", info.Tari, p.Tari)
+	}
+	if math.Abs(info.RTcal-p.RTcal())/p.RTcal() > 0.05 {
+		t.Fatalf("measured RTcal %v, want %v", info.RTcal, p.RTcal())
+	}
+	if info.TRcal == 0 {
+		t.Fatal("preamble frame lost its TRcal")
+	}
+	cmd, err := DecodeCommand(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Type() != CmdQuery {
+		t.Fatalf("decoded command type %s", cmd.Type())
+	}
+}
+
+func onesN(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func TestPIEFrameSyncNoTRcal(t *testing.T) {
+	p := DefaultPIE(pieFS)
+	a := &ACK{RN16: 0x55AA}
+	bits := a.AppendBits(nil)
+	env, err := p.EncodeFrame(bits, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = append(env, onesN(1000)...)
+	got, info, err := p.DecodeFrame(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TRcal != 0 {
+		t.Fatalf("frame-sync frame reported TRcal %v", info.TRcal)
+	}
+	if !got.Equal(bits) {
+		t.Fatalf("decoded %s, want %s", got, bits)
+	}
+}
+
+func TestPIEModulationDepthLevels(t *testing.T) {
+	p := DefaultPIE(pieFS)
+	p.ModulationDepth = 0.8
+	env, err := p.EncodeFrame(Bits{1, 0, 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := env[0], env[0]
+	for _, v := range env {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.Abs(hi-1) > 1e-12 {
+		t.Fatalf("high level = %v, want 1", hi)
+	}
+	if math.Abs(lo-0.2) > 1e-12 {
+		t.Fatalf("low level = %v, want 0.2", lo)
+	}
+}
+
+func TestPIEDecodesWithNoise(t *testing.T) {
+	r := rng.New(12)
+	p := DefaultPIE(pieFS)
+	q := &Query{Q: 3}
+	bits := q.AppendBits(nil)
+	env, err := p.EncodeFrame(bits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = append(env, onesN(1500)...)
+	for i := range env {
+		env[i] += 0.05 * r.NormFloat64()
+	}
+	got, _, err := p.DecodeFrame(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(bits) {
+		t.Fatalf("noisy decode %s, want %s", got, bits)
+	}
+}
+
+func TestPIERejectsFlatEnvelope(t *testing.T) {
+	p := DefaultPIE(pieFS)
+	if _, _, err := p.DecodeFrame(onesN(5000)); err == nil {
+		t.Fatal("flat envelope decoded")
+	}
+	if _, _, err := p.DecodeFrame(nil); err == nil {
+		t.Fatal("empty envelope decoded")
+	}
+}
+
+func TestPIEValidate(t *testing.T) {
+	good := DefaultPIE(pieFS)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*PIEParams){
+		func(p *PIEParams) { p.Tari = 1e-6 },
+		func(p *PIEParams) { p.Data1Len = p.Tari },       // < 1.5×
+		func(p *PIEParams) { p.Data1Len = 3 * p.Tari },   // > 2×
+		func(p *PIEParams) { p.PW = p.Tari },             // > 0.525×
+		func(p *PIEParams) { p.PW = 0.1 * p.Tari },       // < 0.265×
+		func(p *PIEParams) { p.TRcal = p.RTcal() * 0.5 }, // < 1.1×
+		func(p *PIEParams) { p.TRcal = p.RTcal() * 4 },   // > 3×
+		func(p *PIEParams) { p.ModulationDepth = 0 },
+		func(p *PIEParams) { p.ModulationDepth = 1.2 },
+		func(p *PIEParams) { p.SampleRate = 0 },
+		func(p *PIEParams) { p.Delimiter = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultPIE(pieFS)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestPIEFrameDurationNearPaperValue(t *testing.T) {
+	// "For a typical RFID reader's query, Δt ≈ 800 µs."
+	p := DefaultPIE(pieFS)
+	q := &Query{}
+	d := p.FrameDuration(q.AppendBits(nil), true)
+	if d < 300e-6 || d > 1.2e-3 {
+		t.Fatalf("Query duration = %v s, want same order as 800 µs", d)
+	}
+}
+
+func TestPIEFrameDurationMatchesEncodedLength(t *testing.T) {
+	p := DefaultPIE(pieFS)
+	bits := (&Query{Q: 9}).AppendBits(nil)
+	env, err := p.EncodeFrame(bits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.FrameDuration(bits, true)
+	got := float64(len(env)) / pieFS
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("encoded duration %v, FrameDuration %v", got, want)
+	}
+}
+
+func TestPIEEnvelopeRippleBreaksDecoding(t *testing.T) {
+	// The flatness-constraint rationale (Eq. 7): sinusoidal ripple deep
+	// enough to cross the decision threshold corrupts symbol timing.
+	p := DefaultPIE(pieFS)
+	bits := (&Query{Q: 1}).AppendBits(nil)
+	env, err := p.EncodeFrame(bits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = append(env, onesN(1000)...)
+	// Ripple at 60% of amplitude (α = 0.6 > 0.5) around the high level.
+	ripple := make([]float64, len(env))
+	for i := range env {
+		r := 0.6 * math.Sin(2*math.Pi*float64(i)/400)
+		v := env[i] * (1 + r) / 1.6
+		ripple[i] = v
+	}
+	if got, _, err := p.DecodeFrame(ripple); err == nil && got.Equal(bits) {
+		t.Fatal("decode survived 60% envelope ripple; threshold model broken")
+	}
+	// Gentle ripple (α = 0.2 < 0.5) must still decode.
+	gentle := make([]float64, len(env))
+	for i := range env {
+		r := 0.1 * math.Sin(2*math.Pi*float64(i)/400)
+		gentle[i] = env[i] * (1 + r) / 1.1
+	}
+	got, _, err := p.DecodeFrame(gentle)
+	if err != nil {
+		t.Fatalf("decode failed under 20%% ripple: %v", err)
+	}
+	if !got.Equal(bits) {
+		t.Fatalf("gentle-ripple decode %s, want %s", got, bits)
+	}
+}
+
+func TestPIETagLogicEndToEnd(t *testing.T) {
+	// Full downlink integration: Query bits → PIE envelope → tag decodes →
+	// state machine replies with an RN16.
+	p := DefaultPIE(pieFS)
+	q := &Query{Q: 0, Session: S0}
+	env, err := p.EncodeFrame(q.AppendBits(nil), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = append(env, onesN(2000)...)
+	bits, _, err := p.DecodeFrame(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd, err := DecodeCommand(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := NewTagLogic([]byte{0x12, 0x34}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := tag.HandleCommand(cmd)
+	if reply.Kind != ReplyRN16 {
+		t.Fatalf("reply kind = %s, want RN16", reply.Kind)
+	}
+	if len(reply.Bits) != 16 {
+		t.Fatalf("RN16 reply has %d bits", len(reply.Bits))
+	}
+}
+
+func BenchmarkPIEEncodeQuery(b *testing.B) {
+	p := DefaultPIE(pieFS)
+	bits := (&Query{Q: 4}).AppendBits(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.EncodeFrame(bits, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPIEDecodeQuery(b *testing.B) {
+	p := DefaultPIE(pieFS)
+	bits := (&Query{Q: 4}).AppendBits(nil)
+	env, _ := p.EncodeFrame(bits, true)
+	env = append(env, onesN(1000)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.DecodeFrame(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package ivnsim
+
+import (
+	"fmt"
+	"math"
+
+	"ivn/internal/baseline"
+	"ivn/internal/core"
+	"ivn/internal/em"
+	"ivn/internal/gen2"
+	"ivn/internal/radio"
+	"ivn/internal/reader"
+	"ivn/internal/rng"
+	"ivn/internal/safety"
+	"ivn/internal/scenario"
+	"ivn/internal/stats"
+	"ivn/internal/tag"
+)
+
+// Second ablation group: exposure safety, oscillator imperfections,
+// center-frequency hopping, and multipath robustness.
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-safety",
+		Title: "RF exposure: duty-cycled CIB vs a peak-equivalent continuous transmitter",
+		Paper: "§7: CIB's intrinsic duty cycling makes it FCC compliant and safe for human exposure",
+		Run:   runAblationSafety,
+	})
+	register(Experiment{
+		ID:    "ablation-freqerror",
+		Title: "CIB robustness to per-carrier frequency error",
+		Paper: "§5: USRPs cannot stably generate small offsets, so the prototype soft-codes them; errors break the 1 s peak periodicity",
+		Run:   runAblationFreqError,
+	})
+	register(Experiment{
+		ID:    "ablation-hopping",
+		Title: "Center-frequency hopping out of a deep frequency-selective fade",
+		Paper: "§3.7: an extension may adaptively hop the center frequency to a different band",
+		Run:   runAblationHopping,
+	})
+	register(Experiment{
+		ID:    "ablation-phasenoise",
+		Title: "Coherent averaging vs reader-link phase drift",
+		Paper: "§5: the USRPs share a CDA-2900 reference; a free-running link would forfeit the 1 s averaging gain",
+		Run:   runAblationPhaseNoise,
+	})
+	register(Experiment{
+		ID:    "ablation-multipath",
+		Title: "CIB gain vs multipath richness",
+		Paper: "§3.7: CIB's design is inherently robust to phase changes caused by multipath",
+		Run:   runAblationMultipath,
+	})
+}
+
+func runAblationSafety(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-safety",
+		Title:  "Surface exposure at 0.35 m, 10-chain CIB vs peak-equivalent CW",
+		Header: []string{"transmitter", "avg SAR (W/kg)", "peak SAR (W/kg)", "compliant (1.6 W/kg avg)"},
+	}
+	r := rng.New(cfg.Seed)
+	bcfg := core.DefaultConfig()
+	bf, err := core.New(bcfg, r)
+	if err != nil {
+		return nil, err
+	}
+	// Duty-cycle profile of the actual plan.
+	betas := make([]float64, bf.N())
+	for i := range betas {
+		if i > 0 {
+			betas[i] = r.Phase()
+		}
+	}
+	env := core.EnvelopeSeries(bf.Offsets, betas, 1, 8192, nil)
+	dc, err := safety.AnalyzeEnvelope(env)
+	if err != nil {
+		return nil, err
+	}
+	g := math.Pow(10, 7.0/20)
+	const dist = 0.35
+	cib, err := safety.EvaluateSurface(bf.Carriers(), g, dist, em.Skin, math.Sqrt(dc.PAPR), 915e6)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("10-chain CIB (duty-cycled)",
+		fmt.Sprintf("%.3f", cib.AverageSAR),
+		fmt.Sprintf("%.3f", cib.PeakSAR),
+		fmt.Sprintf("%t", cib.Compliant()))
+
+	// A continuous transmitter matching CIB's deliverable peak must run
+	// PAPR× hotter on average.
+	cwAvg := cib.AverageSAR * dc.PAPR
+	t.AddRow("CW matching CIB's peak",
+		fmt.Sprintf("%.3f", cwAvg),
+		fmt.Sprintf("%.3f", cwAvg),
+		fmt.Sprintf("%t", cwAvg <= safety.SARLimitWkg))
+
+	eirp := safety.EIRPdBm(bf.Carriers(), 7)
+	t.AddNote("CIB envelope PAPR %.1f, %.1f%% of time within 3 dB of peak", dc.PAPR, dc.FractionNearPeak*100)
+	t.AddNote("per-chain EIRP %.1f dBm (FCC §15.247 limit %.0f dBm; compliant at 6 dBi antennas or 1 dB backoff)",
+		eirp, safety.FCCMaxEIRPdBm)
+	return t, nil
+}
+
+func runAblationFreqError(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-freqerror",
+		Title:  "Peak gain and 10-period peak recurrence vs per-carrier frequency error (10 carriers)",
+		Header: []string{"error σ (Hz)", "E[peak]/N", "peak recurrence after 10 s"},
+	}
+	trials := cfg.trials(40, 10)
+	parent := rng.New(cfg.Seed)
+	base := core.PaperOffsets()
+	n := len(base)
+	for _, sigma := range []float64{0, 0.05, 0.2, 0.5, 2, 10} {
+		var peakAcc, recurAcc float64
+		for trial := 0; trial < trials; trial++ {
+			r := parent.SplitIndexed(fmt.Sprintf("fe-%v", sigma), trial)
+			offsets := make([]float64, n)
+			for i, f := range base {
+				if i == 0 {
+					offsets[i] = f
+					continue
+				}
+				offsets[i] = f + sigma*r.NormFloat64()
+			}
+			betas := make([]float64, n)
+			for i := range betas {
+				if i > 0 {
+					betas[i] = r.Phase()
+				}
+			}
+			// Peak over the nominal 1 s period.
+			series := core.EnvelopeSeries(offsets, betas, 1, 4096, nil)
+			peak, idx := 0.0, 0
+			for k, v := range series {
+				if v > peak {
+					peak, idx = v, k
+				}
+			}
+			peakAcc += peak
+			// The cyclic-operation guarantee: with exact integer offsets
+			// the same peak recurs at t+10 s; frequency error dephases it.
+			tPeak := float64(idx) / 4096
+			recur := core.Envelope(offsets, betas, tPeak+10)
+			recurAcc += recur / peak
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", sigma),
+			fmt.Sprintf("%.3f", peakAcc/float64(trials)/float64(n)),
+			fmt.Sprintf("%.3f", recurAcc/float64(trials)),
+		)
+	}
+	t.AddNote("the peak amplitude itself is insensitive to offset error (CIB stays blind-channel-safe)")
+	t.AddNote("but errors above ~0.05 Hz break the every-T-seconds peak schedule (§3.6 cyclic constraint) — why the prototype soft-codes offsets digitally instead of trusting PLL steps")
+	return t, nil
+}
+
+func runAblationHopping(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-hopping",
+		Title:  "Delivered peak power in a deep 915 MHz fade, fixed center vs hopped",
+		Header: []string{"strategy", "center (MHz)", "peak at sensor (dBm)"},
+	}
+	r := rng.New(cfg.Seed)
+	// Construct a channel with a strong echo that nulls 915 MHz: delay τ
+	// with e^{-j2πfτ} = −1 at 915 MHz (τ = k/915e6 + 1/(2·915e6)).
+	tau := 100.5 / 915e6
+	ch := em.NewChannel(em.Path{AirDistance: 1})
+	ch.TxGain = math.Pow(10, 7.0/20)
+	ch.Rays = []em.Ray{{ExtraDelay: tau, Gain: complex(0.9, 0)}}
+
+	measure := func(center float64) (float64, error) {
+		bcfg := core.DefaultConfig()
+		bcfg.CenterFreq = center
+		bf, err := core.New(bcfg, r.Split(fmt.Sprintf("bf-%v", center)))
+		if err != nil {
+			return 0, err
+		}
+		chans := make([]complex128, bf.N())
+		for i := range chans {
+			chans[i] = ch.Coefficient(center)
+		}
+		return baseline.PeakReceivedPower(bf.Carriers(), chans, 1, 8192)
+	}
+
+	fixed, err := measure(915e6)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("fixed", "915.0", fmt.Sprintf("%.1f", 10*math.Log10(fixed)+30))
+
+	// Hop: probe candidate ISM centers and move to the best.
+	bcfg := core.DefaultConfig()
+	bf, err := core.New(bcfg, r.Split("hopper"))
+	if err != nil {
+		return nil, err
+	}
+	candidates := []float64{903e6, 915e6, 927e6}
+	best, err := bf.HopCenter(candidates, func(c float64) float64 {
+		p, err := measure(c)
+		if err != nil {
+			return 0
+		}
+		return p
+	})
+	if err != nil {
+		return nil, err
+	}
+	hopped, err := measure(best)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("hopped", fmt.Sprintf("%.1f", best/1e6), fmt.Sprintf("%.1f", 10*math.Log10(hopped)+30))
+	t.AddNote("hop gain: %.1f dB out of the engineered fade", 10*math.Log10(hopped/fixed))
+	_ = cfg
+	return t, nil
+}
+
+func runAblationPhaseNoise(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-phasenoise",
+		Title:  "Effective coherent-averaging gain and gastric decode vs phase drift (K=32)",
+		Header: []string{"drift (rad²/period)", "averaging gain retained", "gastric decodes"},
+	}
+	trials := cfg.trials(20, 8)
+	parent := rng.New(cfg.Seed)
+	sc := scenario.NewSwine(scenario.Gastric)
+	model := tag.StandardTag()
+	for _, drift := range []float64{0, 0.05, 0.2, 0.5, 2} {
+		ok := 0
+		for i := 0; i < trials; i++ {
+			r := parent.SplitIndexed("pn", i) // same placements across rows
+			p, err := sc.Realize(8, r)
+			if err != nil {
+				return nil, err
+			}
+			tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
+			if err != nil {
+				return nil, err
+			}
+			chans := DownlinkCoeffs(p, 915e6)
+			bcfg := core.DefaultConfig()
+			bcfg.Antennas = 8
+			bf, err := core.New(bcfg, r.Split("cib"))
+			if err != nil {
+				return nil, err
+			}
+			peak, err := baseline.PeakReceivedPower(bf.Carriers(), chans, 1, 8192)
+			if err != nil {
+				return nil, err
+			}
+			tg.UpdatePower(peak)
+			if !tg.Powered() {
+				continue
+			}
+			replyMsg := tg.HandleCommand(&gen2.Query{Q: 0})
+			if replyMsg.Kind != gen2.ReplyRN16 {
+				continue
+			}
+			rd := reader.New()
+			rd.PhaseDriftPerPeriod = drift
+			// Weaken the reader so averaging is the binding constraint.
+			rd.TxAmplitude = 0.2
+			bs, err := tg.BackscatterWaveform(replyMsg, rd.SamplesPerHalfBit)
+			if err != nil {
+				return nil, err
+			}
+			tagG := model.AntennaAmplitudeGain()
+			lg := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
+			leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
+			jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
+			if dr, err := rd.DecodeUplink(bs, lg, jam, len(replyMsg.Bits), r.Split("ul")); err == nil && dr.Bits.Equal(replyMsg.Bits) {
+				ok++
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", drift),
+			fmt.Sprintf("%.3f", reader.CoherentAveragingGain(32, drift)),
+			fmt.Sprintf("%d/%d", ok, trials),
+		)
+	}
+	t.AddNote("drift 0 models the shared Octoclock reference; free-running oscillators forfeit most of the K=32 averaging gain")
+	return t, nil
+}
+
+func runAblationMultipath(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-multipath",
+		Title:  "10-antenna CIB gain vs multipath richness (water tank)",
+		Header: []string{"environment", "median gain", "p10", "p90"},
+	}
+	trials := cfg.trials(80, 20)
+	profiles := []struct {
+		name string
+		mp   em.MultipathProfile
+	}{
+		{"no multipath", em.MultipathProfile{}},
+		{"line of sight", em.LOSProfile},
+		{"indoor", em.DefaultIndoorProfile},
+		{"rich scattering", em.RichProfile},
+	}
+	for pi, p := range profiles {
+		sc := scenario.NewTank(0.5, em.Water, 0.10)
+		sc.Multipath = p.mp
+		samples, err := RunGainTrials(sc, 10, trials, cfg.Seed+uint64(pi*997))
+		if err != nil {
+			return nil, err
+		}
+		gains := make([]float64, len(samples))
+		for i, s := range samples {
+			gains[i] = s.CIB / s.Single
+		}
+		sum, err := stats.Summarize(gains)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.name,
+			fmt.Sprintf("%.1f", sum.Median),
+			fmt.Sprintf("%.1f", sum.P10),
+			fmt.Sprintf("%.1f", sum.P90))
+	}
+	t.AddNote("the median CIB gain holds across environments; richer scattering widens the distribution without destroying the gain (§3.7 robustness)")
+	return t, nil
+}

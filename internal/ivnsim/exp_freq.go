@@ -1,0 +1,121 @@
+package ivnsim
+
+import (
+	"fmt"
+
+	"ivn/internal/core"
+	"ivn/internal/rng"
+	"ivn/internal/stats"
+)
+
+// Frequency-selection experiments: the Fig. 6 CDF and the §3.6 one-time
+// optimization itself.
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "CDF of 5-antenna CIB peak power gain: best vs worst frequency set",
+		Paper: "best set: ≥90% of optimal across channel draws; worst: <75% for half the draws",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "freqopt",
+		Title: "One-time Monte-Carlo frequency-set optimization (Eq. 10)",
+		Paper: "published plan: Δf = {0,7,20,49,68,73,90,113,121,137} Hz, RMS < 199 Hz",
+		Run:   runFreqOpt,
+	})
+}
+
+func runFig6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "CIB peak power gain CDF, 5-antenna transmitter",
+		Header: []string{"power gain", "CDF best set", "CDF worst set"},
+	}
+	r := rng.New(cfg.Seed)
+	trials := cfg.trials(2000, 300)
+	samples := 4096
+	if cfg.Quick {
+		samples = 2048
+	}
+
+	best := core.PaperOffsets()[:5]
+	ocfg := core.DefaultOptimizerConfig()
+	if cfg.Quick {
+		ocfg.Trials, ocfg.SamplesPerTrial = 16, 1024
+	}
+	worstPlan, err := core.WorstOf(5, 24, ocfg, r.Split("worst"))
+	if err != nil {
+		return nil, err
+	}
+
+	bestCDFData := core.PeakCDF(best, trials, samples, r.Split("best-cdf"))
+	worstCDFData := core.PeakCDF(worstPlan.Offsets, trials, samples, r.Split("worst-cdf"))
+	bestCDF, err := stats.NewCDF(bestCDFData)
+	if err != nil {
+		return nil, err
+	}
+	worstCDF, err := stats.NewCDF(worstCDFData)
+	if err != nil {
+		return nil, err
+	}
+	for g := 8.0; g <= 25.0; g += 1.0 {
+		t.AddRow(
+			fmt.Sprintf("%.0f", g),
+			fmt.Sprintf("%.3f", bestCDF.At(g)),
+			fmt.Sprintf("%.3f", worstCDF.At(g)),
+		)
+	}
+	medBest := bestCDF.Quantile(0.5)
+	medWorst := worstCDF.Quantile(0.5)
+	t.AddNote("best set %v (median gain %.1f of max 25)", best, medBest)
+	t.AddNote("worst-of-24 set %v (median gain %.1f)", worstPlan.Offsets, medWorst)
+	t.AddNote("fraction of draws with best-set gain >= 22.5 (90%% of optimal): %.2f",
+		bestCDF.FractionAbove(22.5))
+	return t, nil
+}
+
+func runFreqOpt(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "freqopt",
+		Title:  "Constrained frequency-plan optimization per antenna count",
+		Header: []string{"N", "optimized Δf (Hz)", "E[peak]/N", "RMS (Hz)", "limit (Hz)"},
+	}
+	r := rng.New(cfg.Seed)
+	ocfg := core.DefaultOptimizerConfig()
+	counts := []int{3, 5, 8, 10}
+	if cfg.Quick {
+		ocfg.Trials, ocfg.SamplesPerTrial, ocfg.Restarts, ocfg.StepsPerRestart = 12, 1024, 2, 16
+		counts = []int{3, 5}
+	}
+	for _, n := range counts {
+		plan, err := core.Optimize(n, ocfg, r.Split(fmt.Sprintf("opt-%d", n)))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%v", plan.Offsets),
+			fmt.Sprintf("%.3f", plan.Score/float64(n)),
+			fmt.Sprintf("%.1f", plan.RMS),
+			fmt.Sprintf("%.1f", plan.Limit),
+		)
+	}
+	paper := core.PaperOffsets()
+	seed := uint64(0)
+	for _, f := range paper {
+		seed = seed*1000003 + uint64(f)
+	}
+	paperScore := core.ExpectedPeak(paper, ocfg.Trials, ocfg.SamplesPerTrial, rng.New(seed))
+	t.AddNote("paper plan %v: E[peak]/N = %.3f, RMS = %.1f Hz (limit %.1f Hz for an 800 µs query)",
+		paper, paperScore/10, core.RMSOffset(paper), mustLimit())
+	return t, nil
+}
+
+func mustLimit() float64 {
+	l, err := core.FlatnessLimit(core.DefaultFlatnessAlpha, core.DefaultQueryDuration)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

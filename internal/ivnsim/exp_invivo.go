@@ -1,0 +1,169 @@
+package ivnsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ivn/internal/gen2"
+	"ivn/internal/radio"
+	"ivn/internal/reader"
+	"ivn/internal/rng"
+	"ivn/internal/scenario"
+	"ivn/internal/tag"
+)
+
+// In-vivo experiments: the §6.2 swine results and the Fig. 15 waveforms.
+
+func init() {
+	register(Experiment{
+		ID:    "invivo",
+		Title: "In-vivo communication success by placement and tag (swine model)",
+		Paper: "gastric standard: 3/6; gastric miniature: 0; subcutaneous: all trials succeed",
+		Run:   runInVivo,
+	})
+	register(Experiment{
+		ID:    "fig15a",
+		Title: "Decoded backscatter waveform: standard tag in the stomach",
+		Paper: "time-domain response with preamble correlation > 0.8 and decoded bits",
+		Run: func(cfg Config) (*Table, error) {
+			return runFig15(cfg, "fig15a", scenario.NewSwine(scenario.Gastric), tag.StandardTag())
+		},
+	})
+	register(Experiment{
+		ID:    "fig15b",
+		Title: "Decoded backscatter waveform: miniature tag subcutaneous",
+		Paper: "time-domain response with preamble correlation > 0.8 and decoded bits",
+		Run: func(cfg Config) (*Table, error) {
+			return runFig15(cfg, "fig15b", scenario.NewSwine(scenario.Subcutaneous), tag.MiniatureTag())
+		},
+	})
+}
+
+func runInVivo(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "invivo",
+		Title:  "Swine communication sessions (8-antenna CIB, out-of-band reader)",
+		Header: []string{"placement", "tag", "powered", "decoded", "sessions"},
+	}
+	trials := cfg.trials(6, 4)
+	parent := rng.New(cfg.Seed)
+	cases := []struct {
+		sc    *scenario.Swine
+		model tag.Model
+	}{
+		{scenario.NewSwine(scenario.Gastric), tag.StandardTag()},
+		{scenario.NewSwine(scenario.Gastric), tag.MiniatureTag()},
+		{scenario.NewSwine(scenario.Subcutaneous), tag.StandardTag()},
+		{scenario.NewSwine(scenario.Subcutaneous), tag.MiniatureTag()},
+	}
+	for ci, c := range cases {
+		powered, decoded := 0, 0
+		for i := 0; i < trials; i++ {
+			r := parent.SplitIndexed(fmt.Sprintf("invivo-%d", ci), i)
+			tr, err := RunCommTrial(c.sc, 8, c.model, CommOptions{Waveform: true}, r)
+			if err != nil {
+				return nil, err
+			}
+			if tr.Powered {
+				powered++
+			}
+			if tr.Powered && tr.Decoded {
+				decoded++
+			}
+		}
+		t.AddRow(
+			c.sc.Placement.String(),
+			c.model.Name,
+			fmt.Sprintf("%d/%d", powered, trials),
+			fmt.Sprintf("%d/%d", decoded, trials),
+			fmt.Sprintf("%d", trials),
+		)
+	}
+	t.AddNote("success criterion: FM0 preamble correlation > 0.8 after coherent averaging (paper §6.2)")
+	t.AddNote("each session re-places the tag with fresh position, orientation and breathing state")
+	return t, nil
+}
+
+func runFig15(cfg Config, id string, sc *scenario.Swine, model tag.Model) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Backscatter waveform and decoded bits: %s tag, %s placement", model.Name, sc.Placement),
+		Header: []string{"half-bit index", "mean level (µV)"},
+	}
+	parent := rng.New(cfg.Seed)
+	// Find a successful session (the paper likewise shows a sample output
+	// from a successful trial).
+	maxAttempts := 40
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		r := parent.SplitIndexed("fig15", attempt)
+		p, err := sc.Realize(8, r)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := runCommAt(p, 8, model, CommOptions{Waveform: true}, r)
+		if err != nil {
+			return nil, err
+		}
+		if !(tr.Powered && tr.Decoded) {
+			continue
+		}
+		// Re-synthesize the same session's waveform for display.
+		r2 := parent.SplitIndexed("fig15", attempt) // same stream
+		p2, err := sc.Realize(8, r2)
+		if err != nil {
+			return nil, err
+		}
+		tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r2.Split("tag"))
+		if err != nil {
+			return nil, err
+		}
+		_ = p2
+		tg.UpdatePower(tr.PeakPower)
+		reply := tg.HandleCommand(&gen2.Query{Q: 0})
+		rd := reader.New()
+		bs, err := tg.BackscatterWaveform(reply, rd.SamplesPerHalfBit)
+		if err != nil {
+			return nil, err
+		}
+		down := p.ReaderDown.Coefficient(rd.TxFreq)
+		up := p.ReaderUp.Coefficient(rd.TxFreq)
+		tagG := model.AntennaAmplitudeGain()
+		link := reader.RoundTripGain(rd.TxAmplitude, down, up) * complex(tagG*tagG, 0)
+		leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
+		jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
+		dr, err := rd.DecodeUplink(bs, link, jam, len(reply.Bits), r2.Split("uplink"))
+		if err != nil {
+			continue
+		}
+		// Render the post-averaging received waveform the decoder saw:
+		// backscatter levels through the link plus residual noise.
+		sp := rd.SamplesPerHalfBit
+		noise := rd.RX.NoiseFloor + rd.RX.EffectiveInterference(jam)
+		sigma := mathSqrt(noise / 2 / float64(rd.AveragingPeriods))
+		dispR := r2.Split("display-noise")
+		halfBits := len(bs) / sp
+		for hb := 0; hb < halfBits; hb++ {
+			var mean float64
+			for k := 0; k < sp; k++ {
+				mean += bs[hb*sp+k]*absC(link) + sigma*dispR.NormFloat64()
+			}
+			mean /= float64(sp)
+			t.AddRow(fmt.Sprintf("%d", hb), fmt.Sprintf("%.4f", mean*1e6))
+		}
+		t.AddNote("decoded RN16 bits: %s", dr.Bits)
+		t.AddNote("preamble correlation %.3f (threshold 0.8); post-averaging SNR %.1f dB", dr.Correlation, dr.SNRdB)
+		t.AddNote("session found on attempt %d; CIB peak at sensor %.2e W", attempt+1, tr.PeakPower)
+		return t, nil
+	}
+	return nil, fmt.Errorf("ivnsim: no successful %s session in %d attempts", id, maxAttempts)
+}
+
+func absC(z complex128) float64 { return cmplx.Abs(z) }
+
+func mathSqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

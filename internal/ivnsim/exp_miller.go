@@ -1,0 +1,108 @@
+package ivnsim
+
+import (
+	"fmt"
+	"math"
+
+	"ivn/internal/gen2"
+	"ivn/internal/rng"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-miller",
+		Title: "Uplink encoding robustness: FM0 vs Miller-2/4/8 payload BER vs SNR",
+		Paper: "Gen2's M field trades rate for robustness; each Miller bit spreads over M subcarrier cycles",
+		Run:   runAblationMiller,
+	})
+}
+
+// runAblationMiller measures raw payload bit-error rate for each uplink
+// encoding at matched per-sample SNR and alignment. A Miller-M bit spans
+// M subcarrier cycles (M× the on-air time of an FM0 bit at the same link
+// frequency), so its demodulator integrates M× more samples per decision:
+// the classic rate-for-robustness trade, isolated from preamble detection.
+func runAblationMiller(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-miller",
+		Title:  "Payload bit-error rate by encoding (aligned capture, known timing)",
+		Header: []string{"per-sample SNR (dB)", "FM0", "Miller-2", "Miller-4", "Miller-8"},
+	}
+	trials := cfg.trials(60, 15)
+	parent := rng.New(cfg.Seed)
+	const sp = 8 // FM0 samples per half-bit; Miller uses 2·sp per cycle
+	const nbits = 16
+
+	type enc struct {
+		name   string
+		miller int
+	}
+	encodings := []enc{{"fm0", 0}, {"m2", 2}, {"m4", 4}, {"m8", 8}}
+
+	for _, snrDB := range []float64{-12, -9, -6, -3, 0, 3} {
+		row := []string{fmt.Sprintf("%.0f", snrDB)}
+		// Per-sample noise sigma for unit-amplitude levels.
+		sigma := powNeg20(snrDB)
+		for _, e := range encodings {
+			errors, total := 0, 0
+			for trial := 0; trial < trials; trial++ {
+				r := parent.SplitIndexed(fmt.Sprintf("ber-%s-%v", e.name, snrDB), trial)
+				payload := make(gen2.Bits, nbits)
+				for i := range payload {
+					payload[i] = byte(r.Intn(2))
+				}
+				var wave []float64
+				var err error
+				var decode func([]float64) (gen2.Bits, error)
+				if e.miller == 0 {
+					fe := gen2.FM0Encoder{SamplesPerHalfBit: sp}
+					wave, err = fe.Encode(payload)
+					if err != nil {
+						return nil, err
+					}
+					pre := len(gen2.FM0PreambleHalfBits) * sp
+					dec := gen2.FM0Decoder{SamplesPerHalfBit: sp}
+					decode = func(w []float64) (gen2.Bits, error) {
+						return dec.DecodePayload(w[pre:], nbits)
+					}
+				} else {
+					me := gen2.MillerEncoder{M: e.miller, SamplesPerCycle: 2 * sp}
+					wave, err = me.Encode(payload)
+					if err != nil {
+						return nil, err
+					}
+					off := gen2.MillerPayloadOffset(e.miller, 2*sp)
+					dec := gen2.MillerDecoder{M: e.miller, SamplesPerCycle: 2 * sp}
+					decode = func(w []float64) (gen2.Bits, error) {
+						return dec.DecodePayload(w[off:], nbits)
+					}
+				}
+				noisy := make([]float64, len(wave))
+				for i, v := range wave {
+					noisy[i] = v + sigma*r.NormFloat64()
+				}
+				got, err := decode(noisy)
+				if err != nil {
+					return nil, err
+				}
+				for i := range payload {
+					if got[i] != payload[i] {
+						errors++
+					}
+					total++
+				}
+			}
+			row = append(row, fmt.Sprintf("%.3f", float64(errors)/float64(total)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("per-sample SNR = 20·log10(1/σ) on ±1 levels; a Miller-M demodulator integrates M× more samples per bit")
+	t.AddNote("the crossover SNR improves ≈3 dB per doubling of M, at M× the on-air time per bit")
+	return t, nil
+}
+
+// powNeg20 converts an SNR in dB on unit-amplitude levels to a noise σ:
+// σ = 10^(−snr/20).
+func powNeg20(snrDB float64) float64 {
+	return math.Pow(10, -snrDB/20)
+}

@@ -1,0 +1,224 @@
+package ivnsim
+
+import (
+	"fmt"
+	"math"
+
+	"ivn/internal/em"
+	"ivn/internal/scenario"
+	"ivn/internal/stats"
+)
+
+// Power-gain experiments: Figs. 9-12.
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Peak power gain vs number of antennas (water tank)",
+		Paper: "monotone growth, up to ≈85x at 10 antennas, below the N²=100 optimum",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10a",
+		Title: "Power gain vs depth in water (10 antennas)",
+		Paper: "flat ≈80x across 0-20 cm depth (absolute power still falls with depth)",
+		Run:   runFig10a,
+	})
+	register(Experiment{
+		ID:    "fig10b",
+		Title: "Power gain vs tag orientation (10 antennas)",
+		Paper: "flat across orientation",
+		Run:   runFig10b,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Median power gain across media: CIB vs 10-antenna baseline",
+		Paper: "CIB ≈80x in every medium; baseline ≈10x (pure power advantage)",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "CDF of CIB/baseline peak power ratio",
+		Paper: ">99% of trials above 1x, median ≈8x, tail beyond 100x",
+		Run:   runFig12,
+	})
+}
+
+func gainStats(samples []GainSample, pick func(GainSample) float64) (stats.Summary, error) {
+	xs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = pick(s)
+	}
+	return stats.Summarize(xs)
+}
+
+func runFig9(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Peak power gain (vs single antenna) by antenna count",
+		Header: []string{"antennas", "p10", "median", "p90"},
+	}
+	trials := cfg.trials(150, 30)
+	sc := scenario.NewTank(0.5, em.Water, 0.10)
+	for n := 1; n <= 10; n++ {
+		samples, err := RunGainTrials(sc, n, trials, cfg.Seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		s, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", s.P10),
+			fmt.Sprintf("%.1f", s.Median),
+			fmt.Sprintf("%.1f", s.P90),
+		)
+	}
+	t.AddNote("%d trials per point; gain = CIB envelope peak / single-antenna peak at the same location", trials)
+	return t, nil
+}
+
+func runFig10a(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig10a",
+		Title:  "Power gain vs depth in water, 10-antenna CIB",
+		Header: []string{"depth (cm)", "p10", "median", "p90", "abs peak (dBm)"},
+	}
+	trials := cfg.trials(60, 15)
+	depths := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	base := scenario.NewTank(0.5, em.Water, 0)
+	for _, d := range depths {
+		sc := base.WithDepth(d)
+		samples, err := RunGainTrials(sc, 10, trials, cfg.Seed+uint64(d*1000))
+		if err != nil {
+			return nil, err
+		}
+		s, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
+		if err != nil {
+			return nil, err
+		}
+		abs, err := gainStats(samples, func(g GainSample) float64 { return g.CIB })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f", d*100),
+			fmt.Sprintf("%.1f", s.P10),
+			fmt.Sprintf("%.1f", s.Median),
+			fmt.Sprintf("%.1f", s.P90),
+			fmt.Sprintf("%.1f", 10*math.Log10(abs.Median)+30),
+		)
+	}
+	t.AddNote("gain is depth-independent while the absolute delivered power falls with depth (paper §6.1.1b)")
+	return t, nil
+}
+
+func runFig10b(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig10b",
+		Title:  "Power gain vs tag orientation, 10-antenna CIB",
+		Header: []string{"orientation (rad)", "p10", "median", "p90"},
+	}
+	trials := cfg.trials(60, 15)
+	for _, th := range []float64{0, math.Pi / 4, math.Pi / 2, 3 * math.Pi / 4, math.Pi, 1.25 * math.Pi, 1.5 * math.Pi} {
+		sc := scenario.NewTank(0.5, em.Water, 0.10)
+		sc.FixedOrientation = th
+		samples, err := RunGainTrials(sc, 10, trials, cfg.Seed+uint64(th*100))
+		if err != nil {
+			return nil, err
+		}
+		s, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", th),
+			fmt.Sprintf("%.1f", s.P10),
+			fmt.Sprintf("%.1f", s.Median),
+			fmt.Sprintf("%.1f", s.P90),
+		)
+	}
+	t.AddNote("orientation scales every scheme's channel identically, so the gain ratio is flat")
+	return t, nil
+}
+
+func runFig11(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Median power gain across media: 10-antenna CIB vs 10-antenna baseline",
+		Header: []string{"medium", "CIB p10", "CIB median", "CIB p90", "baseline median"},
+	}
+	trials := cfg.trials(100, 20)
+	worstP := 0.0
+	for mi, sc := range scenario.MediaSweep() {
+		samples, err := RunGainTrials(sc, 10, trials, cfg.Seed+uint64(1000*(mi+1)))
+		if err != nil {
+			return nil, err
+		}
+		cib, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
+		if err != nil {
+			return nil, err
+		}
+		blind, err := gainStats(samples, func(g GainSample) float64 { return g.Blind / g.Single })
+		if err != nil {
+			return nil, err
+		}
+		// Significance of the CIB-vs-baseline separation in this medium
+		// (Welch's t on log-gains, which are closer to symmetric).
+		logCIB := make([]float64, len(samples))
+		logBlind := make([]float64, len(samples))
+		for i, s := range samples {
+			logCIB[i] = math.Log(s.CIB / s.Single)
+			logBlind[i] = math.Log(s.Blind / s.Single)
+		}
+		tt, err := stats.WelchTTest(logCIB, logBlind)
+		if err != nil {
+			return nil, err
+		}
+		if tt.P > worstP {
+			worstP = tt.P
+		}
+		t.AddRow(
+			sc.Name(),
+			fmt.Sprintf("%.1f", cib.P10),
+			fmt.Sprintf("%.1f", cib.Median),
+			fmt.Sprintf("%.1f", cib.P90),
+			fmt.Sprintf("%.1f", blind.Median),
+		)
+	}
+	t.AddNote("the baseline's ≈10x comes entirely from radiating 10x total power; CIB's extra ≈8x is the blind beamforming gain")
+	t.AddNote("CIB-vs-baseline separation significant in every medium (worst Welch p = %.2g on log-gains)", worstP)
+	return t, nil
+}
+
+func runFig12(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "CDF of the CIB/baseline peak power ratio (10 antennas each)",
+		Header: []string{"power ratio", "CDF"},
+	}
+	trials := cfg.trials(400, 60)
+	sc := scenario.NewTank(0.5, em.Water, 0.10)
+	samples, err := RunGainTrials(sc, 10, trials, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ratios := make([]float64, len(samples))
+	for i, s := range samples {
+		ratios[i] = s.CIB / s.Blind
+	}
+	cdf, err := stats.NewCDF(ratios)
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 100, 300, 1000} {
+		t.AddRow(fmt.Sprintf("%.1f", x), fmt.Sprintf("%.3f", cdf.At(x)))
+	}
+	med := cdf.Quantile(0.5)
+	t.AddNote("fraction of trials where CIB beats the baseline: %.3f (paper: >0.99)", cdf.FractionAbove(1))
+	t.AddNote("median ratio %.1fx (paper ≈8x); p99 %.0fx (paper reports >100x at some locations)",
+		med, cdf.Quantile(0.99))
+	return t, nil
+}

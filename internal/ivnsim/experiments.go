@@ -1,0 +1,78 @@
+package ivnsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed drives every random draw; equal seeds reproduce identical
+	// tables.
+	Seed uint64
+	// Trials overrides the experiment's default trial count when > 0.
+	Trials int
+	// Quick shrinks the workload for CI-style runs.
+	Quick bool
+}
+
+// trials resolves the effective trial count.
+func (c Config) trials(def, quick int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return quick
+	}
+	return def
+}
+
+// Experiment reproduces one of the paper's figures or tables.
+type Experiment struct {
+	// ID is the registry key (e.g. "fig9").
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Paper summarizes the published result the output should be compared
+	// against.
+	Paper string
+	// Run executes the experiment.
+	Run func(Config) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("ivnsim: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Registry returns every experiment, sorted by id.
+func Registry() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("ivnsim: unknown experiment %q (use one of %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

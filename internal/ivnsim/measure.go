@@ -1,0 +1,309 @@
+package ivnsim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ivn/internal/baseline"
+	"ivn/internal/core"
+	"ivn/internal/gen2"
+	"ivn/internal/radio"
+	"ivn/internal/reader"
+	"ivn/internal/rng"
+	"ivn/internal/scenario"
+	"ivn/internal/tag"
+)
+
+// Measurement parameters shared by the experiments.
+const (
+	// envelopeScanSamples resolves the 1 s CIB envelope period; beat
+	// features at ≤200 Hz offsets span milliseconds, so 8192 points
+	// over-resolve them comfortably.
+	envelopeScanSamples = 8192
+	// scanDuration is one CIB period (the paper captures 2 s, i.e. two
+	// periods of the same deterministic envelope).
+	scanDuration = 1.0
+)
+
+// DownlinkCoeffs evaluates each downlink channel at freq.
+func DownlinkCoeffs(p *scenario.Placement, freq float64) []complex128 {
+	out := make([]complex128, len(p.Downlink))
+	for i, c := range p.Downlink {
+		out[i] = c.Coefficient(freq)
+	}
+	return out
+}
+
+// GainSample is one trial's peak received powers (isotropic watts at the
+// sensor position) under each transmission scheme.
+type GainSample struct {
+	// CIB is the coherently-incoherent beamformer's envelope peak.
+	CIB float64
+	// Single is one antenna of the same array (the paper's denominator).
+	Single float64
+	// Blind is the N-antenna same-frequency baseline.
+	Blind float64
+	// MRT is oracle maximum-ratio transmission (perfect channel
+	// knowledge) — the unreachable coherent upper bound.
+	MRT float64
+}
+
+// chainAmplitude is each transmit chain's emitted amplitude: the default
+// PA driven to its 30 dBm (1 W) operating point.
+func chainAmplitude() float64 {
+	pa := radio.DefaultPA()
+	return pa.Amplify(pa.OperatingDrive())
+}
+
+// MeasureGains realizes one placement of sc with n antennas and measures
+// the four schemes against identical channels.
+func MeasureGains(sc scenario.Scenario, n int, r *rng.Rand) (GainSample, error) {
+	p, err := sc.Realize(n, r)
+	if err != nil {
+		return GainSample{}, err
+	}
+	return measureGainsAt(p, n, r)
+}
+
+func measureGainsAt(p *scenario.Placement, n int, r *rng.Rand) (GainSample, error) {
+	g := scenario.DefaultGeometry()
+	chans := DownlinkCoeffs(p, g.CIBFreq)
+	amp := chainAmplitude()
+
+	var out GainSample
+
+	// CIB: offset carriers with fresh random PLL phases.
+	cfg := core.DefaultConfig()
+	cfg.Antennas = n
+	bf, err := core.New(cfg, r.Split("cib"))
+	if err != nil {
+		return out, err
+	}
+	out.CIB, err = baseline.PeakReceivedPower(bf.Carriers(), chans, scanDuration, envelopeScanSamples)
+	if err != nil {
+		return out, err
+	}
+
+	// Single antenna: chain 0 alone.
+	single := baseline.SingleAntenna(g.CIBFreq, amp)
+	out.Single, err = baseline.PeakReceivedPower(single, chans[:1], scanDuration, 1)
+	if err != nil {
+		return out, err
+	}
+
+	// Blind same-frequency array.
+	blind, err := baseline.BlindArray(n, g.CIBFreq, amp, r.Split("blind"))
+	if err != nil {
+		return out, err
+	}
+	out.Blind, err = baseline.PeakReceivedPower(blind, chans, scanDuration, 1)
+	if err != nil {
+		return out, err
+	}
+
+	// Oracle MRT.
+	mrt, err := baseline.OracleMRT(g.CIBFreq, amp, chans)
+	if err != nil {
+		return out, err
+	}
+	out.MRT, err = baseline.PeakReceivedPower(mrt, chans, scanDuration, 1)
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// RunGainTrials measures trials independent placements in parallel and
+// returns the samples in trial order (deterministic regardless of
+// scheduling).
+func RunGainTrials(sc scenario.Scenario, n, trials int, seed uint64) ([]GainSample, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("ivnsim: %d trials", trials)
+	}
+	parent := rng.New(seed)
+	samples := make([]GainSample, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := parent.SplitIndexed("gain-trial", i)
+			samples[i], errs[i] = MeasureGains(sc, n, r)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// CommTrial is one end-to-end communication attempt: power-up via CIB,
+// then RN16 decode via the out-of-band reader.
+type CommTrial struct {
+	// PeakPower is the CIB envelope peak at the sensor (isotropic watts).
+	PeakPower float64
+	// Powered reports whether the tag reached its rail.
+	Powered bool
+	// Decoded reports whether the reader recovered the RN16.
+	Decoded bool
+	// Correlation is the preamble correlation of the waveform decode (0
+	// when the budget path was used or decoding failed early).
+	Correlation float64
+}
+
+// CommOptions tunes a communication trial.
+type CommOptions struct {
+	// Waveform switches from the fast link-budget uplink check to full
+	// waveform synthesis and FM0 correlation decoding.
+	Waveform bool
+}
+
+// RunCommTrial realizes a placement and attempts a full power-up +
+// inventory exchange with the given tag model.
+func RunCommTrial(sc scenario.Scenario, n int, model tag.Model, opts CommOptions, r *rng.Rand) (CommTrial, error) {
+	p, err := sc.Realize(n, r)
+	if err != nil {
+		return CommTrial{}, err
+	}
+	return runCommAt(p, n, model, opts, r)
+}
+
+func runCommAt(p *scenario.Placement, n int, model tag.Model, opts CommOptions, r *rng.Rand) (CommTrial, error) {
+	g := scenario.DefaultGeometry()
+	var res CommTrial
+
+	// Downlink power delivery.
+	chans := DownlinkCoeffs(p, g.CIBFreq)
+	cfg := core.DefaultConfig()
+	cfg.Antennas = n
+	bf, err := core.New(cfg, r.Split("cib"))
+	if err != nil {
+		return res, err
+	}
+	res.PeakPower, err = baseline.PeakReceivedPower(bf.Carriers(), chans, scanDuration, envelopeScanSamples)
+	if err != nil {
+		return res, err
+	}
+
+	tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
+	if err != nil {
+		return res, err
+	}
+	tg.UpdatePower(res.PeakPower)
+	res.Powered = tg.Powered()
+	if !res.Powered {
+		return res, nil
+	}
+
+	// Inventory: the synchronized Query arrives intact by construction
+	// (the flatness constraint is enforced at TransmitCommand); drive the
+	// state machine to an RN16 reply.
+	query := &gen2.Query{Q: 0, Session: gen2.S0}
+	if _, err := bf.TransmitCommand(query, true); err != nil {
+		return res, fmt.Errorf("ivnsim: downlink: %w", err)
+	}
+	reply := tg.HandleCommand(query)
+	if reply.Kind != gen2.ReplyRN16 {
+		return res, nil
+	}
+
+	// Uplink through the out-of-band reader; subject motion dephases the
+	// averaged periods.
+	rd := reader.New()
+	rd.PhaseDriftPerPeriod = p.UplinkPhaseDriftPerPeriod
+	down := p.ReaderDown.Coefficient(rd.TxFreq)
+	up := p.ReaderUp.Coefficient(rd.TxFreq)
+	// The tag's antenna gain applies twice: receiving the reader carrier
+	// and re-radiating the modulated reflection.
+	tagG := model.AntennaAmplitudeGain()
+	link := reader.RoundTripGain(rd.TxAmplitude, down, up) * complex(tagG*tagG, 0)
+	leak := p.CIBLeakPerWatt * float64(n) * chainAmplitude() * chainAmplitude()
+	jam := []radio.ToneAt{{Freq: g.CIBFreq, Power: leak}}
+
+	if opts.Waveform {
+		bs, err := tg.BackscatterWaveform(reply, rd.SamplesPerHalfBit)
+		if err != nil {
+			return res, err
+		}
+		dr, err := rd.DecodeUplink(bs, link, jam, len(reply.Bits), r.Split("uplink"))
+		if err == nil && dr.Bits.Equal(reply.Bits) {
+			res.Decoded = true
+			res.Correlation = dr.Correlation
+		}
+		return res, nil
+	}
+	modAmp := reader.ModulationAmplitude(model.BackscatterGain, model.BackscatterDepth)
+	res.Decoded = rd.DecodableRN16(link, modAmp, jam)
+	return res, nil
+}
+
+// MaxOperatingDistance finds the largest distance at which communication
+// succeeds, via bisection over mk(distance) scenarios. Success at a
+// distance means at least successNeeded of trialsPerPoint trials complete
+// the power-up + decode exchange. Returns 0 when even the minimum
+// distance fails.
+func MaxOperatingDistance(mk func(d float64) scenario.Scenario, n int, model tag.Model, lo, hi float64, trialsPerPoint, successNeeded int, seed uint64) (float64, error) {
+	if lo <= 0 || hi <= lo {
+		return 0, fmt.Errorf("ivnsim: bad search interval [%v, %v]", lo, hi)
+	}
+	if trialsPerPoint < 1 || successNeeded < 1 || successNeeded > trialsPerPoint {
+		return 0, fmt.Errorf("ivnsim: bad success spec %d/%d", successNeeded, trialsPerPoint)
+	}
+	parent := rng.New(seed)
+	ok := func(d float64) (bool, error) {
+		succ := 0
+		for i := 0; i < trialsPerPoint; i++ {
+			r := parent.SplitIndexed(fmt.Sprintf("range-%.6g", d), i)
+			tr, err := RunCommTrial(mk(d), n, model, CommOptions{}, r)
+			if err != nil {
+				return false, err
+			}
+			if tr.Powered && tr.Decoded {
+				succ++
+			}
+		}
+		return succ >= successNeeded, nil
+	}
+	okLo, err := ok(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		return 0, nil
+	}
+	if okHi, err := ok(hi); err != nil {
+		return 0, err
+	} else if okHi {
+		return hi, nil
+	}
+	for i := 0; i < 24 && hi-lo > hi*1e-3; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection suits dB-linear links
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,137 @@
+// Package ivnsim is IVN's experiment engine: it wires scenarios, the CIB
+// beamformer, the baselines, the tag models and the out-of-band reader
+// into the measurements the paper reports, and renders each figure/table
+// as rows of text. Every experiment is registered under the paper's
+// figure/table id (see Registry) and is deterministic for a given seed.
+package ivnsim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows that correspond to a
+// figure's series or a table's lines.
+type Table struct {
+	// ID is the experiment id (e.g. "fig9").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the data, already formatted.
+	Rows [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a row; it pads or truncates to the header width.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Header) > 0 {
+		for len(cells) < len(t.Header) {
+			cells = append(cells, "")
+		}
+		cells = cells[:len(t.Header)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a commentary line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+		var sb strings.Builder
+		for i, width := range widths {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(strings.Repeat("-", width))
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (header + rows; notes as comments).
+func (t *Table) RenderCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

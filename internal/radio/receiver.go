@@ -1,0 +1,226 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"ivn/internal/rng"
+)
+
+// SAWFilter is a behavioral band-pass pre-selector: near-zero loss inside
+// the passband, a fixed high rejection outside it, with a raised-cosine
+// transition. IVN's out-of-band reader uses one to keep the CIB
+// transmitters (915 MHz) from saturating its 880 MHz receive chain
+// (paper §4, §5b).
+type SAWFilter struct {
+	// Center is the passband center in Hz.
+	Center float64
+	// HalfWidth is the passband half-width in Hz.
+	HalfWidth float64
+	// TransitionWidth is the skirt width in Hz.
+	TransitionWidth float64
+	// RejectionDB is the stopband rejection (positive dB).
+	RejectionDB float64
+	// InsertionLossDB is the passband loss (positive dB).
+	InsertionLossDB float64
+}
+
+// DefaultSAW returns a high-rejection front-end filter: ±10 MHz passband,
+// 5 MHz skirts, 45 dB rejection, 2 dB insertion loss.
+func DefaultSAW(center float64) SAWFilter {
+	return SAWFilter{
+		Center:          center,
+		HalfWidth:       10e6,
+		TransitionWidth: 5e6,
+		RejectionDB:     45,
+		InsertionLossDB: 2,
+	}
+}
+
+// AttenuationDB returns the filter's power attenuation at freq (positive
+// dB, including insertion loss).
+func (f SAWFilter) AttenuationDB(freq float64) float64 {
+	off := math.Abs(freq - f.Center)
+	switch {
+	case off <= f.HalfWidth:
+		return f.InsertionLossDB
+	case off >= f.HalfWidth+f.TransitionWidth:
+		return f.InsertionLossDB + f.RejectionDB
+	default:
+		// Raised-cosine skirt.
+		frac := (off - f.HalfWidth) / f.TransitionWidth
+		return f.InsertionLossDB + f.RejectionDB*(1-math.Cos(math.Pi*frac))/2
+	}
+}
+
+// Apply scales a tone's power (watts) at freq through the filter.
+func (f SAWFilter) Apply(powerWatts, freq float64) float64 {
+	return powerWatts * math.Pow(10, -f.AttenuationDB(freq)/10)
+}
+
+// ToneAt is a received tone: power after the antenna, before the filter.
+type ToneAt struct {
+	Freq  float64
+	Power float64 // watts
+}
+
+// Receiver is a direct-conversion receive chain: SAW pre-filter → LNA with
+// a saturation ceiling → baseband. Saturation is the self-jamming failure
+// the out-of-band design exists to avoid: when the total post-filter power
+// exceeds the LNA's limit, the chain clips and the backscatter sidebands
+// are unrecoverable.
+type Receiver struct {
+	// Center is the LO frequency in Hz.
+	Center float64
+	// Filter is the front-end pre-selector.
+	Filter SAWFilter
+	// SaturationPower is the LNA input compression limit in watts.
+	SaturationPower float64
+	// NoiseFloor is the integrated thermal noise power in watts over the
+	// receive bandwidth.
+	NoiseFloor float64
+	// BasebandHalfWidth is the digital channel filter's half-width in Hz.
+	// An interfering *tone* outside it — like the CIB carriers 35 MHz
+	// away — is removed digitally after the ADC; the SAW filter's job is
+	// only to keep it from saturating the analog chain first.
+	BasebandHalfWidth float64
+	// DigitalRejectionDB is the post-ADC rejection applied to tones
+	// outside the baseband channel (positive dB).
+	DigitalRejectionDB float64
+}
+
+// NewReceiver builds a receiver with a default SAW at the LO, a −20 dBm
+// saturation limit, a −90 dBm noise floor, a ±1 MHz digital channel and
+// 60 dB digital stopband rejection.
+func NewReceiver(center float64) *Receiver {
+	return &Receiver{
+		Center:             center,
+		Filter:             DefaultSAW(center),
+		SaturationPower:    1e-5,  // −20 dBm
+		NoiseFloor:         1e-12, // −90 dBm
+		BasebandHalfWidth:  1e6,
+		DigitalRejectionDB: 60,
+	}
+}
+
+// EffectiveInterference returns the interference power that actually
+// lands inside the demodulation bandwidth: post-SAW power, further
+// reduced by digital rejection for tones outside the baseband channel.
+func (r *Receiver) EffectiveInterference(tones []ToneAt) float64 {
+	var p float64
+	for _, t := range tones {
+		v := r.Filter.Apply(t.Power, t.Freq)
+		if math.Abs(t.Freq-r.Center) > r.BasebandHalfWidth {
+			v *= math.Pow(10, -r.DigitalRejectionDB/10)
+		}
+		p += v
+	}
+	return p
+}
+
+// PostFilterPower returns the total power reaching the LNA from tones.
+func (r *Receiver) PostFilterPower(tones []ToneAt) float64 {
+	var p float64
+	for _, t := range tones {
+		p += r.Filter.Apply(t.Power, t.Freq)
+	}
+	return p
+}
+
+// Saturated reports whether tones drive the LNA past its limit.
+func (r *Receiver) Saturated(tones []ToneAt) bool {
+	return r.PostFilterPower(tones) > r.SaturationPower
+}
+
+// SNRdB returns the signal-to-(noise+interference) ratio for a wanted
+// in-band signal power against a set of interfering tones, assuming the
+// receiver is not saturated. Interference is weighted by both the analog
+// pre-filter and the digital channel rejection.
+func (r *Receiver) SNRdB(signalWatts float64, jammers []ToneAt) float64 {
+	if signalWatts <= 0 {
+		return math.Inf(-1)
+	}
+	n := r.NoiseFloor + r.EffectiveInterference(jammers)
+	return 10 * math.Log10(signalWatts/n)
+}
+
+// AddNoise adds complex AWGN with the receiver's noise floor to a baseband
+// capture of n samples; the per-sample noise power equals NoiseFloor
+// (noise already integrated over the receive bandwidth).
+func (r *Receiver) AddNoise(x []complex128, rnd *rng.Rand) {
+	sigma := math.Sqrt(r.NoiseFloor / 2)
+	for i := range x {
+		x[i] += rnd.ComplexCircular(sigma)
+	}
+}
+
+// Quantize applies ADC quantization in place: bits of resolution over
+// ±fullScale on each of I and Q, clipping beyond. It returns the number
+// of clipped samples so callers can detect converter overload.
+func Quantize(x []complex128, bits int, fullScale float64) (clipped int, err error) {
+	if bits < 2 || bits > 24 {
+		return 0, fmt.Errorf("radio: ADC bits %d outside [2,24]", bits)
+	}
+	if fullScale <= 0 {
+		return 0, fmt.Errorf("radio: ADC full scale %v <= 0", fullScale)
+	}
+	levels := float64(int64(1) << uint(bits-1)) // per polarity
+	step := fullScale / levels
+	q := func(v float64) (float64, bool) {
+		clip := false
+		if v > fullScale {
+			v, clip = fullScale, true
+		} else if v < -fullScale {
+			v, clip = -fullScale, true
+		}
+		return math.Round(v/step) * step, clip
+	}
+	for i := range x {
+		re, c1 := q(real(x[i]))
+		im, c2 := q(imag(x[i]))
+		x[i] = complex(re, im)
+		if c1 || c2 {
+			clipped++
+		}
+	}
+	return clipped, nil
+}
+
+// ReceivedBaseband synthesizes the complex baseband a receiver centered at
+// f0 observes from a set of carriers, each multiplied by its own channel
+// coefficient: y[k] = Σᵢ Aᵢ·hᵢ·e^{j(2π(fᵢ−f0)·k/fs + θᵢ)}. This is the
+// signal at the *sensor* (or reader) — the superposition whose envelope
+// CIB shapes. chans must have one coefficient per carrier.
+func ReceivedBaseband(carriers []Carrier, chans []complex128, f0, fs float64, n int) ([]complex128, error) {
+	if len(carriers) != len(chans) {
+		return nil, fmt.Errorf("radio: %d carriers but %d channels", len(carriers), len(chans))
+	}
+	if fs <= 0 || n < 0 {
+		return nil, fmt.Errorf("radio: bad capture spec fs=%v n=%d", fs, n)
+	}
+	out := make([]complex128, n)
+	for i, c := range carriers {
+		h := chans[i]
+		if h == 0 || c.Amplitude == 0 {
+			continue
+		}
+		// Phasor recurrence, re-normalized periodically (see dsp.AddToneTo).
+		step := 2 * math.Pi * (c.Freq - f0) / fs
+		ss, cs := math.Sincos(step)
+		rot := complex(cs, ss)
+		s0, c0 := math.Sincos(c.Phase)
+		cur := complex(c.Amplitude*c0, c.Amplitude*s0) * h
+		mag := math.Hypot(real(cur), imag(cur))
+		for k := 0; k < n; k++ {
+			out[k] += cur
+			cur *= rot
+			if k&1023 == 1023 {
+				m := math.Hypot(real(cur), imag(cur))
+				if m != 0 {
+					cur *= complex(mag/m, 0)
+				}
+			}
+		}
+	}
+	return out, nil
+}

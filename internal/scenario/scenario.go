@@ -1,0 +1,135 @@
+// Package scenario builds the experiment geometries of IVN's evaluation:
+// the tank-in-air setup (paper Fig. 7), the line-of-sight range setup
+// (Fig. 8), the media sweep (Fig. 11), and the swine gastric/subcutaneous
+// placements (Fig. 14). A Scenario realizes randomized per-trial channel
+// sets: one downlink channel per beamformer antenna at the CIB carrier,
+// plus reader downlink/uplink channels at the out-of-band carrier, plus
+// the CIB→reader leakage that drives the self-jamming analysis.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"ivn/internal/em"
+	"ivn/internal/rng"
+)
+
+// Placement is one realized trial: a tag position/orientation with all
+// relevant channels instantiated.
+type Placement struct {
+	// Downlink[i] is beamformer antenna i → sensor at the CIB carrier.
+	Downlink []*em.Channel
+	// ReaderDown is the reader TX antenna → sensor at the reader carrier;
+	// ReaderUp is the reverse path (reciprocal geometry, independently
+	// realized multipath).
+	ReaderDown, ReaderUp *em.Channel
+	// CIBLeakPerWatt is the fraction of each CIB chain's radiated power
+	// that reaches the reader's receive antenna (same-room coupling).
+	CIBLeakPerWatt float64
+	// Orientation is the tag rotation drawn for this trial, radians.
+	Orientation float64
+	// UplinkPhaseDriftPerPeriod is the phase random-walk variance (rad²)
+	// the reader link accumulates per 1 s averaging period from subject
+	// motion (breathing); zero for static benches.
+	UplinkPhaseDriftPerPeriod float64
+}
+
+// Scenario generates placements.
+type Scenario interface {
+	// Name identifies the scenario in experiment output.
+	Name() string
+	// Realize draws a placement with nAntennas downlink channels.
+	Realize(nAntennas int, r *rng.Rand) (*Placement, error)
+}
+
+// Geometry is the shared parameter block concrete scenarios embed.
+type Geometry struct {
+	// CIBFreq and ReaderFreq are the carrier frequencies.
+	CIBFreq, ReaderFreq float64
+	// TxAntennaGainDBi applies to every beamformer/reader antenna.
+	TxAntennaGainDBi float64
+	// AntennaSpread is the ± range of per-antenna air-distance variation
+	// (the panels occupy different positions, meters).
+	AntennaSpread float64
+	// Multipath describes the environment's echoes.
+	Multipath em.MultipathProfile
+	// ReaderStandoff is the beamformer→reader antenna distance used for
+	// the leakage estimate.
+	ReaderStandoff float64
+	// OrientationFloor is the residual coupling of a fully cross-
+	// polarized tag.
+	OrientationFloor float64
+	// FixedOrientation pins the tag rotation (radians) when >= 0;
+	// negative draws a random orientation per trial.
+	FixedOrientation float64
+}
+
+// DefaultGeometry matches the prototype: 915/880 MHz, 7 dBi panels spread
+// over ±25 cm, indoor multipath, reader 1 m from the array.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		CIBFreq:          915e6,
+		ReaderFreq:       880e6,
+		TxAntennaGainDBi: 7,
+		AntennaSpread:    0.25,
+		Multipath:        em.DefaultIndoorProfile,
+		ReaderStandoff:   1.0,
+		OrientationFloor: 0.2,
+		FixedOrientation: -1,
+	}
+}
+
+// realize builds a placement for a path template: per-antenna air-distance
+// jitter, shared tag orientation, independent multipath.
+func (g Geometry) realize(base em.Path, nAntennas int, r *rng.Rand) (*Placement, error) {
+	if nAntennas < 1 {
+		return nil, fmt.Errorf("scenario: %d antennas", nAntennas)
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	orientation := g.FixedOrientation
+	if orientation < 0 {
+		orientation = r.Phase() / 2 // [0, π)
+	}
+	og := em.DipoleOrientationGain(orientation, g.OrientationFloor)
+	txGain := dbiAmp(g.TxAntennaGainDBi)
+
+	mk := func(path em.Path, rnd *rng.Rand) *em.Channel {
+		c := em.NewChannel(path)
+		c.TxGain = txGain
+		c.OrientationGain = og
+		c.Rays = g.Multipath.GenerateRays(rnd)
+		return c
+	}
+
+	p := &Placement{Orientation: orientation}
+	for i := 0; i < nAntennas; i++ {
+		jitter := r.UniformRange(-g.AntennaSpread, g.AntennaSpread)
+		path := base.WithAirDistance(maxf(0.05, base.AirDistance+jitter))
+		p.Downlink = append(p.Downlink, mk(path, r.Split(fmt.Sprintf("dl-%d", i))))
+	}
+	// Reader antennas sit alongside the array; their paths see the same
+	// stack with their own jitter and echoes.
+	rd := base.WithAirDistance(maxf(0.05, base.AirDistance+r.UniformRange(-g.AntennaSpread, g.AntennaSpread)))
+	ru := base.WithAirDistance(maxf(0.05, base.AirDistance+r.UniformRange(-g.AntennaSpread, g.AntennaSpread)))
+	p.ReaderDown = mk(rd, r.Split("reader-down"))
+	p.ReaderUp = mk(ru, r.Split("reader-up"))
+
+	// Leakage: free-space coupling between co-located 7 dBi panels.
+	leakAmp := txGain * txGain * em.FriisAmplitude(em.Wavelength(g.CIBFreq), g.ReaderStandoff)
+	p.CIBLeakPerWatt = leakAmp * leakAmp
+	return p, nil
+}
+
+func dbiAmp(dbi float64) float64 {
+	return math.Pow(10, dbi/20)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ivn/internal/rng"
+)
+
+func TestPercentileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("negative percentile accepted")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("percentile > 100 accepted")
+	}
+}
+
+func TestMedianSingleAndEven(t *testing.T) {
+	if m, _ := Median([]float64{7}); m != 7 {
+		t.Fatalf("Median([7]) = %v", m)
+	}
+	m, _ := Median([]float64{1, 2, 3, 4})
+	if math.Abs(m-2.5) > 1e-12 {
+		t.Fatalf("Median(1..4) = %v, want 2.5", m)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v, err %v", m, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(32.0 / 7)
+	if math.Abs(sd-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", sd, want)
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Fatal("StdDev of one sample accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 50 || s.P10 != 10 || s.P90 != 90 || s.Min != 0 || s.Max != 100 || s.N != 101 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Summary string")
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty Summarize accepted")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v, want 1", got)
+	}
+	if got := c.FractionAbove(2); got != 0.5 {
+		t.Fatalf("FractionAbove(2) = %v, want 0.5", got)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, err := NewCDF(nil); err == nil {
+		t.Fatal("empty CDF accepted")
+	}
+}
+
+func TestCDFQuantileMonotone(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	c, err := NewCDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := c.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, _ := NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("Points(11) returned %d points", len(pts))
+	}
+	if pts[0][1] != 0 || pts[10][1] != 1 {
+		t.Fatalf("probability endpoints wrong: %v %v", pts[0], pts[10])
+	}
+	if pts[0][0] != 0 || pts[10][0] != 10 {
+		t.Fatalf("value endpoints wrong: %v %v", pts[0], pts[10])
+	}
+	// Degenerate request falls back to 2 points.
+	if got := c.Points(1); len(got) != 2 {
+		t.Fatalf("Points(1) returned %d points, want 2", len(got))
+	}
+}
+
+func TestCDFAtQuantileRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	c, _ := NewCDF(xs)
+	f := func(qRaw uint8) bool {
+		q := float64(qRaw) / 255
+		v := c.Quantile(q)
+		// At(Quantile(q)) must be >= q (up to 1/n granularity).
+		return c.At(v) >= q-1.0/float64(len(xs))-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapCICoversMedian(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	med := func(s []float64) float64 {
+		c := make([]float64, len(s))
+		copy(c, s)
+		sort.Float64s(c)
+		return c[len(c)/2]
+	}
+	lo, hi, err := BootstrapCI(xs, med, 0.95, 500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleMed := med(xs)
+	if lo > sampleMed || hi < sampleMed {
+		t.Fatalf("95%% CI [%v, %v] does not cover the sample median %v", lo, hi, sampleMed)
+	}
+	if hi-lo > 1 {
+		t.Fatalf("CI suspiciously wide: [%v, %v]", lo, hi)
+	}
+	// The CI should sit near the true median 10 for n=300 draws of N(10,1).
+	if lo > 10.5 || hi < 9.5 {
+		t.Fatalf("CI [%v, %v] implausibly far from 10", lo, hi)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	r := rng.New(4)
+	id := func(s []float64) float64 { return s[0] }
+	if _, _, err := BootstrapCI(nil, id, 0.95, 100, r); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, id, 1.5, 100, r); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.6, 0.9, -5, 99}
+	h, err := NewHistogram(xs, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -5 clamps into bin 0, 99 clamps into bin 1.
+	if h.Counts[0] != 3 || h.Counts[1] != 3 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if f := h.Fraction(0); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("Fraction(0) = %v", f)
+	}
+	if _, err := NewHistogram(nil, 0, 1, 2); err == nil {
+		t.Fatal("empty histogram accepted")
+	}
+	if _, err := NewHistogram(xs, 1, 0, 2); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := NewHistogram(xs, 0, 1, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	r := rng.New(5)
+	f := func(n uint8, p uint8) bool {
+		size := int(n%50) + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		pct := float64(p) / 255 * 100
+		v, err := Percentile(xs, pct)
+		if err != nil {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welch's unequal-variance t-test: used by the experiment harness to state
+// whether CIB's gain advantage over a baseline is statistically meaningful
+// rather than a trial-count artifact.
+
+// TTestResult reports a two-sample Welch test.
+type TTestResult struct {
+	// T is the test statistic.
+	T float64
+	// DF is the Welch–Satterthwaite degrees of freedom.
+	DF float64
+	// P is the two-sided p-value (from the t CDF; normal approximation is
+	// NOT used — the incomplete beta function is evaluated directly).
+	P float64
+	// MeanA, MeanB are the sample means.
+	MeanA, MeanB float64
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: Welch test needs >= 2 samples per group (got %d, %d)", len(a), len(b))
+	}
+	ma, _ := Mean(a)
+	mb, _ := Mean(b)
+	va := sampleVariance(a, ma)
+	vb := sampleVariance(b, mb)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1, MeanA: ma, MeanB: mb}, nil
+		}
+		return TTestResult{T: math.Inf(1), DF: na + nb - 2, P: 0, MeanA: ma, MeanB: mb}, nil
+	}
+	t := (ma - mb) / se
+	// Welch–Satterthwaite.
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := 2 * studentTSurvival(math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p, MeanA: ma, MeanB: mb}, nil
+}
+
+func sampleVariance(xs []float64, mean float64) float64 {
+	var acc float64
+	for _, v := range xs {
+		d := v - mean
+		acc += d * d
+	}
+	return acc / float64(len(xs)-1)
+}
+
+// studentTSurvival returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function:
+// P(T > t) = I_{df/(df+t²)}(df/2, 1/2) / 2.
+func studentTSurvival(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x) / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes' betacf).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	// Continued fraction converges fast when x <= (a+1)/(a+b+2); use the
+	// symmetry I_x(a,b) = 1 − I_{1−x}(b,a) otherwise. Strict inequality so
+	// the symmetric point (e.g. a=b, x=1/2) cannot recurse forever.
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	const maxIter = 300
+	const eps = 1e-14
+	c, d := 1.0, 1.0-(a+b)*x/(a+1)
+	if math.Abs(d) < 1e-300 {
+		d = 1e-300
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		// Even step.
+		num := fm * (b - fm) * x / ((a + 2*fm - 1) * (a + 2*fm))
+		d = 1 + num*d
+		if math.Abs(d) < 1e-300 {
+			d = 1e-300
+		}
+		c = 1 + num/c
+		if math.Abs(c) < 1e-300 {
+			c = 1e-300
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		num = -(a + fm) * (a + b + fm) * x / ((a + 2*fm) * (a + 2*fm + 1))
+		d = 1 + num*d
+		if math.Abs(d) < 1e-300 {
+			d = 1e-300
+		}
+		c = 1 + num/c
+		if math.Abs(c) < 1e-300 {
+			c = 1e-300
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return front * h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+func normalSample(n int, mean, sd float64, r *rng.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + sd*r.NormFloat64()
+	}
+	return out
+}
+
+func TestWelchDetectsSeparatedMeans(t *testing.T) {
+	r := rng.New(1)
+	a := normalSample(60, 10, 1, r)
+	b := normalSample(60, 12, 1.5, r)
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("p = %v for 2σ-separated means", res.P)
+	}
+	if res.T >= 0 {
+		t.Fatalf("T = %v should be negative (meanA < meanB)", res.T)
+	}
+	if res.MeanA >= res.MeanB {
+		t.Fatal("means misreported")
+	}
+}
+
+func TestWelchAcceptsEqualMeans(t *testing.T) {
+	r := rng.New(2)
+	rejections := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		a := normalSample(40, 5, 2, r)
+		b := normalSample(40, 5, 2, r)
+		res, err := WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	// The false-positive rate at α=0.05 should be near 5%.
+	if rejections > 12 {
+		t.Fatalf("%d/%d false rejections at α=0.05", rejections, trials)
+	}
+}
+
+func TestWelchPValueCalibration(t *testing.T) {
+	// Under H0 the p-value must be ≈uniform: check its mean ≈ 0.5.
+	r := rng.New(3)
+	var acc float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := normalSample(30, 0, 1, r)
+		b := normalSample(30, 0, 1, r)
+		res, err := WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc += res.P
+	}
+	if mean := acc / trials; math.Abs(mean-0.5) > 0.06 {
+		t.Fatalf("mean p-value under H0 = %v, want ≈0.5", mean)
+	}
+}
+
+func TestWelchKnownStatistic(t *testing.T) {
+	// Hand-checkable case: a = {1,2,3,4,5}, b = {2,3,4,5,6}: means 3 and
+	// 4, equal variances 2.5, se = √(1), t = −1, df = 8.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 3, 4, 5, 6}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T+1) > 1e-12 {
+		t.Fatalf("T = %v, want -1", res.T)
+	}
+	if math.Abs(res.DF-8) > 1e-9 {
+		t.Fatalf("df = %v, want 8", res.DF)
+	}
+	// Two-sided p for |t|=1, df=8 is ≈0.3466 (reference value).
+	if math.Abs(res.P-0.3466) > 0.002 {
+		t.Fatalf("p = %v, want ≈0.3466", res.P)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("1-sample group accepted")
+	}
+	// Identical constant groups: p = 1.
+	res, err := WelchTTest([]float64{3, 3, 3}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Fatalf("constant equal groups: %+v", res)
+	}
+	// Constant but different groups: p = 0.
+	res, err = WelchTTest([]float64{3, 3, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("constant different groups: %+v", res)
+	}
+}
+
+func TestRegIncBetaReferenceValues(t *testing.T) {
+	// I_x(a,b) reference values (scipy.special.betainc).
+	cases := []struct{ a, b, x, want float64 }{
+		{0.5, 0.5, 0.5, 0.5},
+		{2, 3, 0.4, 0.5248},
+		{5, 1, 0.9, 0.59049},
+		{1, 1, 0.25, 0.25},
+	}
+	for _, c := range cases {
+		got := regIncBeta(c.a, c.b, c.x)
+		if math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if regIncBeta(1, 1, 0) != 0 || regIncBeta(1, 1, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+}

@@ -1,0 +1,263 @@
+package tag
+
+import (
+	"math"
+	"testing"
+
+	"ivn/internal/em"
+	"ivn/internal/gen2"
+	"ivn/internal/radio"
+	"ivn/internal/rng"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, m := range []Model{StandardTag(), MiniatureTag()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	mutations := []func(*Model){
+		func(m *Model) { m.MatchingBoost = 0 },
+		func(m *Model) { m.Stages = 0 },
+		func(m *Model) { m.ThresholdVoltage = -1 },
+		func(m *Model) { m.OperatingVoltage = 0 },
+		func(m *Model) { m.BackscatterDepth = 0 },
+		func(m *Model) { m.BackscatterDepth = 1.5 },
+		func(m *Model) { m.BackscatterGain = 0 },
+	}
+	for i, mutate := range mutations {
+		m := StandardTag()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestInputVoltageScaling(t *testing.T) {
+	m := StandardTag()
+	if v := m.InputVoltage(0); v != 0 {
+		t.Fatalf("zero power gives %v V", v)
+	}
+	// 4× power → 2× voltage.
+	v1, v4 := m.InputVoltage(1e-4), m.InputVoltage(4e-4)
+	if math.Abs(v4/v1-2) > 1e-12 {
+		t.Fatalf("voltage scaling wrong: %v", v4/v1)
+	}
+	// Known value: V = Q·√(2·P·R) = 5·√(2·1e-4·50) = 5·0.1 = 0.5.
+	if math.Abs(v1-0.5) > 1e-12 {
+		t.Fatalf("V(100µW) = %v, want 0.5", v1)
+	}
+}
+
+func TestThresholdCliff(t *testing.T) {
+	// The defining nonlinearity: below the threshold-derived minimum the
+	// tag harvests nothing at all.
+	m := StandardTag()
+	pMin := m.MinPeakPower()
+	if m.PowersUp(pMin * 0.98) {
+		t.Fatal("powered up below sensitivity")
+	}
+	if !m.PowersUp(pMin * 1.02) {
+		t.Fatal("failed to power up above sensitivity")
+	}
+	// Deep below threshold, the DC output is exactly zero (conduction
+	// angle zero — Fig. 4c).
+	if v := m.DCVoltageAtPeak(pMin / 100); v != 0 {
+		t.Fatalf("deep-subthreshold V_DC = %v, want 0", v)
+	}
+}
+
+func TestMiniatureTagDeficit(t *testing.T) {
+	std, mini := StandardTag(), MiniatureTag()
+	ratioDB := mini.SensitivityDBm() - std.SensitivityDBm()
+	if ratioDB < 15 || ratioDB > 26 {
+		t.Fatalf("miniature deficit = %.1f dB, want ≈20", ratioDB)
+	}
+}
+
+// freeSpaceRange returns the maximum distance at which the model powers up
+// against IVN's single-antenna chain (30 dBm out, 7 dBi TX antenna).
+func freeSpaceRange(m Model) float64 {
+	pa := radio.DefaultPA()
+	txAmp := pa.Amplify(1)         // ≈1 W at 30 dBm P1dB
+	txGain := math.Pow(10, 7.0/20) // 7 dBi amplitude gain
+	lambda := em.Wavelength(915e6)
+	pMin := m.MinPeakPower()
+	lo, hi := 0.1, 500.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		amp := txAmp * txGain * em.FriisAmplitude(lambda, mid)
+		if amp*amp >= pMin {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func TestStandardTagFreeSpaceRangeMatchesPaper(t *testing.T) {
+	// Paper Fig. 13a: single-antenna range ≈5.2 m.
+	r := freeSpaceRange(StandardTag())
+	if r < 4 || r > 7 {
+		t.Fatalf("standard tag single-antenna range = %.2f m, want ≈5.2", r)
+	}
+}
+
+func TestMiniatureTagFreeSpaceRangeMatchesPaper(t *testing.T) {
+	// Paper Fig. 13b: single-antenna range ≈0.5 m.
+	r := freeSpaceRange(MiniatureTag())
+	if r < 0.3 || r > 0.9 {
+		t.Fatalf("miniature tag single-antenna range = %.2f m, want ≈0.5", r)
+	}
+}
+
+func TestSensitivityDBmConsistency(t *testing.T) {
+	m := StandardTag()
+	p := m.MinPeakPower()
+	if got := m.SensitivityDBm(); math.Abs(got-(10*math.Log10(p)+30)) > 1e-12 {
+		t.Fatalf("dBm conversion wrong: %v", got)
+	}
+}
+
+func TestTagPowerLifecycle(t *testing.T) {
+	tg, err := New(StandardTag(), []byte{0x12, 0x34}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Powered() {
+		t.Fatal("new tag is powered")
+	}
+	// Unpowered: silent.
+	if r := tg.HandleCommand(&gen2.Query{Q: 0}); r.Kind != gen2.ReplyNone {
+		t.Fatal("unpowered tag replied")
+	}
+	pMin := tg.Model.MinPeakPower()
+	tg.UpdatePower(pMin * 2)
+	if !tg.Powered() {
+		t.Fatal("tag not powered above sensitivity")
+	}
+	reply := tg.HandleCommand(&gen2.Query{Q: 0})
+	if reply.Kind != gen2.ReplyRN16 {
+		t.Fatalf("powered tag reply = %s", reply.Kind)
+	}
+	if tg.Logic.State() != gen2.StateReply {
+		t.Fatalf("state = %s", tg.Logic.State())
+	}
+	// Power loss resets protocol state.
+	tg.UpdatePower(pMin / 10)
+	if tg.Powered() {
+		t.Fatal("tag still powered below sensitivity")
+	}
+	if tg.Logic.State() != gen2.StateReady {
+		t.Fatal("power loss did not reset state")
+	}
+}
+
+func TestNewTagValidation(t *testing.T) {
+	bad := StandardTag()
+	bad.Stages = 0
+	if _, err := New(bad, []byte{1, 2}, rng.New(1)); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := New(StandardTag(), []byte{1}, rng.New(1)); err == nil {
+		t.Fatal("odd EPC accepted")
+	}
+}
+
+func TestBackscatterWaveform(t *testing.T) {
+	tg, err := New(StandardTag(), []byte{0x12, 0x34}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg.UpdatePower(tg.Model.MinPeakPower() * 2)
+	reply := tg.HandleCommand(&gen2.Query{Q: 0})
+	wave, err := tg.BackscatterWaveform(reply, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two levels only: g and g·(1−depth).
+	g, depth := tg.Model.BackscatterGain, tg.Model.BackscatterDepth
+	hi, lo := g, g*(1-depth)
+	for i, v := range wave {
+		if math.Abs(v-hi) > 1e-12 && math.Abs(v-lo) > 1e-12 {
+			t.Fatalf("sample %d = %v, want %v or %v", i, v, hi, lo)
+		}
+	}
+	// Round trip through the FM0 decoder (AC-coupled).
+	mean := 0.0
+	for _, v := range wave {
+		mean += v
+	}
+	mean /= float64(len(wave))
+	ac := make([]float64, len(wave))
+	for i, v := range wave {
+		ac[i] = v - mean
+	}
+	dec := gen2.FM0Decoder{SamplesPerHalfBit: 4}
+	res, err := dec.DecodeFrame(ac, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Payload.Equal(reply.Bits) {
+		t.Fatalf("backscatter round trip: %s != %s", res.Payload, reply.Bits)
+	}
+	if _, err := tg.BackscatterWaveform(gen2.Reply{Kind: gen2.ReplyNone}, 4); err == nil {
+		t.Fatal("no-reply waveform accepted")
+	}
+}
+
+func TestDemodulateDownlinkEndToEnd(t *testing.T) {
+	tg, err := New(StandardTag(), []byte{0xAA, 0xBB}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pie := gen2.DefaultPIE(8e6)
+	q := &gen2.Query{Q: 0, Session: gen2.S1}
+	env, err := pie.EncodeFrame(q.AppendBits(nil), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		env = append(env, 1)
+	}
+	// Unpowered tag cannot demodulate.
+	if _, err := tg.DemodulateDownlink(env, pie); err == nil {
+		t.Fatal("unpowered demodulation succeeded")
+	}
+	tg.UpdatePower(tg.Model.MinPeakPower() * 2)
+	cmd, err := tg.DemodulateDownlink(env, pie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Type() != gen2.CmdQuery {
+		t.Fatalf("demodulated %s", cmd.Type())
+	}
+	reply := tg.HandleCommand(cmd)
+	if reply.Kind != gen2.ReplyRN16 {
+		t.Fatalf("reply = %s", reply.Kind)
+	}
+}
+
+func TestCIBPeakPowersTagThatCWCannot(t *testing.T) {
+	// The headline mechanism, in units: a received power whose *average*
+	// is below sensitivity but whose CIB peak (N× average, §3.4) is above
+	// it powers the tag, while the same average power from one antenna
+	// (flat envelope) does not.
+	m := StandardTag()
+	pMin := m.MinPeakPower()
+	avg := pMin / 4 // single antenna delivering a quarter of sensitivity
+	if m.PowersUp(avg) {
+		t.Fatal("flat envelope at pMin/4 powered the tag")
+	}
+	// 8-antenna CIB: peak ≈ N²·(per-antenna power)… with per-antenna
+	// average avg/8, peak = 8·avg (aligned amplitudes: (8·√(avg/8))² ).
+	peak := 8 * avg
+	if !m.PowersUp(peak) {
+		t.Fatal("CIB peak did not power the tag")
+	}
+}

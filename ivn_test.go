@@ -1,0 +1,351 @@
+package ivn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ivn/internal/em"
+	"ivn/internal/gen2"
+	"ivn/internal/scenario"
+	"ivn/internal/tag"
+)
+
+func TestNewDefaults(t *testing.T) {
+	sys, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Beamformer.N() != 10 {
+		t.Fatalf("N = %d", sys.Beamformer.N())
+	}
+	if got := sys.FrequencyPlan(); len(got) != 10 || got[9] != 137 {
+		t.Fatalf("plan = %v", got)
+	}
+	if sys.Reader.TxFreq != 880e6 {
+		t.Fatalf("reader at %v", sys.Reader.TxFreq)
+	}
+}
+
+func TestNewConfigOverrides(t *testing.T) {
+	sys, err := New(Config{Antennas: 4, CenterFreq: 920e6, ReaderFreq: 866e6, AveragingPeriods: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Beamformer.N() != 4 || sys.Beamformer.CenterFreq != 920e6 {
+		t.Fatal("beamformer overrides ignored")
+	}
+	if sys.Reader.TxFreq != 866e6 || sys.Reader.AveragingPeriods != 4 {
+		t.Fatal("reader overrides ignored")
+	}
+	if _, err := New(Config{Offsets: []float64{5}, Antennas: 1}); err == nil {
+		t.Fatal("invalid offsets accepted")
+	}
+}
+
+func TestInventoryFullExchange(t *testing.T) {
+	sys, err := New(Config{Antennas: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := sys.Inventory(scenario.NewAir(3), tag.StandardTag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !session.Powered || !session.Decoded {
+		t.Fatalf("3 m exchange failed: %s", session)
+	}
+	if session.EPC == nil {
+		t.Fatalf("EPC not recovered: %s", session)
+	}
+	if session.Correlation < 0.8 {
+		t.Fatalf("correlation %v", session.Correlation)
+	}
+	if !strings.Contains(session.String(), "EPC=") {
+		t.Fatalf("session string: %s", session)
+	}
+}
+
+func TestInventoryDeepTissueMiniature(t *testing.T) {
+	// The headline capability: a miniature tag at 11 cm in fluid.
+	sys, err := New(Config{Antennas: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario.NewTank(0.9, em.Water, 0.08)
+	sc.FixedOrientation = 0
+	session, err := sys.Inventory(sc, tag.MiniatureTag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !session.Powered {
+		t.Fatalf("miniature tag not powered at 8 cm: %s", session)
+	}
+}
+
+func TestInventoryFailsOutOfRange(t *testing.T) {
+	sys, err := New(Config{Antennas: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := sys.Inventory(scenario.NewAir(300), tag.MiniatureTag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.Powered {
+		t.Fatalf("miniature tag powered at 300 m: %s", session)
+	}
+	if !strings.Contains(session.String(), "unpowered") {
+		t.Fatalf("session string: %s", session)
+	}
+}
+
+func TestInventorySelectAddressing(t *testing.T) {
+	sys, err := New(Config{Antennas: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors := map[string]tag.Model{
+		string([]byte{0xE2, 0x00, 0x00, 0x01}): tag.StandardTag(),
+		string([]byte{0xE2, 0x00, 0x00, 0x02}): tag.StandardTag(),
+	}
+	target := []byte{0xE2, 0x00, 0x00, 0x02}
+	session, err := sys.InventorySelect(scenario.NewAir(3), sensors, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !session.Decoded {
+		t.Fatalf("select exchange failed: %s", session)
+	}
+	if !bytes.Equal(session.EPC, target) {
+		t.Fatalf("selected EPC %x, want %x", session.EPC, target)
+	}
+	// A mask matching nobody yields silence, not an error.
+	none, err := sys.InventorySelect(scenario.NewAir(3), sensors, []byte{0xFF, 0xFF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Decoded {
+		t.Fatal("nonexistent target decoded")
+	}
+	if _, err := sys.InventorySelect(scenario.NewAir(3), nil, target); err == nil {
+		t.Fatal("empty sensor map accepted")
+	}
+}
+
+func TestReadWordsAndWriteWord(t *testing.T) {
+	sys, err := New(Config{Antennas: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario.NewTank(0.5, em.GastricFluid, 0.04)
+	sc.FixedOrientation = 0
+
+	// Write an actuation word, then read it back over the air.
+	wr, err := sys.WriteWord(sc, tag.StandardTag(), 0, 0xD05E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wr.Powered || !wr.Decoded || !wr.Written {
+		t.Fatalf("write exchange failed: %+v", wr)
+	}
+	// Reads hit a fresh tag instance (each call realizes a new placement),
+	// so read the TID bank, whose contents are deterministic.
+	rd, err := sys.ReadWords(sc, tag.StandardTag(), gen2.BankTID, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Decoded || len(rd.Words) != 2 {
+		t.Fatalf("read exchange failed: %+v", rd)
+	}
+	if rd.Words[0] != 0xE280 {
+		t.Fatalf("TID class word %#04x", rd.Words[0])
+	}
+	// Out of range: the tag stays silent and the result reports no data.
+	far, err := sys.WriteWord(scenario.NewAir(400), tag.StandardTag(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Written || far.Powered {
+		t.Fatalf("400 m write succeeded: %+v", far)
+	}
+}
+
+func TestInventoryPopulation(t *testing.T) {
+	sys, err := New(Config{Antennas: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors := map[string]tag.Model{}
+	for i := 0; i < 12; i++ {
+		epc := string([]byte{0xE2, 0x01, byte(i), 0x00})
+		sensors[epc] = tag.StandardTag()
+	}
+	sc := scenario.NewTank(0.5, em.Water, 0.05)
+	sc.FixedOrientation = 0
+	epcs, err := sys.InventoryPopulation(sc, sensors, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epcs) != 12 {
+		t.Fatalf("read %d/12 sensors", len(epcs))
+	}
+	seen := map[string]bool{}
+	for _, e := range epcs {
+		if seen[string(e)] {
+			t.Fatalf("duplicate EPC %x", e)
+		}
+		seen[string(e)] = true
+		if _, known := sensors[string(e)]; !known {
+			t.Fatalf("phantom EPC %x", e)
+		}
+	}
+	// An out-of-range population reads nothing, without error.
+	far, err := sys.InventoryPopulation(scenario.NewAir(500), sensors, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(far) != 0 {
+		t.Fatalf("read %d sensors at 500 m", len(far))
+	}
+	if _, err := sys.InventoryPopulation(sc, nil, 3); err == nil {
+		t.Fatal("empty population accepted")
+	}
+}
+
+func TestSurveyGain(t *testing.T) {
+	sys, err := New(Config{Antennas: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sys.SurveyGain(scenario.NewTank(0.5, em.Water, 0.10), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median < 10 {
+		t.Fatalf("8-antenna median gain %v, want > 10", s.Median)
+	}
+	if _, err := sys.SurveyGain(scenario.NewAir(1), 0); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+}
+
+func TestOptimizePlanAndPaperPlan(t *testing.T) {
+	plan, err := OptimizePlan(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Offsets) != 4 || plan.RMS > plan.Limit {
+		t.Fatalf("bad plan: %s", plan)
+	}
+	if got := PaperPlan(); len(got) != 10 || got[0] != 0 {
+		t.Fatalf("paper plan = %v", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		sys, err := New(Config{Antennas: 8, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		session, err := sys.Inventory(scenario.NewAir(4), tag.StandardTag())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return session.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("sessions differ across identical seeds:\n%s\n%s", a, b)
+	}
+}
+
+func TestSessionStringVariants(t *testing.T) {
+	cases := []struct {
+		s    Session
+		want string
+	}{
+		{Session{PeakPowerDBm: -20}, "unpowered"},
+		{Session{Powered: true, PeakPowerDBm: 3}, "uplink not decoded"},
+		{Session{Powered: true, Decoded: true, RN16: 0xAB, Correlation: 0.9, PeakPowerDBm: 3}, "RN16="},
+		{Session{Powered: true, Decoded: true, RN16: 0xAB, EPC: []byte{1, 2}, Correlation: 0.9}, "EPC="},
+	}
+	for i, c := range cases {
+		if got := c.s.String(); !strings.Contains(got, c.want) {
+			t.Errorf("case %d: %q missing %q", i, got, c.want)
+		}
+	}
+}
+
+func TestBestKnownPlanFacade(t *testing.T) {
+	p, err := BestKnownPlan(8)
+	if err != nil || len(p) != 8 {
+		t.Fatalf("BestKnownPlan(8) = %v, %v", p, err)
+	}
+	// A system built on the best-known plan works end to end.
+	sys, err := New(Config{Offsets: p, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := sys.Inventory(scenario.NewAir(3), tag.StandardTag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !session.Decoded {
+		t.Fatalf("best-known-plan system failed: %s", session)
+	}
+	if _, err := BestKnownPlan(42); err == nil {
+		t.Fatal("n=42 accepted")
+	}
+}
+
+func TestWriteWordSecured(t *testing.T) {
+	const pwd = 0xA1B2C3D4
+	provision := func(l *gen2.TagLogic) { l.SetAccessPassword(pwd) }
+	sc := scenario.NewTank(0.5, em.GastricFluid, 0.04)
+	sc.FixedOrientation = 0
+
+	// Correct password: the dose lands.
+	sys, err := New(Config{Antennas: 8, Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.WriteWordSecured(sc, tag.StandardTag(), provision, pwd, 0, 0x0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Written {
+		t.Fatalf("authorized secured write failed: %+v", res)
+	}
+
+	// Wrong password: powered, but the actuator never confirms.
+	sys2, err := New(Config{Antennas: 8, Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sys2.WriteWordSecured(sc, tag.StandardTag(), provision, pwd^1, 0, 0x0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Written {
+		t.Fatal("wrong password triggered the actuator")
+	}
+	if !res2.Powered {
+		t.Fatalf("tag should still power up: %+v", res2)
+	}
+
+	// An unauthenticated plain Write against a protected tag also fails.
+	sys3, err := New(Config{Antennas: 8, Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, bits, err := sys3.accessWith(sc, tag.StandardTag(), provision, func(h uint16) []gen2.Command {
+		return []gen2.Command{&gen2.Write{Bank: gen2.BankUser, WordPtr: 0, Data: 1, Handle: h}}
+	}, gen2.ReplyWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != nil || res3.Written {
+		t.Fatal("unauthenticated write against protected tag succeeded")
+	}
+}
