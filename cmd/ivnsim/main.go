@@ -6,6 +6,7 @@
 //	ivnsim -list
 //	ivnsim -run fig9 [-seed 1] [-trials 150] [-csv]
 //	ivnsim -run all [-quick]
+//	ivnsim -run fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,22 +14,60 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ivn/internal/ivnsim"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main body so deferred profile writers execute before
+// the process exits (os.Exit in main would skip them).
+func run() int {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment id to run, or \"all\"")
-		seed   = flag.Uint64("seed", 1, "random seed (equal seeds reproduce identical tables)")
-		trials = flag.Int("trials", 0, "override the experiment's trial count (0 = default)")
-		quick  = flag.Bool("quick", false, "reduced workload")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		outDir = flag.String("out", "", "also write each result to DIR/<id>.txt and DIR/<id>.csv")
+		list       = flag.Bool("list", false, "list available experiments")
+		runID      = flag.String("run", "", "experiment id to run, or \"all\"")
+		seed       = flag.Uint64("seed", 1, "random seed (equal seeds reproduce identical tables)")
+		trials     = flag.Int("trials", 0, "override the experiment's trial count (0 = default)")
+		quick      = flag.Bool("quick", false, "reduced workload")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir     = flag.String("out", "", "also write each result to DIR/<id>.txt and DIR/<id>.csv")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to FILE")
+		memProfile = flag.String("memprofile", "", "write a heap profile to FILE on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ivnsim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ivnsim: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -36,27 +75,28 @@ func main() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 			fmt.Printf("%-20s paper: %s\n", "", e.Paper)
 		}
-	case *run == "all":
+	case *runID == "all":
 		for _, e := range ivnsim.Registry() {
 			if err := runOne(e, *seed, *trials, *quick, *csv, *outDir); err != nil {
 				fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
-				os.Exit(1)
+				return 1
 			}
 		}
-	case *run != "":
-		e, err := ivnsim.ByID(*run)
+	case *runID != "":
+		e, err := ivnsim.ByID(*runID)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ivnsim: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := runOne(e, *seed, *trials, *quick, *csv, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, csv bool, outDir string) error {

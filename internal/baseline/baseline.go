@@ -19,6 +19,8 @@ import (
 	"math"
 	"math/cmplx"
 
+	"ivn/internal/phasor"
+	"ivn/internal/pool"
 	"ivn/internal/radio"
 	"ivn/internal/rng"
 )
@@ -87,21 +89,90 @@ func PhasedArray(n int, freq, perAntennaAmplitude, spacing, steerAngle float64) 
 	return out, nil
 }
 
-// PeakReceivedPower returns the maximum instantaneous power of the
-// superposition of carriers through the given per-carrier channels,
-// scanned over `duration` seconds at `samples` points. For same-frequency
-// carrier sets the envelope is constant and one sample suffices; for CIB
-// sets the scan finds the beat maximum. This is the quantity the paper's
-// "peak power" measurements capture (§6.1.1).
-func PeakReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
+// scanSpec validates a (carriers, chans, duration, samples) scan request.
+// It returns done=true when the caller should return immediately with the
+// given power/err (empty carrier set, or an invalid spec).
+func scanSpec(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (power float64, done bool, err error) {
 	if len(carriers) != len(chans) {
-		return 0, fmt.Errorf("baseline: %d carriers, %d channels", len(carriers), len(chans))
+		return 0, true, fmt.Errorf("baseline: %d carriers, %d channels", len(carriers), len(chans))
 	}
 	if len(carriers) == 0 {
-		return 0, nil
+		return 0, true, nil
 	}
 	if duration <= 0 || samples < 1 {
-		return 0, fmt.Errorf("baseline: bad scan spec duration=%v samples=%d", duration, samples)
+		return 0, true, fmt.Errorf("baseline: bad scan spec duration=%v samples=%d", duration, samples)
+	}
+	return 0, false, nil
+}
+
+// carrierPhasors fills pooled scratch with the kernel representation of a
+// carrier set seen through per-carrier channels: baseband frequencies
+// relative to the first carrier, and complex coefficients
+// Aᵢ·e^{jφᵢ}·hᵢ. Callers must release both slices via pool.PutFloat64 /
+// pool.PutComplex128.
+func carrierPhasors(carriers []radio.Carrier, chans []complex128) (freqs []float64, coeffs []complex128) {
+	f0 := carriers[0].Freq
+	freqs = pool.Float64(len(carriers))
+	coeffs = pool.Complex128(len(carriers))
+	for i, c := range carriers {
+		freqs[i] = c.Freq - f0
+		s, cs := math.Sincos(c.Phase)
+		coeffs[i] = complex(c.Amplitude*cs, c.Amplitude*s) * chans[i]
+	}
+	return freqs, coeffs
+}
+
+// PeakReceivedPower returns the maximum instantaneous power of the
+// superposition of carriers through the given per-carrier channels,
+// scanned over the half-open interval [0, duration) at `samples` equally
+// spaced points t_k = duration·k/samples, k = 0..samples−1; the endpoint
+// t = duration is excluded (for a full beat period it duplicates t = 0).
+// For same-frequency carrier sets the envelope is constant and one sample
+// suffices; for CIB sets the scan finds the beat maximum. This is the
+// quantity the paper's "peak power" measurements capture (§6.1.1).
+//
+// The scan runs on the shared phasor-recurrence kernel
+// (internal/phasor); NaivePeakReceivedPower retains the direct
+// per-sample evaluation as the golden reference.
+func PeakReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
+	if p, done, err := scanSpec(carriers, chans, duration, samples); done {
+		return p, err
+	}
+	freqs, coeffs := carrierPhasors(carriers, chans)
+	best := phasor.PeakPower(freqs, coeffs, 0, duration/float64(samples), samples)
+	pool.PutComplex128(coeffs)
+	pool.PutFloat64(freqs)
+	return best, nil
+}
+
+// PeakReceivedPowerRefined is PeakReceivedPower with a coarse-to-fine
+// scan: a coarse pass over coarseSamples points locates the top beat
+// cells, then only their neighborhoods are rescanned at the full
+// `samples` resolution. The result is always the power at one of the
+// fine-grid sample points of PeakReceivedPower's half-open [0, duration)
+// grid, and matches the full scan whenever the coarse grid still
+// oversamples the envelope (true for flatness-constrained CIB plans,
+// whose beat bandwidth is ≤ a few hundred Hz, against coarse grids of
+// thousands of points per second). samples must be a positive multiple of
+// coarseSamples for refinement to engage; otherwise the full scan runs.
+func PeakReceivedPowerRefined(carriers []radio.Carrier, chans []complex128, duration float64, coarseSamples, samples int) (float64, error) {
+	if p, done, err := scanSpec(carriers, chans, duration, samples); done {
+		return p, err
+	}
+	freqs, coeffs := carrierPhasors(carriers, chans)
+	best := phasor.PeakPowerRefined(freqs, coeffs, duration, coarseSamples, samples)
+	pool.PutComplex128(coeffs)
+	pool.PutFloat64(freqs)
+	return best, nil
+}
+
+// NaivePeakReceivedPower is the direct evaluation of PeakReceivedPower —
+// one Sincos per carrier per sample on the same half-open [0, duration)
+// grid. It is kept as the golden reference the kernel-backed scans are
+// tested against and is not used on any hot path.
+func NaivePeakReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
+	if p, done, err := scanSpec(carriers, chans, duration, samples); done {
+		return p, err
 	}
 	// Reference frequency: the first carrier; only offsets matter.
 	f0 := carriers[0].Freq
@@ -124,32 +195,25 @@ func PeakReceivedPower(carriers []radio.Carrier, chans []complex128, duration fl
 }
 
 // AverageReceivedPower returns the time-averaged received power of the
-// superposition — equal for CIB and a blind array with the same channels
-// and per-antenna power ("the average received energy is the same across
-// both encoding schemes", §3.4).
+// superposition over the same half-open [0, duration) grid as
+// PeakReceivedPower — equal for CIB and a blind array with the same
+// channels and per-antenna power ("the average received energy is the
+// same across both encoding schemes", §3.4).
 func AverageReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
-	if len(carriers) != len(chans) {
-		return 0, fmt.Errorf("baseline: %d carriers, %d channels", len(carriers), len(chans))
+	if p, done, err := scanSpec(carriers, chans, duration, samples); done {
+		return p, err
 	}
-	if len(carriers) == 0 {
-		return 0, nil
-	}
-	if duration <= 0 || samples < 1 {
-		return 0, fmt.Errorf("baseline: bad scan spec duration=%v samples=%d", duration, samples)
-	}
-	f0 := carriers[0].Freq
+	freqs, coeffs := carrierPhasors(carriers, chans)
+	re := pool.Float64(samples)
+	im := pool.Float64(samples)
+	phasor.SumSeries(freqs, coeffs, 0, duration/float64(samples), samples, re, im)
 	var acc float64
 	for k := 0; k < samples; k++ {
-		t := duration * float64(k) / float64(samples)
-		var re, im float64
-		for i, c := range carriers {
-			ph := 2*math.Pi*(c.Freq-f0)*t + c.Phase
-			s, cs := math.Sincos(ph)
-			v := complex(c.Amplitude*cs, c.Amplitude*s) * chans[i]
-			re += real(v)
-			im += imag(v)
-		}
-		acc += re*re + im*im
+		acc += re[k]*re[k] + im[k]*im[k]
 	}
+	pool.PutFloat64(im)
+	pool.PutFloat64(re)
+	pool.PutComplex128(coeffs)
+	pool.PutFloat64(freqs)
 	return acc / float64(samples), nil
 }

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 
+	"ivn/internal/phasor"
+	"ivn/internal/pool"
 	"ivn/internal/rng"
 )
 
@@ -28,6 +30,9 @@ import (
 // factoring out the common carrier). offsets and betas must have equal
 // length; Envelope panics otherwise because the mismatch is always a
 // programming error.
+//
+// Envelope is the naive (one Sincos per carrier) evaluation and serves as
+// the golden reference for the phasor-recurrence series kernels below.
 func Envelope(offsets, betas []float64, t float64) float64 {
 	if len(offsets) != len(betas) {
 		panic("core: offsets/betas length mismatch")
@@ -41,56 +46,46 @@ func Envelope(offsets, betas []float64, t float64) float64 {
 	return math.Hypot(re, im)
 }
 
-// EnvelopeSeries samples Y(t) at n points over [0, period). It reuses dst
-// when it has capacity.
+// phaseCoeffs fills a pooled complex scratch with the unit phasors
+// e^{jβᵢ}; the caller must return it via pool.PutComplex128.
+func phaseCoeffs(betas []float64) []complex128 {
+	coeffs := pool.Complex128(len(betas))
+	for i, b := range betas {
+		s, c := math.Sincos(b)
+		coeffs[i] = complex(c, s)
+	}
+	return coeffs
+}
+
+// EnvelopeSeries samples Y(t) at n points over the half-open interval
+// [0, period): t_k = period·k/n for k = 0..n−1, excluding t = period
+// (which, for integer-offset plans over one period, duplicates t = 0 —
+// the same convention baseline.PeakReceivedPower scans with). It reuses
+// dst when it has capacity. The evaluation runs on the shared
+// phasor-recurrence kernel with pooled scratch, so steady-state calls
+// with a recycled dst do not allocate.
 func EnvelopeSeries(offsets, betas []float64, period float64, n int, dst []float64) []float64 {
 	if cap(dst) >= n {
 		dst = dst[:n]
 	} else {
 		dst = make([]float64, n)
 	}
-	// Phasor recurrence per carrier: O(N·n) with two multiplies per step.
-	res := make([]float64, n)
-	ims := make([]float64, n)
-	dt := period / float64(n)
-	for i, df := range offsets {
-		step := 2 * math.Pi * df * dt
-		ss, cs := math.Sincos(step)
-		rotRe, rotIm := cs, ss
-		s0, c0 := math.Sincos(betas[i])
-		curRe, curIm := c0, s0
-		for k := 0; k < n; k++ {
-			res[k] += curRe
-			ims[k] += curIm
-			curRe, curIm = curRe*rotRe-curIm*rotIm, curRe*rotIm+curIm*rotRe
-			if k&2047 == 2047 {
-				m := math.Hypot(curRe, curIm)
-				if m != 0 {
-					curRe /= m
-					curIm /= m
-				}
-			}
-		}
-	}
-	for k := 0; k < n; k++ {
-		dst[k] = math.Hypot(res[k], ims[k])
-	}
+	coeffs := phaseCoeffs(betas)
+	phasor.MagnitudeSeries(offsets, coeffs, 0, period/float64(n), n, dst)
+	pool.PutComplex128(coeffs)
 	return dst
 }
 
-// PeakEnvelope returns max over n samples of Y(t) for t ∈ [0, period).
+// PeakEnvelope returns max over n samples of Y(t) for t ∈ [0, period)
+// (half-open grid, as in EnvelopeSeries).
 func PeakEnvelope(offsets, betas []float64, period float64, n int) float64 {
-	if len(offsets) == 0 {
+	if len(offsets) == 0 || n <= 0 {
 		return 0
 	}
-	buf := EnvelopeSeries(offsets, betas, period, n, nil)
-	peak := buf[0]
-	for _, v := range buf[1:] {
-		if v > peak {
-			peak = v
-		}
-	}
-	return peak
+	coeffs := phaseCoeffs(betas)
+	p := phasor.PeakPower(offsets, coeffs, 0, period/float64(n), n)
+	pool.PutComplex128(coeffs)
+	return math.Sqrt(p)
 }
 
 // FractionAbove returns the fraction of time Y(t) exceeds level over one
@@ -99,13 +94,15 @@ func FractionAbove(offsets, betas []float64, level, period float64, n int) float
 	if len(offsets) == 0 || n <= 0 {
 		return 0
 	}
-	buf := EnvelopeSeries(offsets, betas, period, n, nil)
+	buf := pool.Float64(n)
+	EnvelopeSeries(offsets, betas, period, n, buf)
 	count := 0
 	for _, v := range buf {
 		if v > level {
 			count++
 		}
 	}
+	pool.PutFloat64(buf)
 	return float64(count) / float64(n)
 }
 
@@ -130,20 +127,20 @@ func ExpectedPeak(offsets []float64, trials, samplesPerTrial int, r *rng.Rand) f
 	if len(offsets) == 0 || trials <= 0 || samplesPerTrial <= 0 {
 		return 0
 	}
-	betas := make([]float64, len(offsets))
-	buf := make([]float64, samplesPerTrial)
+	betas := pool.Float64(len(offsets))
+	coeffs := pool.Complex128(len(offsets))
+	dt := 1.0 / float64(samplesPerTrial)
 	var acc float64
 	for t := 0; t < trials; t++ {
 		drawBetas(betas, r)
-		buf = EnvelopeSeries(offsets, betas, 1.0, samplesPerTrial, buf)
-		peak := buf[0]
-		for _, v := range buf[1:] {
-			if v > peak {
-				peak = v
-			}
+		for i, b := range betas {
+			s, c := math.Sincos(b)
+			coeffs[i] = complex(c, s)
 		}
-		acc += peak
+		acc += math.Sqrt(phasor.PeakPower(offsets, coeffs, 0, dt, samplesPerTrial))
 	}
+	pool.PutComplex128(coeffs)
+	pool.PutFloat64(betas)
 	return acc / float64(trials)
 }
 
@@ -152,19 +149,19 @@ func ExpectedPeak(offsets []float64, trials, samplesPerTrial int, r *rng.Rand) f
 // β draw. The returned slice has trials entries.
 func PeakCDF(offsets []float64, trials, samplesPerTrial int, r *rng.Rand) []float64 {
 	out := make([]float64, 0, trials)
-	betas := make([]float64, len(offsets))
-	buf := make([]float64, samplesPerTrial)
+	betas := pool.Float64(len(offsets))
+	coeffs := pool.Complex128(len(offsets))
+	dt := 1.0 / float64(samplesPerTrial)
 	for t := 0; t < trials; t++ {
 		drawBetas(betas, r)
-		buf = EnvelopeSeries(offsets, betas, 1.0, samplesPerTrial, buf)
-		peak := buf[0]
-		for _, v := range buf[1:] {
-			if v > peak {
-				peak = v
-			}
+		for i, b := range betas {
+			s, c := math.Sincos(b)
+			coeffs[i] = complex(c, s)
 		}
-		out = append(out, peak*peak)
+		out = append(out, phasor.PeakPower(offsets, coeffs, 0, dt, samplesPerTrial))
 	}
+	pool.PutComplex128(coeffs)
+	pool.PutFloat64(betas)
 	return out
 }
 
@@ -186,12 +183,16 @@ func ExpectedConductionFraction(offsets []float64, level float64, trials, sample
 }
 
 // MaxDwellAbove returns the longest contiguous time (seconds, out of one
-// 1 s period) the envelope stays above level for a given phase draw.
+// 1 s period) the envelope stays above level for a given phase draw. The
+// envelope is sampled on the same half-open grid as EnvelopeSeries
+// (t ∈ [0, 1), samples points).
 func MaxDwellAbove(offsets, betas []float64, level float64, samples int) float64 {
 	if len(offsets) == 0 || samples <= 0 {
 		return 0
 	}
-	buf := EnvelopeSeries(offsets, betas, 1.0, samples, nil)
+	buf := pool.Float64(samples)
+	defer pool.PutFloat64(buf)
+	EnvelopeSeries(offsets, betas, 1.0, samples, buf)
 	dt := 1.0 / float64(samples)
 	best, run := 0, 0
 	// The envelope is 1-periodic; handle a run wrapping the period edge by

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+// Golden equivalence: the kernel-backed series functions must agree with
+// the naive Envelope reference to ≤1e-9 relative error.
+
+func TestEnvelopeSeriesMatchesNaiveEnvelope(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(12)
+		offsets := make([]float64, n)
+		betas := make([]float64, n)
+		sameFreq := trial%5 == 4
+		for i := range offsets {
+			if sameFreq {
+				offsets[i] = 37
+			} else {
+				offsets[i] = float64(r.Intn(200))
+			}
+			betas[i] = r.Phase()
+		}
+		const samples = 2048
+		series := EnvelopeSeries(offsets, betas, 1.0, samples, nil)
+		for k := 0; k < samples; k += 17 {
+			want := Envelope(offsets, betas, float64(k)/samples)
+			if math.Abs(series[k]-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d k=%d: series %v, naive %v", trial, k, series[k], want)
+			}
+		}
+	}
+}
+
+func TestPeakEnvelopeMatchesSeriesMax(t *testing.T) {
+	r := rng.New(32)
+	for trial := 0; trial < 10; trial++ {
+		offsets := PaperOffsets()
+		betas := make([]float64, len(offsets))
+		drawBetas(betas, r)
+		const samples = 4096
+		series := EnvelopeSeries(offsets, betas, 1.0, samples, nil)
+		want := 0.0
+		for _, v := range series {
+			if v > want {
+				want = v
+			}
+		}
+		got := PeakEnvelope(offsets, betas, 1.0, samples)
+		if math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("trial %d: PeakEnvelope %v, series max %v", trial, got, want)
+		}
+	}
+}
+
+func TestMaxDwellAboveMatchesSeriesScan(t *testing.T) {
+	// MaxDwellAbove's pooled-buffer rewrite must agree with a direct scan
+	// of the same half-open series.
+	r := rng.New(33)
+	offsets := PaperOffsets()[:5]
+	betas := make([]float64, len(offsets))
+	drawBetas(betas, r)
+	const samples = 1024
+	level := 2.0
+	series := EnvelopeSeries(offsets, betas, 1.0, samples, nil)
+	best, run := 0, 0
+	for pass := 0; pass < 2; pass++ {
+		for _, v := range series {
+			if v > level {
+				run++
+				if run > best {
+					best = run
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if best > samples {
+		best = samples
+	}
+	want := float64(best) / samples
+	got := MaxDwellAbove(offsets, betas, level, samples)
+	if got != want {
+		t.Fatalf("MaxDwellAbove %v, direct scan %v", got, want)
+	}
+}

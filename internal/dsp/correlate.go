@@ -1,6 +1,10 @@
 package dsp
 
-import "math"
+import (
+	"math"
+
+	"ivn/internal/pool"
+)
 
 // NormalizedCrossCorrelation slides template over x and returns, at each
 // lag, the Pearson-style normalized correlation in [-1, 1]:
@@ -16,6 +20,14 @@ func NormalizedCrossCorrelation(x, template []float64) []float64 {
 	if m == 0 || n < m {
 		return nil
 	}
+	return normalizedCrossCorrelationInto(make([]float64, n-m+1), x, template)
+}
+
+// normalizedCrossCorrelationInto writes the direct-path correlation into
+// out (which must have length len(x)−len(template)+1) and returns it,
+// letting callers that only reduce the series use pooled scratch.
+func normalizedCrossCorrelationInto(out, x, template []float64) []float64 {
+	m := len(template)
 	tMean := Mean(template)
 	var tNorm float64
 	for _, v := range template {
@@ -24,7 +36,6 @@ func NormalizedCrossCorrelation(x, template []float64) []float64 {
 	}
 	tNorm = math.Sqrt(tNorm)
 
-	out := make([]float64, n-m+1)
 	for lag := range out {
 		seg := x[lag : lag+m]
 		segMean := Mean(seg)
@@ -46,18 +57,23 @@ func NormalizedCrossCorrelation(x, template []float64) []float64 {
 }
 
 // MaxCorrelation returns the highest normalized cross-correlation value and
-// the lag where it occurs. For degenerate inputs it returns (0, -1).
+// the lag where it occurs. For degenerate inputs it returns (0, -1). The
+// correlation series lives in pooled scratch, so the reduction allocates
+// nothing in steady state.
 func MaxCorrelation(x, template []float64) (best float64, lag int) {
-	corr := NormalizedCrossCorrelation(x, template)
-	if len(corr) == 0 {
+	n, m := len(x), len(template)
+	if m == 0 || n < m {
 		return 0, -1
 	}
+	buf := pool.Float64(n - m + 1)
+	corr := normalizedCrossCorrelationInto(buf, x, template)
 	best, lag = corr[0], 0
 	for i, v := range corr[1:] {
 		if v > best {
 			best, lag = v, i+1
 		}
 	}
+	pool.PutFloat64(buf)
 	return best, lag
 }
 

@@ -1,6 +1,10 @@
 package dsp
 
-import "math"
+import (
+	"math"
+
+	"ivn/internal/pool"
+)
 
 // FFT-accelerated correlation. The direct NormalizedCrossCorrelation is
 // O(n·m); for the reader's long coherent captures (seconds of samples
@@ -26,30 +30,44 @@ func FastNormalizedCrossCorrelation(x, template []float64) []float64 {
 	if m < fftCorrMinTemplate || n*m < fftCorrMinWork {
 		return NormalizedCrossCorrelation(x, template)
 	}
-	return fftNormalizedCrossCorrelation(x, template)
+	return fftNormalizedCrossCorrelationInto(make([]float64, n-m+1), x, template)
 }
 
+// fftNormalizedCrossCorrelation runs the FFT path unconditionally,
+// regardless of the crossover heuristics; tests use it to compare the two
+// paths on inputs of any size.
 func fftNormalizedCrossCorrelation(x, template []float64) []float64 {
+	return fftNormalizedCrossCorrelationInto(make([]float64, len(x)-len(template)+1), x, template)
+}
+
+// fftNormalizedCrossCorrelationInto writes the FFT-path correlation into
+// out (length len(x)−len(template)+1) and returns it. All intermediate
+// buffers come from the scratch pool, so repeated calls allocate nothing
+// beyond what the caller provides for out.
+func fftNormalizedCrossCorrelationInto(out, x, template []float64) []float64 {
 	n, m := len(x), len(template)
-	out := make([]float64, n-m+1)
 
 	// Template statistics.
 	tMean := Mean(template)
 	var tNorm float64
-	tc := make([]float64, m)
+	tc := pool.Float64(m)
 	for i, v := range template {
 		tc[i] = v - tMean
 		tNorm += tc[i] * tc[i]
 	}
 	tNorm = math.Sqrt(tNorm)
 	if tNorm == 0 {
-		return out // zero-variance template correlates as 0 everywhere
+		pool.PutFloat64(tc)
+		for i := range out {
+			out[i] = 0 // zero-variance template correlates as 0 everywhere
+		}
+		return out
 	}
 
 	// Sliding dot products x ⋆ (t − t̄) via FFT convolution.
 	size := NextPow2(n + m)
-	fx := make([]complex128, size)
-	ft := make([]complex128, size)
+	fx := pool.Complex128(size)
+	ft := pool.Complex128(size)
 	for i, v := range x {
 		fx[i] = complex(v, 0)
 	}
@@ -57,21 +75,18 @@ func fftNormalizedCrossCorrelation(x, template []float64) []float64 {
 	for i, v := range tc {
 		ft[m-1-i] = complex(v, 0)
 	}
+	pool.PutFloat64(tc)
 	FFT(fx)
 	FFT(ft)
 	for i := range fx {
 		fx[i] *= ft[i]
 	}
 	IFFT(fx)
-	// dot[lag] lands at index lag + m - 1 of the linear convolution.
-	dots := make([]float64, n-m+1)
-	for lag := range dots {
-		dots[lag] = real(fx[lag+m-1])
-	}
+	pool.PutComplex128(ft)
 
 	// Segment means and energies via prefix sums.
-	prefix := make([]float64, n+1)
-	prefixSq := make([]float64, n+1)
+	prefix := pool.Float64(n + 1)
+	prefixSq := pool.Float64(n + 1)
 	for i, v := range x {
 		prefix[i+1] = prefix[i] + v
 		prefixSq[i+1] = prefixSq[i] + v*v
@@ -81,8 +96,10 @@ func fftNormalizedCrossCorrelation(x, template []float64) []float64 {
 		sum := prefix[lag+m] - prefix[lag]
 		sumSq := prefixSq[lag+m] - prefixSq[lag]
 		segMean := sum / fm
-		// Σ(x−x̄)(t−t̄) = Σ x·(t−t̄) − x̄·Σ(t−t̄) = dots[lag] (Σ(t−t̄)=0).
-		dot := dots[lag]
+		// Σ(x−x̄)(t−t̄) = Σ x·(t−t̄) − x̄·Σ(t−t̄); the second term vanishes
+		// because Σ(t−t̄)=0, and dot[lag] sits at index lag+m−1 of the
+		// linear convolution still held in fx.
+		dot := real(fx[lag+m-1])
 		xVar := sumSq - fm*segMean*segMean
 		if xVar < 0 {
 			xVar = 0 // numeric guard
@@ -94,14 +111,25 @@ func fftNormalizedCrossCorrelation(x, template []float64) []float64 {
 			out[lag] = dot / den
 		}
 	}
+	pool.PutFloat64(prefixSq)
+	pool.PutFloat64(prefix)
+	pool.PutComplex128(fx)
 	return out
 }
 
-// FastMaxCorrelation mirrors MaxCorrelation over the fast path.
+// FastMaxCorrelation mirrors MaxCorrelation over the fast path, reducing
+// a pooled correlation series so steady-state calls allocate nothing.
 func FastMaxCorrelation(x, template []float64) (best float64, lag int) {
-	corr := FastNormalizedCrossCorrelation(x, template)
-	if len(corr) == 0 {
+	n, m := len(x), len(template)
+	if m == 0 || n < m {
 		return 0, -1
+	}
+	buf := pool.Float64(n - m + 1)
+	var corr []float64
+	if m < fftCorrMinTemplate || n*m < fftCorrMinWork {
+		corr = normalizedCrossCorrelationInto(buf, x, template)
+	} else {
+		corr = fftNormalizedCrossCorrelationInto(buf, x, template)
 	}
 	best, lag = corr[0], 0
 	for i, v := range corr[1:] {
@@ -109,5 +137,6 @@ func FastMaxCorrelation(x, template []float64) (best float64, lag int) {
 			best, lag = v, i+1
 		}
 	}
+	pool.PutFloat64(buf)
 	return best, lag
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier
@@ -30,6 +31,28 @@ func IFFT(x []complex128) {
 	}
 }
 
+// twiddleCache memoizes per-size twiddle tables: for size n the table
+// holds tw[k] = e^{-j·2πk/n} for k ∈ [0, n/2). Every stage of an n-point
+// transform indexes the same table with stride n/size, so one table
+// serves the whole transform, and repeated transforms of the simulator's
+// few recurring sizes pay the Sincos cost once per size ever. Direct
+// evaluation per entry (rather than accumulating w *= wBase) also removes
+// the rounding drift of the running-product form.
+var twiddleCache sync.Map // int -> []complex128
+
+func twiddles(n int) []complex128 {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		tw[k] = complex(c, s)
+	}
+	v, _ := twiddleCache.LoadOrStore(n, tw)
+	return v.([]complex128)
+}
+
 func fftDir(x []complex128, inverse bool) {
 	n := len(x)
 	if n == 0 {
@@ -46,23 +69,22 @@ func fftDir(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Danielson-Lanczos butterflies.
+	tw := twiddles(n)
+	// Danielson-Lanczos butterflies. Stage `size` uses every (n/size)-th
+	// table entry; the inverse transform conjugates on the fly.
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := 2 * math.Pi / float64(size)
-		if !inverse {
-			step = -step
-		}
-		ws, wc := math.Sincos(step)
-		wBase := complex(wc, ws)
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
+				w := tw[k*stride]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
 				x[start+k+half] = a - b
-				w *= wBase
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"ivn/internal/core"
 	"ivn/internal/em"
 	"ivn/internal/gen2"
+	"ivn/internal/pool"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
 	"ivn/internal/rng"
@@ -107,35 +108,43 @@ func runAblationEqualPower(cfg Config) (*Table, error) {
 	sc := scenario.NewTank(0.5, em.Water, 0.10)
 	parent := rng.New(cfg.Seed)
 	for _, n := range []int{2, 4, 8, 10} {
-		var eq, full []float64
-		for i := 0; i < trials; i++ {
-			r := parent.SplitIndexed(fmt.Sprintf("eqp-%d", n), i)
+		// Trials are independent; per-index result slots keep the summary
+		// identical at any GOMAXPROCS.
+		label := fmt.Sprintf("eqp-%d", n)
+		eq := make([]float64, trials)
+		full := make([]float64, trials)
+		err := forEachIndexed(trials, func(i int) error {
+			r := parent.SplitIndexed(label, i)
 			p, err := sc.Realize(n, r)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			chans := DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = n
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			pf, err := baseline.PeakReceivedPower(bf.Carriers(), chans, scanDuration, envelopeScanSamples)
+			pf, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			pe, err := baseline.PeakReceivedPower(bf.EqualPowerCarriers(), chans, scanDuration, envelopeScanSamples)
+			pe, err := baseline.PeakReceivedPowerRefined(bf.EqualPowerCarriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			single := baseline.SingleAntenna(915e6, chainAmplitude())
 			ps, err := baseline.PeakReceivedPower(single, chans[:1], scanDuration, 1)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			eq = append(eq, pe/ps)
-			full = append(full, pf/ps)
+			eq[i] = pe / ps
+			full[i] = pf / ps
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		se, err := stats.Summarize(eq)
 		if err != nil {
@@ -220,10 +229,11 @@ func runAblationFlatness(cfg Config) (*Table, error) {
 			offsets[i] = f * scale
 		}
 		rms := core.RMSOffset(offsets)
-		ok := 0
-		var worstFluct float64
-		for trial := 0; trial < trials; trial++ {
-			r := parent.SplitIndexed(fmt.Sprintf("flat-%v", scale), trial)
+		label := fmt.Sprintf("flat-%v", scale)
+		decoded := make([]bool, trials)
+		fluct := make([]float64, trials)
+		err := forEachIndexed(trials, func(trial int) error {
+			r := parent.SplitIndexed(label, trial)
 			betas := make([]float64, len(offsets))
 			for i := range betas {
 				if i > 0 {
@@ -246,12 +256,22 @@ func runAblationFlatness(cfg Config) (*Table, error) {
 				}
 			}
 			if hi > 0 {
-				worstFluct = math.Max(worstFluct, (hi-lo)/hi)
+				fluct[trial] = (hi - lo) / hi
 			}
 			got, _, err := pie.DecodeFrame(combined)
-			if err == nil && got.Equal(bits) {
+			decoded[trial] = err == nil && got.Equal(bits)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := 0
+		var worstFluct float64
+		for trial := 0; trial < trials; trial++ {
+			if decoded[trial] {
 				ok++
 			}
+			worstFluct = math.Max(worstFluct, fluct[trial])
 		}
 		t.AddRow(
 			fmt.Sprintf("%.0f", rms),
@@ -272,14 +292,17 @@ func mustLimitFor(pie gen2.PIEParams, bits gen2.Bits) float64 {
 }
 
 func peakIndex(offsets, betas []float64) (float64, float64) {
-	best, bestT := 0.0, 0.0
-	for k := 0; k < 4096; k++ {
-		tm := float64(k) / 4096
-		if y := core.Envelope(offsets, betas, tm); y > best {
-			best, bestT = y, tm
+	const n = 4096
+	buf := pool.Float64(n)
+	defer pool.PutFloat64(buf)
+	core.EnvelopeSeries(offsets, betas, 1.0, n, buf)
+	best, bestK := 0.0, 0
+	for k, y := range buf {
+		if y > best {
+			best, bestK = y, k
 		}
 	}
-	return best, bestT
+	return best, float64(bestK) / n
 }
 
 func ones(n int) []float64 {
@@ -301,35 +324,35 @@ func runAblationAveraging(cfg Config) (*Table, error) {
 	sc := scenario.NewSwine(scenario.Gastric)
 	model := tag.StandardTag()
 	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
-		ok := 0
-		for i := 0; i < trials; i++ {
+		decoded := make([]bool, trials)
+		err := forEachIndexed(trials, func(i int) error {
 			r := parent.SplitIndexed("avg", i) // same placements across K
 			p, err := sc.Realize(8, r)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			chans := DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = 8
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			peak, err := baseline.PeakReceivedPower(bf.Carriers(), chans, scanDuration, envelopeScanSamples)
+			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tg.UpdatePower(peak)
 			if !tg.Powered() {
-				continue
+				return nil
 			}
 			reply := tg.HandleCommand(&gen2.Query{Q: 0})
 			if reply.Kind != gen2.ReplyRN16 {
-				continue
+				return nil
 			}
 			rd := reader.New()
 			rd.AveragingPeriods = k
@@ -338,13 +361,23 @@ func runAblationAveraging(cfg Config) (*Table, error) {
 			rd.TxAmplitude = 0.2
 			bs, err := tg.BackscatterWaveform(reply, rd.SamplesPerHalfBit)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tagG := model.AntennaAmplitudeGain()
 			link := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
 			leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
 			jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
 			if dr, err := rd.DecodeUplink(bs, link, jam, len(reply.Bits), r.Split(fmt.Sprintf("ul-%d", k))); err == nil && dr.Bits.Equal(reply.Bits) {
+				decoded[i] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := 0
+		for _, d := range decoded {
+			if d {
 				ok++
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"ivn/internal/core"
 	"ivn/internal/em"
 	"ivn/internal/gen2"
+	"ivn/internal/pool"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
 	"ivn/internal/rng"
@@ -114,9 +115,14 @@ func runAblationFreqError(cfg Config) (*Table, error) {
 	base := core.PaperOffsets()
 	n := len(base)
 	for _, sigma := range []float64{0, 0.05, 0.2, 0.5, 2, 10} {
-		var peakAcc, recurAcc float64
-		for trial := 0; trial < trials; trial++ {
-			r := parent.SplitIndexed(fmt.Sprintf("fe-%v", sigma), trial)
+		// Per-trial slots, summed in index order afterwards: float addition
+		// is not associative, so the reduction order must not depend on
+		// scheduling.
+		label := fmt.Sprintf("fe-%v", sigma)
+		peaks := make([]float64, trials)
+		recurs := make([]float64, trials)
+		err := forEachIndexed(trials, func(trial int) error {
+			r := parent.SplitIndexed(label, trial)
 			offsets := make([]float64, n)
 			for i, f := range base {
 				if i == 0 {
@@ -132,19 +138,29 @@ func runAblationFreqError(cfg Config) (*Table, error) {
 				}
 			}
 			// Peak over the nominal 1 s period.
-			series := core.EnvelopeSeries(offsets, betas, 1, 4096, nil)
+			buf := pool.Float64(4096)
+			defer pool.PutFloat64(buf)
+			series := core.EnvelopeSeries(offsets, betas, 1, 4096, buf)
 			peak, idx := 0.0, 0
 			for k, v := range series {
 				if v > peak {
 					peak, idx = v, k
 				}
 			}
-			peakAcc += peak
+			peaks[trial] = peak
 			// The cyclic-operation guarantee: with exact integer offsets
 			// the same peak recurs at t+10 s; frequency error dephases it.
 			tPeak := float64(idx) / 4096
-			recur := core.Envelope(offsets, betas, tPeak+10)
-			recurAcc += recur / peak
+			recurs[trial] = core.Envelope(offsets, betas, tPeak+10) / peak
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var peakAcc, recurAcc float64
+		for trial := 0; trial < trials; trial++ {
+			peakAcc += peaks[trial]
+			recurAcc += recurs[trial]
 		}
 		t.AddRow(
 			fmt.Sprintf("%.2f", sigma),
@@ -182,7 +198,7 @@ func runAblationHopping(cfg Config) (*Table, error) {
 		for i := range chans {
 			chans[i] = ch.Coefficient(center)
 		}
-		return baseline.PeakReceivedPower(bf.Carriers(), chans, 1, 8192)
+		return baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 	}
 
 	fixed, err := measure(915e6)
@@ -229,35 +245,35 @@ func runAblationPhaseNoise(cfg Config) (*Table, error) {
 	sc := scenario.NewSwine(scenario.Gastric)
 	model := tag.StandardTag()
 	for _, drift := range []float64{0, 0.05, 0.2, 0.5, 2} {
-		ok := 0
-		for i := 0; i < trials; i++ {
+		decoded := make([]bool, trials)
+		err := forEachIndexed(trials, func(i int) error {
 			r := parent.SplitIndexed("pn", i) // same placements across rows
 			p, err := sc.Realize(8, r)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			chans := DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = 8
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			peak, err := baseline.PeakReceivedPower(bf.Carriers(), chans, 1, 8192)
+			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tg.UpdatePower(peak)
 			if !tg.Powered() {
-				continue
+				return nil
 			}
 			replyMsg := tg.HandleCommand(&gen2.Query{Q: 0})
 			if replyMsg.Kind != gen2.ReplyRN16 {
-				continue
+				return nil
 			}
 			rd := reader.New()
 			rd.PhaseDriftPerPeriod = drift
@@ -265,13 +281,23 @@ func runAblationPhaseNoise(cfg Config) (*Table, error) {
 			rd.TxAmplitude = 0.2
 			bs, err := tg.BackscatterWaveform(replyMsg, rd.SamplesPerHalfBit)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tagG := model.AntennaAmplitudeGain()
 			lg := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
 			leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
 			jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
 			if dr, err := rd.DecodeUplink(bs, lg, jam, len(replyMsg.Bits), r.Split("ul")); err == nil && dr.Bits.Equal(replyMsg.Bits) {
+				decoded[i] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := 0
+		for _, d := range decoded {
+			if d {
 				ok++
 			}
 		}

@@ -58,13 +58,25 @@ func runInVivo(cfg Config) (*Table, error) {
 		{scenario.NewSwine(scenario.Subcutaneous), tag.MiniatureTag()},
 	}
 	for ci, c := range cases {
-		powered, decoded := 0, 0
-		for i := 0; i < trials; i++ {
-			r := parent.SplitIndexed(fmt.Sprintf("invivo-%d", ci), i)
+		// Sessions are independent; run them on the worker pool and count
+		// afterwards (counts are order-independent, so the table is
+		// identical at any GOMAXPROCS).
+		label := fmt.Sprintf("invivo-%d", ci)
+		sessions := make([]CommTrial, trials)
+		err := forEachIndexed(trials, func(i int) error {
+			r := parent.SplitIndexed(label, i)
 			tr, err := RunCommTrial(c.sc, 8, c.model, CommOptions{Waveform: true}, r)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			sessions[i] = tr
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		powered, decoded := 0, 0
+		for _, tr := range sessions {
 			if tr.Powered {
 				powered++
 			}

@@ -44,9 +44,12 @@ func runAblationMiller(cfg Config) (*Table, error) {
 		// Per-sample noise sigma for unit-amplitude levels.
 		sigma := powNeg20(snrDB)
 		for _, e := range encodings {
-			errors, total := 0, 0
-			for trial := 0; trial < trials; trial++ {
-				r := parent.SplitIndexed(fmt.Sprintf("ber-%s-%v", e.name, snrDB), trial)
+			// Trials are independent; per-trial error counts summed in index
+			// order keep the BER table identical at any GOMAXPROCS.
+			label := fmt.Sprintf("ber-%s-%v", e.name, snrDB)
+			trialErrs := make([]int, trials)
+			err := forEachIndexed(trials, func(trial int) error {
+				r := parent.SplitIndexed(label, trial)
 				payload := make(gen2.Bits, nbits)
 				for i := range payload {
 					payload[i] = byte(r.Intn(2))
@@ -58,7 +61,7 @@ func runAblationMiller(cfg Config) (*Table, error) {
 					fe := gen2.FM0Encoder{SamplesPerHalfBit: sp}
 					wave, err = fe.Encode(payload)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					pre := len(gen2.FM0PreambleHalfBits) * sp
 					dec := gen2.FM0Decoder{SamplesPerHalfBit: sp}
@@ -69,7 +72,7 @@ func runAblationMiller(cfg Config) (*Table, error) {
 					me := gen2.MillerEncoder{M: e.miller, SamplesPerCycle: 2 * sp}
 					wave, err = me.Encode(payload)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					off := gen2.MillerPayloadOffset(e.miller, 2*sp)
 					dec := gen2.MillerDecoder{M: e.miller, SamplesPerCycle: 2 * sp}
@@ -83,14 +86,21 @@ func runAblationMiller(cfg Config) (*Table, error) {
 				}
 				got, err := decode(noisy)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				for i := range payload {
 					if got[i] != payload[i] {
-						errors++
+						trialErrs[trial]++
 					}
-					total++
 				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			errors, total := 0, trials*nbits
+			for _, e := range trialErrs {
+				errors += e
 			}
 			row = append(row, fmt.Sprintf("%.3f", float64(errors)/float64(total)))
 		}

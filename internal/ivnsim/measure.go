@@ -22,10 +22,46 @@ const (
 	// features at ≤200 Hz offsets span milliseconds, so 8192 points
 	// over-resolve them comfortably.
 	envelopeScanSamples = 8192
+	// envelopeScanCoarse is the coarse stage of the coarse-to-fine peak
+	// scan: 2048 points over the 1 s period is still ≥10× the beat
+	// bandwidth of a flatness-constrained plan, so the fine-grid argmax
+	// always falls inside the refined neighborhoods and the result equals
+	// the full envelopeScanSamples scan.
+	envelopeScanCoarse = 2048
 	// scanDuration is one CIB period (the paper captures 2 s, i.e. two
 	// periods of the same deterministic envelope).
 	scanDuration = 1.0
 )
+
+// forEachIndexed runs fn(0..n-1) on a bounded worker pool (maxParallel
+// goroutines) and returns the error of the lowest-indexed failure, so the
+// outcome — including which error surfaces — is independent of
+// scheduling. Callers keep determinism by writing results into
+// per-index slots and reducing them in index order afterwards.
+func forEachIndexed(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // DownlinkCoeffs evaluates each downlink channel at freq.
 func DownlinkCoeffs(p *scenario.Placement, freq float64) []complex128 {
@@ -81,7 +117,7 @@ func measureGainsAt(p *scenario.Placement, n int, r *rng.Rand) (GainSample, erro
 	if err != nil {
 		return out, err
 	}
-	out.CIB, err = baseline.PeakReceivedPower(bf.Carriers(), chans, scanDuration, envelopeScanSamples)
+	out.CIB, err = baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 	if err != nil {
 		return out, err
 	}
@@ -124,24 +160,14 @@ func RunGainTrials(sc scenario.Scenario, n, trials int, seed uint64) ([]GainSamp
 	}
 	parent := rng.New(seed)
 	samples := make([]GainSample, trials)
-	errs := make([]error, trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := 0; i < trials; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r := parent.SplitIndexed("gain-trial", i)
-			samples[i], errs[i] = MeasureGains(sc, n, r)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := forEachIndexed(trials, func(i int) error {
+		r := parent.SplitIndexed("gain-trial", i)
+		var e error
+		samples[i], e = MeasureGains(sc, n, r)
+		return e
+	})
+	if err != nil {
+		return nil, err
 	}
 	return samples, nil
 }
@@ -197,7 +223,7 @@ func runCommAt(p *scenario.Placement, n int, model tag.Model, opts CommOptions, 
 	if err != nil {
 		return res, err
 	}
-	res.PeakPower, err = baseline.PeakReceivedPower(bf.Carriers(), chans, scanDuration, envelopeScanSamples)
+	res.PeakPower, err = baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 	if err != nil {
 		return res, err
 	}
@@ -268,14 +294,27 @@ func MaxOperatingDistance(mk func(d float64) scenario.Scenario, n int, model tag
 	}
 	parent := rng.New(seed)
 	ok := func(d float64) (bool, error) {
-		succ := 0
-		for i := 0; i < trialsPerPoint; i++ {
-			r := parent.SplitIndexed(fmt.Sprintf("range-%.6g", d), i)
+		// Trials at one distance are independent; run them on the worker
+		// pool. SplitIndexed derives each child stream purely from the
+		// parent state + label + index, so concurrent derivation is safe
+		// and the per-trial outcomes are identical at any GOMAXPROCS.
+		label := fmt.Sprintf("range-%.6g", d)
+		good := make([]bool, trialsPerPoint)
+		err := forEachIndexed(trialsPerPoint, func(i int) error {
+			r := parent.SplitIndexed(label, i)
 			tr, err := RunCommTrial(mk(d), n, model, CommOptions{}, r)
 			if err != nil {
-				return false, err
+				return err
 			}
-			if tr.Powered && tr.Decoded {
+			good[i] = tr.Powered && tr.Decoded
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+		succ := 0
+		for _, g := range good {
+			if g {
 				succ++
 			}
 		}

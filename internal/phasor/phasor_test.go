@@ -1,0 +1,216 @@
+package phasor
+
+import (
+	"math"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+// naiveSum evaluates Σ_i coeffs[i]·e^{j·2π·freqs[i]·t} directly — one
+// Sincos per carrier — as the golden reference.
+func naiveSum(freqs []float64, coeffs []complex128, t float64) (float64, float64) {
+	var re, im float64
+	for i, f := range freqs {
+		s, c := math.Sincos(2 * math.Pi * f * t)
+		rot := complex(c, s) * coeffs[i]
+		re += real(rot)
+		im += imag(rot)
+	}
+	return re, im
+}
+
+// randomSet draws a carrier set: nonzero random frequencies and random
+// unit-magnitude-ish complex coefficients.
+func randomSet(r *rng.Rand, n int, maxFreq float64) ([]float64, []complex128) {
+	freqs := make([]float64, n)
+	coeffs := make([]complex128, n)
+	for i := range freqs {
+		freqs[i] = maxFreq * (2*r.Float64() - 1)
+		s, c := math.Sincos(r.Phase())
+		amp := 0.5 + r.Float64()
+		coeffs[i] = complex(amp*c, amp*s)
+	}
+	return freqs, coeffs
+}
+
+func TestSumSeriesMatchesNaive(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(12)
+		freqs, coeffs := randomSet(r, n, 200)
+		const samples = 4097 // odd, larger than the renorm cadence check below
+		dt := 1.0 / samples
+		t0 := 0.0
+		if trial%2 == 1 {
+			t0 = r.Float64()
+		}
+		re := make([]float64, samples)
+		im := make([]float64, samples)
+		SumSeries(freqs, coeffs, t0, dt, samples, re, im)
+		for k := 0; k < samples; k++ {
+			wantRe, wantIm := naiveSum(freqs, coeffs, t0+float64(k)*dt)
+			if math.Abs(re[k]-wantRe) > 1e-9*(1+math.Abs(wantRe)) ||
+				math.Abs(im[k]-wantIm) > 1e-9*(1+math.Abs(wantIm)) {
+				t.Fatalf("trial %d k=%d: got (%v,%v), want (%v,%v)", trial, k, re[k], im[k], wantRe, wantIm)
+			}
+		}
+	}
+}
+
+func TestSumSeriesSameFrequencySet(t *testing.T) {
+	// Degenerate plan: every carrier on the same frequency (a blind
+	// array); the sum must still match the naive evaluation.
+	r := rng.New(11)
+	n := 8
+	freqs := make([]float64, n)
+	coeffs := make([]complex128, n)
+	for i := range freqs {
+		freqs[i] = 42 // all identical
+		s, c := math.Sincos(r.Phase())
+		coeffs[i] = complex(c, s)
+	}
+	const samples = 1024
+	dt := 1.0 / samples
+	re := make([]float64, samples)
+	im := make([]float64, samples)
+	SumSeries(freqs, coeffs, 0, dt, samples, re, im)
+	for k := 0; k < samples; k++ {
+		wantRe, wantIm := naiveSum(freqs, coeffs, float64(k)*dt)
+		if math.Abs(re[k]-wantRe) > 1e-9 || math.Abs(im[k]-wantIm) > 1e-9 {
+			t.Fatalf("k=%d: got (%v,%v), want (%v,%v)", k, re[k], im[k], wantRe, wantIm)
+		}
+	}
+}
+
+func TestSumSeriesRenormBoundsDrift(t *testing.T) {
+	// A long scan (many renorm cycles) must stay within 1e-9 relative of
+	// the naive evaluation at the final sample.
+	freqs := []float64{0, 7, 20, 49, 137}
+	coeffs := []complex128{1, 1i, -1, complex(0.6, 0.8), complex(-0.8, 0.6)}
+	const samples = 1 << 16
+	dt := 1.0 / 8192
+	re := make([]float64, samples)
+	im := make([]float64, samples)
+	SumSeries(freqs, coeffs, 0, dt, samples, re, im)
+	for _, k := range []int{samples - 1, samples / 2, renormMask, renormMask + 1} {
+		wantRe, wantIm := naiveSum(freqs, coeffs, float64(k)*dt)
+		if math.Abs(re[k]-wantRe) > 1e-9*(1+math.Abs(wantRe)) ||
+			math.Abs(im[k]-wantIm) > 1e-9*(1+math.Abs(wantIm)) {
+			t.Fatalf("k=%d: got (%v,%v), want (%v,%v)", k, re[k], im[k], wantRe, wantIm)
+		}
+	}
+}
+
+func TestMagnitudeSeriesMatchesNaive(t *testing.T) {
+	r := rng.New(3)
+	freqs, coeffs := randomSet(r, 10, 150)
+	const samples = 2048
+	dt := 1.0 / samples
+	dst := make([]float64, samples)
+	MagnitudeSeries(freqs, coeffs, 0, dt, samples, dst)
+	for k := range dst {
+		re, im := naiveSum(freqs, coeffs, float64(k)*dt)
+		want := math.Hypot(re, im)
+		if math.Abs(dst[k]-want) > 1e-9*(1+want) {
+			t.Fatalf("k=%d: got %v, want %v", k, dst[k], want)
+		}
+	}
+}
+
+func TestPeakPowerRefinedEqualsFullScan(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		// CIB-like plans: small integer offsets, heavily oversampled by
+		// the coarse grid.
+		n := 2 + r.Intn(9)
+		freqs := make([]float64, n)
+		coeffs := make([]complex128, n)
+		for i := range freqs {
+			freqs[i] = float64(r.Intn(200))
+			s, c := math.Sincos(r.Phase())
+			coeffs[i] = complex(c, s)
+		}
+		full := PeakPower(freqs, coeffs, 0, 1.0/8192, 8192)
+		refined := PeakPowerRefined(freqs, coeffs, 1.0, 2048, 8192)
+		if math.Abs(full-refined) > 1e-12*(1+full) {
+			t.Fatalf("trial %d: refined %v != full %v", trial, refined, full)
+		}
+	}
+}
+
+func TestPeakPowerRefinedFallsBack(t *testing.T) {
+	freqs := []float64{0, 7, 20}
+	coeffs := []complex128{1, 1, 1}
+	full := PeakPower(freqs, coeffs, 0, 1.0/1000, 1000)
+	// Non-divisible and non-coarser specs must run the full scan.
+	for _, coarse := range []int{0, -1, 999, 1000, 2000, 7} {
+		got := PeakPowerRefined(freqs, coeffs, 1.0, coarse, 1000)
+		if coarse == 7 {
+			continue // 1000%7 != 0: falls back, same as full
+		}
+		if got != full {
+			t.Fatalf("coarse=%d: got %v, want full-scan %v", coarse, got, full)
+		}
+	}
+	if got := PeakPowerRefined(freqs, coeffs, 1.0, 7, 1000); got != full {
+		t.Fatalf("coarse=7: got %v, want %v", got, full)
+	}
+}
+
+func TestPeakPowerRefinedNeverBelowCoarse(t *testing.T) {
+	// The refined result must be ≥ the coarse peak (coarse points are a
+	// subset of fine points when nFine % nCoarse == 0).
+	r := rng.New(9)
+	for trial := 0; trial < 20; trial++ {
+		freqs, coeffs := randomSet(r, 6, 300)
+		coarse := PeakPower(freqs, coeffs, 0, 1.0/512, 512)
+		refined := PeakPowerRefined(freqs, coeffs, 1.0, 512, 4096)
+		if refined < coarse*(1-1e-12) {
+			t.Fatalf("trial %d: refined %v < coarse %v", trial, refined, coarse)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if p := PeakPower(nil, nil, 0, 1, 10); p != 0 {
+		t.Fatalf("empty set: %v", p)
+	}
+	if p := PeakPowerRefined(nil, nil, 1, 10, 100); p != 0 {
+		t.Fatalf("empty refined: %v", p)
+	}
+	if p := PeakPower([]float64{1}, []complex128{1}, 0, 1, 0); p != 0 {
+		t.Fatalf("n=0: %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	SumSeries([]float64{1, 2}, []complex128{1}, 0, 1, 4, make([]float64, 4), make([]float64, 4))
+}
+
+func BenchmarkSumSeries10Carriers8192(b *testing.B) {
+	r := rng.New(1)
+	freqs, coeffs := randomSet(r, 10, 150)
+	re := make([]float64, 8192)
+	im := make([]float64, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range re {
+			re[k], im[k] = 0, 0
+		}
+		SumSeries(freqs, coeffs, 0, 1.0/8192, 8192, re, im)
+	}
+}
+
+func BenchmarkPeakPowerRefined10Carriers(b *testing.B) {
+	r := rng.New(1)
+	freqs, coeffs := randomSet(r, 10, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PeakPowerRefined(freqs, coeffs, 1.0, 2048, 8192)
+	}
+}

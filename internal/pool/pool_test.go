@@ -1,0 +1,108 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFloat64ZeroedAndSized(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 1000, 8192} {
+		s := Float64(n)
+		if len(s) != n {
+			t.Fatalf("n=%d: len %d", n, len(s))
+		}
+		if c := cap(s); c&(c-1) != 0 {
+			t.Fatalf("n=%d: cap %d not a power of two", n, c)
+		}
+		for i, v := range s {
+			if v != 0 {
+				t.Fatalf("n=%d: s[%d]=%v not zeroed", n, i, v)
+			}
+		}
+		PutFloat64(s)
+	}
+}
+
+func TestRecycledBufferIsZeroed(t *testing.T) {
+	s := Float64(64)
+	for i := range s {
+		s[i] = 1.5
+	}
+	PutFloat64(s)
+	// The next same-bucket request may or may not get the same backing
+	// array; either way it must be zeroed.
+	s2 := Float64(60)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("recycled s2[%d]=%v", i, v)
+		}
+	}
+	PutFloat64(s2)
+}
+
+func TestPutForeignSlices(t *testing.T) {
+	// Non-power-of-two capacity: dropped, not pooled — must not panic.
+	PutFloat64(make([]float64, 5, 5))
+	PutFloat64(nil)
+	PutComplex128(make([]complex128, 3, 3))
+	PutComplex128(nil)
+	// Oversized: allocated directly, dropped on Put.
+	big := Float64(1 << 22)
+	if len(big) != 1<<22 {
+		t.Fatalf("oversized len %d", len(big))
+	}
+	PutFloat64(big)
+}
+
+func TestComplex128RoundTrip(t *testing.T) {
+	s := Complex128(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("len=%d cap=%d", len(s), cap(s))
+	}
+	s[0] = 3 + 4i
+	PutComplex128(s)
+	s2 := Complex128(128)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("recycled s2[%d]=%v", i, v)
+		}
+	}
+	PutComplex128(s2)
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	// Hammer the pool from several goroutines; the race detector guards
+	// the free lists, and each goroutine checks its buffers are zeroed.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 1 + (g*131+i*17)%4096
+				s := Float64(n)
+				for k := range s {
+					if s[k] != 0 {
+						t.Errorf("goroutine %d: dirty buffer", g)
+						return
+					}
+					s[k] = float64(g)
+				}
+				PutFloat64(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, -1}, {0, -1}, {-3, -1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.n); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

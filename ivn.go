@@ -37,6 +37,22 @@ import (
 	"ivn/internal/tag"
 )
 
+// Envelope scan resolution: one 1 s CIB period sampled on the half-open
+// grid t ∈ [0, 1). The coarse-to-fine peak scan locates beat maxima on
+// the coarse grid and refines to full resolution only around the top
+// cells; both grids over-resolve the ≤200 Hz beat features of the paper's
+// plan, so the refined result equals the full-resolution scan.
+const (
+	envelopeScanSamples = 8192
+	envelopeScanCoarse  = 2048
+	scanDuration        = 1.0
+)
+
+// peakDownlink scans one CIB envelope period for its power peak.
+func peakDownlink(bf *core.Beamformer, chans []complex128) (float64, error) {
+	return baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+}
+
 // Config assembles a System.
 type Config struct {
 	// Antennas is the CIB chain count (1-10 with the default plan);
@@ -159,7 +175,7 @@ func (s *System) inventoryEPC(sc scenario.Scenario, model tag.Model, epc []byte,
 	for i, c := range p.Downlink {
 		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
 	}
-	peak, err := baseline.PeakReceivedPower(s.Beamformer.Carriers(), chans, 1.0, 8192)
+	peak, err := peakDownlink(s.Beamformer, chans)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +268,7 @@ func (s *System) InventorySelect(sc scenario.Scenario, sensors map[string]tag.Mo
 	for i, c := range p.Downlink {
 		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
 	}
-	peak, err := baseline.PeakReceivedPower(s.Beamformer.Carriers(), chans, 1.0, 8192)
+	peak, err := peakDownlink(s.Beamformer, chans)
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +390,7 @@ func (s *System) accessWith(sc scenario.Scenario, model tag.Model, provision fun
 	for i, c := range p.Downlink {
 		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
 	}
-	peak, err := baseline.PeakReceivedPower(s.Beamformer.Carriers(), chans, 1.0, 8192)
+	peak, err := peakDownlink(s.Beamformer, chans)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -573,7 +589,7 @@ func (s *System) InventoryPopulation(sc scenario.Scenario, sensors map[string]ta
 	for i, c := range p.Downlink {
 		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
 	}
-	peak, err := baseline.PeakReceivedPower(s.Beamformer.Carriers(), chans, 1.0, 8192)
+	peak, err := peakDownlink(s.Beamformer, chans)
 	if err != nil {
 		return nil, err
 	}
@@ -636,12 +652,12 @@ func (s *System) SurveyGain(sc scenario.Scenario, trials int) (stats.Summary, er
 			chans[j] = c.Coefficient(s.Beamformer.CenterFreq)
 		}
 		s.Beamformer.Relock(r.Split("pll"))
-		peak, err := baseline.PeakReceivedPower(s.Beamformer.Carriers(), chans, 1.0, 8192)
+		peak, err := peakDownlink(s.Beamformer, chans)
 		if err != nil {
 			return stats.Summary{}, err
 		}
 		amp := s.Beamformer.Carriers()[0].Amplitude
-		single, err := baseline.PeakReceivedPower(baseline.SingleAntenna(s.Beamformer.CenterFreq, amp), chans[:1], 1.0, 1)
+		single, err := baseline.PeakReceivedPower(baseline.SingleAntenna(s.Beamformer.CenterFreq, amp), chans[:1], scanDuration, 1)
 		if err != nil {
 			return stats.Summary{}, err
 		}

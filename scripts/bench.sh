@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — record the perf trajectory of the tier-1 benchmarks.
+#
+# Runs the experiment-level benchmarks (root package) plus the hot-path
+# microbenchmarks (core envelope kernel, baseline peak scan) and writes
+# BENCH_<date>[_<label>].json with ns/op, B/op and allocs/op per benchmark,
+# so successive runs can be diffed to prove a hot-path change helped.
+#
+# Usage:
+#   scripts/bench.sh [label]
+#   BENCHTIME_EXP=4x BENCHTIME_MICRO=2s scripts/bench.sh optimized
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-}"
+DATE="$(date +%F)"
+OUT="BENCH_${DATE}${LABEL:+_${LABEL}}.json"
+
+# Experiment benchmarks run a fixed iteration count: each iteration is a
+# full deterministic experiment (hundreds of ms), so wall-clock noise is
+# small and a fixed count keeps the run time bounded.
+EXP_TIME="${BENCHTIME_EXP:-2x}"
+MICRO_TIME="${BENCHTIME_MICRO:-1s}"
+
+EXP_BENCH='BenchmarkInventoryExchange$|BenchmarkFig6FreqSelectionCDF$|BenchmarkFig9GainVsAntennas$|BenchmarkFig12CIBvsBaselineCDF$|BenchmarkFig13RangeStandardAir$|BenchmarkFig13DepthStandardWater$'
+MICRO_CORE='BenchmarkEnvelopeSeries10Carriers$|BenchmarkExpectedPeak$'
+MICRO_BASE='BenchmarkPeakReceivedPower'
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$EXP_BENCH" -benchmem -benchtime "$EXP_TIME" . | tee -a "$TMP"
+go test -run '^$' -bench "$MICRO_CORE" -benchmem -benchtime "$MICRO_TIME" ./internal/core | tee -a "$TMP"
+go test -run '^$' -bench "$MICRO_BASE" -benchmem -benchtime "$MICRO_TIME" ./internal/baseline | tee -a "$TMP"
+
+awk -v date="$DATE" -v label="$LABEL" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"label\": \"%s\",\n  \"benchmarks\": [\n", date, label
+    first = 1
+}
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

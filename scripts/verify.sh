@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's tier-1 gate plus the concurrency checks.
+#
+# 1. go build ./...        — everything compiles
+# 2. go vet ./...          — static sanity
+# 3. go test ./...         — unit + golden + determinism tests
+# 4. go test -race <pkgs>  — the packages with parallel trial loops and
+#                            shared scratch pools, under the race detector
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel trial paths) =="
+go test -race . ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ ./internal/dsp/
+
+echo "verify: OK"
