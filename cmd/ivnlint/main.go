@@ -1,0 +1,125 @@
+// Command ivnlint runs the repository's domain lint suite (internal/lint)
+// over package patterns and reports violations of the simulator's
+// correctness invariants: determinism of published tables, scratch-pool
+// discipline, float-comparison hygiene, sanctioned concurrency, and
+// handled errors.
+//
+// Usage:
+//
+//	ivnlint [-json] [-analyzers determinism,pooldiscipline] [pattern ...]
+//	ivnlint -list
+//
+// Patterns are module-relative directories in the go tool's style:
+// ".", "./internal/dsp", "./...". With no pattern, "./..." is assumed.
+// Exit status: 0 clean, 1 findings reported, 2 usage or load error.
+//
+// Suppress a finding with a comment on (or directly above) the line:
+//
+//	//ivn:allow <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ivn/internal/lint"
+)
+
+func main() {
+	var (
+		asJSON = flag.Bool("json", false, "emit findings as a JSON array")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		names  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ivnlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivnlint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.ExpandPatterns(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivnlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.LintDirs(root, dirs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivnlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Report paths relative to the module root for stable, clickable
+	// output regardless of invocation directory.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+
+	if *asJSON {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "ivnlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "ivnlint: %d package dir(s), %d finding(s)\n", len(dirs), len(findings))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

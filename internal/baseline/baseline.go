@@ -119,6 +119,7 @@ func carrierPhasors(carriers []radio.Carrier, chans []complex128) (freqs []float
 		s, cs := math.Sincos(c.Phase)
 		coeffs[i] = complex(c.Amplitude*cs, c.Amplitude*s) * chans[i]
 	}
+	//ivn:allow pooldiscipline ownership transfers to the caller by documented contract; every caller Puts both slices
 	return freqs, coeffs
 }
 

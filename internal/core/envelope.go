@@ -54,6 +54,7 @@ func phaseCoeffs(betas []float64) []complex128 {
 		s, c := math.Sincos(b)
 		coeffs[i] = complex(c, s)
 	}
+	//ivn:allow pooldiscipline ownership transfers to the caller by documented contract; every caller Puts the slice
 	return coeffs
 }
 
@@ -244,6 +245,7 @@ func ValidateOffsets(offsets []float64) error {
 		return fmt.Errorf("core: first offset must be 0 (reference carrier), got %v", offsets[0])
 	}
 	for i, f := range offsets {
+		//ivn:allow floatcmp exact integrality check via the Trunc identity; offsets are small integers, no rounding involved
 		if f != math.Trunc(f) {
 			return fmt.Errorf("core: offset %v at index %d is not an integer (violates T=1s cyclic constraint)", f, i)
 		}

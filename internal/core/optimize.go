@@ -134,6 +134,7 @@ func mutate(offs []float64, limit float64, r *rng.Rand) []float64 {
 		}
 		dup := false
 		for j, v := range out {
+			//ivn:allow floatcmp offsets are exact small integers (integer steps on integer plans); the duplicate check is exact by construction
 			if j != i && v == nv {
 				dup = true
 				break

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repository's byte-reproducibility contract:
+// every published table regenerated from the same seed must be identical,
+// so nothing on a result path may consult ambient nondeterminism.
+//
+//   - math/rand (v1 or v2) is banned outside internal/rng: the global
+//     source is shared mutable state and its streams are not splittable
+//     per trial. ivn/internal/rng carries seeds explicitly.
+//   - time.Now is banned: wall-clock values leak into anything they touch.
+//   - ranging over a map while appending to a slice declared outside the
+//     loop is flagged unless the slice is sorted afterwards in the same
+//     function — map iteration order would otherwise decide row order.
+var Determinism = &Analyzer{
+	Name:      "determinism",
+	Doc:       "no math/rand, time.Now, or map-iteration order on result paths",
+	SkipTests: true,
+	Run:       runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	// internal/rng is the sanctioned wrapper and documents its own
+	// provenance; it is the one place generator code may live.
+	if strings.HasSuffix(pass.Pkg.Path, "internal/rng") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch objectPkgPath(pass.Info, sel.Sel) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(), "use of math/rand.%s outside internal/rng; derive a seeded stream with ivn/internal/rng instead", sel.Sel.Name)
+			case "time":
+				if sel.Sel.Name == "Now" {
+					pass.Reportf(sel.Pos(), "time.Now is nondeterministic; results must depend only on the seed (thread an explicit timestamp through if one is needed)")
+				}
+			}
+			return true
+		})
+	}
+	for _, unit := range funcUnits(pass.Files) {
+		checkMapOrder(pass, unit.body)
+	}
+}
+
+// checkMapOrder flags `for ... range m { dst = append(dst, ...) }` where m
+// is a map and dst is declared outside the loop, unless dst is passed to a
+// sort or slices call later in the same function body — the idiomatic
+// collect-then-sort pattern restores a deterministic order.
+func checkMapOrder(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are their own unit
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, dst := range appendTargetsOutside(pass.Info, rng) {
+			if !sortedAfter(pass.Info, body, dst, rng.End()) {
+				pass.Reportf(rng.Pos(), "map iteration order feeds slice %q; collect then sort (sort.* / slices.*) before publishing, or iterate sorted keys", dst.Name())
+			}
+		}
+		return true
+	})
+}
+
+// appendTargetsOutside returns the variables declared outside the range
+// statement that its body appends to.
+func appendTargetsOutside(info *types.Info, rng *ast.RangeStmt) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			funID, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || funID.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := info.Uses[funID].(*types.Builtin); !isBuiltin {
+				continue // shadowed by a user declaration
+			}
+			if i >= len(assign.Lhs) {
+				continue
+			}
+			id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				if def, okDef := info.Defs[id].(*types.Var); okDef {
+					v = def
+				} else {
+					continue
+				}
+			}
+			// Declared outside the loop: its definition position precedes
+			// the range statement.
+			if v.Pos() < rng.Pos() && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether v appears as an argument to a sort or slices
+// package call located after pos within body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, v *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch objectPkgPath(info, sel.Sel) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == v {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

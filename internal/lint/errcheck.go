@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags call statements that silently discard an error result.
+// A simulator that swallows an error publishes a table computed from a
+// half-finished run; every error either propagates, is handled, or is
+// discarded *explicitly* with `_ =` so the decision is visible in review.
+//
+// Allowlisted calls are ones whose error is constitutionally uninteresting:
+// fmt printing (diagnostic output; a failed stdout write has no recovery)
+// and the never-failing writers of strings.Builder and bytes.Buffer.
+// Deferred calls are out of scope (a `defer f.Close()` on a read path is
+// conventional). Test files are exempt.
+var ErrCheck = &Analyzer{
+	Name:      "errcheck",
+	Doc:       "no silently discarded error returns",
+	SkipTests: true,
+	Run:       runErrCheck,
+}
+
+// errAllowlist holds full names ((*pkg.Type).Method or pkg.Func) whose
+// error results may be dropped.
+var errAllowlist = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass.Info, call) {
+				return true
+			}
+			name := calleeFullName(pass.Info, call)
+			if errAllowlist[name] {
+				return true
+			}
+			if name == "" {
+				name = "call"
+			}
+			pass.Reportf(call.Pos(), "discarded error from %s; handle it, propagate it, or assign to _ explicitly", name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFullName formats the called function as pkg.Func or
+// (*pkg.Type).Method, matching types.Func.FullName.
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}

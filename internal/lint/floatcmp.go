@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point (or complex) operands.
+// Equality on computed floats is almost always a rounding-sensitive bug in
+// a simulator whose tables are compared bit-for-bit; the sanctioned
+// alternatives are the tolerance helpers in internal/stats (or an explicit
+// math.Abs(a-b) <= eps).
+//
+// Two comparisons are exempt by design:
+//
+//   - against an exact-zero constant (`x == 0`): zero is a sentinel the
+//     code uses for "unset/empty" and is exactly representable, so the
+//     guard is intentional and safe;
+//   - between two compile-time constants: the comparison is evaluated
+//     exactly by the compiler.
+//
+// Test files are out of scope — golden tests intentionally compare exact
+// formatted values.
+var FloatCmp = &Analyzer{
+	Name:      "floatcmp",
+	Doc:       "no ==/!= on floating-point operands outside tests",
+	SkipTests: true,
+	Run:       runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xtv, xok := pass.Info.Types[bin.X]
+			ytv, yok := pass.Info.Types[bin.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloatish(xtv.Type) && !isFloatish(ytv.Type) {
+				return true
+			}
+			if xtv.Value != nil && ytv.Value != nil {
+				return true // constant-folded by the compiler, exact
+			}
+			if isExactZero(xtv.Value) || isExactZero(ytv.Value) {
+				return true // zero-sentinel guard
+			}
+			pass.Reportf(bin.OpPos, "floating-point %s comparison; use the internal/stats tolerance helpers (exact-zero sentinel checks are exempt)", bin.Op)
+			return true
+		})
+	}
+}
+
+// isFloatish reports whether t is (or is based on) a float or complex type.
+func isFloatish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactZero reports whether a constant value is exactly zero.
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}

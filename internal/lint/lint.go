@@ -1,0 +1,294 @@
+// Package lint implements ivnlint, the simulator's domain-specific static
+// analysis suite.
+//
+// The compiler and go vet cannot see the invariants this repository's
+// correctness rests on: published tables must be byte-reproducible (no
+// wall-clock, no global math/rand, no map-order-dependent rows), pooled
+// scratch buffers must be returned on every path and must never outlive
+// their function, goroutines belong on the sanctioned bounded runners, and
+// floating-point values are never compared with ==. Each analyzer in this
+// package enforces one of those invariants over the type-checked AST,
+// using only the standard library's go/ast, go/parser, go/token and
+// go/types — the module stays offline-buildable with zero dependencies.
+//
+// Findings can be silenced case-by-case with a suppression comment on the
+// offending line or the line directly above it:
+//
+//	//ivn:allow <analyzer> <reason>
+//
+// The reason is mandatory; a bare suppression is itself reported. The
+// cmd/ivnlint driver prints findings as file:line:col diagnostics or as
+// JSON, and exits non-zero when any survive.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Analyzer names the check that fired (e.g. "determinism").
+	Analyzer string `json:"analyzer"`
+	// File is the path of the offending file as the loader saw it.
+	File string `json:"file"`
+	// Line and Col locate the finding (1-based).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message describes the violation and the sanctioned alternative.
+	Message string `json:"message"`
+}
+
+// String formats the finding as a conventional compiler diagnostic.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check. Run inspects the pass's files and reports
+// violations through pass.Reportf.
+type Analyzer struct {
+	// Name is the identifier used in reports and //ivn:allow comments.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// SkipTests excludes *_test.go files from the pass.
+	SkipTests bool
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// Pass is the per-(package, analyzer) view handed to Run.
+type Pass struct {
+	// Fset resolves positions.
+	Fset *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Files is the syntax to inspect, already filtered by SkipTests.
+	Files []*ast.File
+	// Info is the package's type-checking result.
+	Info *types.Info
+
+	analyzer *Analyzer
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		PoolDiscipline,
+		FloatCmp,
+		GoroutineHygiene,
+		ErrCheck,
+	}
+}
+
+// AnalyzerByName resolves a name from the suite, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// allowPrefix introduces a suppression comment.
+const allowPrefix = "//ivn:allow"
+
+// suppression is one parsed //ivn:allow comment.
+type suppression struct {
+	analyzer string
+	reason   string
+}
+
+// fileSuppressions scans a file's comments for //ivn:allow directives. The
+// returned map associates each covered line — the comment's own line and
+// the line directly below it — with the analyzers allowed there. Malformed
+// directives (unknown analyzer, missing reason) come back as findings so a
+// suppression can never silently rot.
+func fileSuppressions(fset *token.FileSet, f *ast.File) (map[int][]suppression, []Finding) {
+	covered := map[int][]suppression{}
+	var malformed []Finding
+	report := func(pos token.Pos, msg string) {
+		position := fset.Position(pos)
+		malformed = append(malformed, Finding{
+			Analyzer: "ivnlint",
+			File:     position.Filename,
+			Line:     position.Line,
+			Col:      position.Column,
+			Message:  msg,
+		})
+	}
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				report(c.Pos(), "malformed suppression: expected //ivn:allow <analyzer> <reason>")
+				continue
+			}
+			name := fields[0]
+			if AnalyzerByName(name) == nil {
+				report(c.Pos(), fmt.Sprintf("suppression names unknown analyzer %q", name))
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name))
+			if reason == "" {
+				report(c.Pos(), fmt.Sprintf("suppression of %q needs a reason: //ivn:allow %s <why this is sanctioned>", name, name))
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			s := suppression{analyzer: name, reason: reason}
+			covered[line] = append(covered[line], s)
+			covered[line+1] = append(covered[line+1], s)
+		}
+	}
+	return covered, malformed
+}
+
+// RunAnalyzers executes every analyzer over every package, applies the
+// //ivn:allow suppressions, and returns the surviving findings sorted by
+// file, line, column and analyzer.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		// Suppression lines are per-file but keyed by (file, line);
+		// positions already carry the filename, so one package-wide map
+		// keyed by file+line suffices.
+		type key struct {
+			file string
+			line int
+		}
+		allowed := map[key][]suppression{}
+		for _, f := range pkg.Files {
+			covered, malformed := fileSuppressions(pkg.Fset, f)
+			all = append(all, malformed...)
+			name := pkg.Fset.Position(f.Pos()).Filename
+			for line, sups := range covered {
+				allowed[key{name, line}] = append(allowed[key{name, line}], sups...)
+			}
+		}
+		for _, an := range analyzers {
+			files := pkg.Files
+			if an.SkipTests {
+				files = files[:0:0]
+				for _, f := range pkg.Files {
+					if !pkg.IsTest[f] {
+						files = append(files, f)
+					}
+				}
+			}
+			if len(files) == 0 {
+				continue
+			}
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+				Files:    files,
+				Info:     pkg.Info,
+				analyzer: an,
+			}
+			an.Run(pass)
+			for _, fd := range pass.findings {
+				drop := false
+				for _, s := range allowed[key{fd.File, fd.Line}] {
+					if s.analyzer == fd.Analyzer {
+						drop = true
+						break
+					}
+				}
+				if !drop {
+					all = append(all, fd)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// objectPkgPath returns the package path of the object an identifier
+// resolves to, or "" for locals, builtins and unresolved names.
+func objectPkgPath(info *types.Info, id *ast.Ident) string {
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// calls through function-typed variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcUnits yields every function-like body in the files: declarations and
+// function literals, each as its own unit (a literal's body is not part of
+// its enclosing declaration's unit).
+type funcUnit struct {
+	// name is the declared name, or "" for literals.
+	name string
+	body *ast.BlockStmt
+}
+
+func funcUnits(files []*ast.File) []funcUnit {
+	var units []funcUnit
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					units = append(units, funcUnit{name: fn.Name.Name, body: fn.Body})
+				}
+			case *ast.FuncLit:
+				units = append(units, funcUnit{body: fn.Body})
+			}
+			return true
+		})
+	}
+	return units
+}

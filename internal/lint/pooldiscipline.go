@@ -1,0 +1,459 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PoolDiscipline enforces the scratch-buffer contract of internal/pool:
+// every buffer obtained from a pool getter must be released on every path
+// out of the function that obtained it (a Put call or a defer Put), and a
+// pooled buffer must never outlive the function by escaping through a
+// return value or a channel send — the pool would hand the same backing
+// array to a concurrent trial while the caller still reads it.
+//
+// The check is a forward walk over each function body tracking which
+// locals currently hold an unreleased pooled buffer:
+//
+//   - `x := pool.Float64(n)` marks x held; `pool.PutFloat64(x)` clears it;
+//     `defer pool.PutFloat64(x)` clears it from that point on (a return
+//     before the defer statement still leaks — defers only cover returns
+//     after they execute).
+//   - a return or channel send mentioning a held buffer is an escape;
+//     any other return (or falling off the end) while a buffer is held is
+//     a leak, reported with the acquisition site.
+//   - branches are walked separately and merged pessimistically (held on
+//     either arm stays held), so a Put on only one arm of an if does not
+//     satisfy the other; paths that terminate (return/panic) don't merge.
+//   - a buffer captured by a nested function literal is assumed managed
+//     there (the literal is analyzed as its own unit), and a buffer passed
+//     to an ordinary call is a borrow — neither clears nor escapes.
+//
+// Wrapper helpers that intentionally transfer ownership to their caller
+// (e.g. baseline.carrierPhasors) are the sanctioned exception: annotate
+// the return with //ivn:allow pooldiscipline <reason>.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "pool buffers released on every path; no escape via return or channel",
+	Run:  runPoolDiscipline,
+}
+
+// poolPkgSuffix identifies the pool package by import-path suffix so the
+// fixture corpus and the real tree share one analyzer.
+const poolPkgSuffix = "internal/pool"
+
+// isPoolGetter reports whether fn hands out a pooled buffer: an exported
+// pool-package function returning exactly one slice.
+func isPoolGetter(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), poolPkgSuffix) {
+		return false
+	}
+	if !fn.Exported() || strings.HasPrefix(fn.Name(), "Put") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	_, isSlice := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+// isPoolPutter reports whether fn takes a pooled buffer back.
+func isPoolPutter(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), poolPkgSuffix) &&
+		strings.HasPrefix(fn.Name(), "Put")
+}
+
+func runPoolDiscipline(pass *Pass) {
+	for _, unit := range funcUnits(pass.Files) {
+		w := &poolWalker{pass: pass}
+		st := poolState{held: map[*types.Var]token.Pos{}}
+		terminated := w.walkStmts(unit.body.List, &st)
+		if !terminated {
+			w.reportLeaks(&st, unit.body.Rbrace, "function end")
+		}
+	}
+}
+
+// poolState tracks which variables hold an unreleased pooled buffer,
+// mapping each to its acquisition position.
+type poolState struct {
+	held map[*types.Var]token.Pos
+}
+
+func (s *poolState) clone() poolState {
+	c := poolState{held: make(map[*types.Var]token.Pos, len(s.held))}
+	for v, p := range s.held {
+		c.held[v] = p
+	}
+	return c
+}
+
+// merge folds a branch's end state back in: held anywhere stays held.
+func (s *poolState) merge(other *poolState) {
+	for v, p := range other.held {
+		if _, ok := s.held[v]; !ok {
+			s.held[v] = p
+		}
+	}
+}
+
+type poolWalker struct {
+	pass *Pass
+}
+
+// reportLeaks reports every held buffer at its acquisition site.
+func (w *poolWalker) reportLeaks(st *poolState, at token.Pos, where string) {
+	vars := make([]*types.Var, 0, len(st.held))
+	for v := range st.held {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return st.held[vars[i]] < st.held[vars[j]] })
+	for _, v := range vars {
+		get := w.pass.Fset.Position(st.held[v])
+		w.pass.Reportf(at, "pooled buffer %q (acquired at %s:%d) not released at %s; add pool.Put or defer it", v.Name(), shortPath(get.Filename), get.Line, where)
+	}
+	st.held = map[*types.Var]token.Pos{}
+}
+
+// shortPath trims a position filename to its final two path elements.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// walkStmts processes a statement sequence, returning whether control
+// definitely leaves the enclosing function (or loop) before the end.
+func (w *poolWalker) walkStmts(stmts []ast.Stmt, st *poolState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *poolWalker) walkStmt(s ast.Stmt, st *poolState) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.handleVarSpec(vs, st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if w.handlePutCall(call, st) {
+				return false
+			}
+			w.checkUnboundGet(call, st)
+			if isTerminalCall(w.pass.Info, call) {
+				return true
+			}
+		}
+	case *ast.DeferStmt:
+		w.handleDefer(s, st)
+	case *ast.GoStmt:
+		// A goroutine capturing a held buffer is concurrent aliasing;
+		// treat captures as managed by the literal (its own unit) but do
+		// not clear: the launching function still owns the release.
+	case *ast.ReturnStmt:
+		w.handleReturn(s, st)
+		return true
+	case *ast.SendStmt:
+		for v := range st.held {
+			if mentionsVar(w.pass.Info, s.Value, v) {
+				w.pass.Reportf(s.Pos(), "pooled buffer %q escapes via channel send; the pool may recycle it while the receiver still uses it", v.Name())
+				delete(st.held, v)
+			}
+		}
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		thenSt := st.clone()
+		thenTerm := w.walkStmts(s.Body.List, &thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, &elseSt)
+		}
+		st.held = map[*types.Var]token.Pos{}
+		if !thenTerm {
+			st.merge(&thenSt)
+		}
+		if !elseTerm {
+			st.merge(&elseSt)
+		}
+		return thenTerm && s.Else != nil && elseTerm
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkLoopBody(s.Body, st)
+	case *ast.RangeStmt:
+		w.walkLoopBody(s.Body, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.walkClauses(s, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: stop the linear walk of this sequence; the
+		// loop-body merge handles what stays held.
+		return true
+	}
+	return false
+}
+
+// walkLoopBody analyzes a loop body once. Buffers acquired inside the body
+// must be released inside it: one leaked buffer per iteration is the worst
+// kind of pool leak. Buffers held on entry that the body releases are
+// treated optimistically as released (the repo's loops never Put an outer
+// buffer).
+func (w *poolWalker) walkLoopBody(body *ast.BlockStmt, st *poolState) {
+	inner := st.clone()
+	terminated := w.walkStmts(body.List, &inner)
+	if !terminated {
+		// Anything newly acquired during the iteration and still held at
+		// its end leaks every pass around the loop.
+		leaked := poolState{held: map[*types.Var]token.Pos{}}
+		for v, p := range inner.held {
+			if _, onEntry := st.held[v]; !onEntry {
+				leaked.held[v] = p
+			}
+		}
+		if len(leaked.held) > 0 {
+			w.reportLeaks(&leaked, body.Rbrace, "end of loop iteration")
+		}
+	}
+	// Outer buffers: keep held only if the body didn't release them.
+	for v := range st.held {
+		if _, still := inner.held[v]; !still && !terminated {
+			delete(st.held, v)
+		}
+	}
+}
+
+// walkClauses handles switch/type-switch/select uniformly: each clause is
+// a branch; held on any non-terminating branch stays held.
+func (w *poolWalker) walkClauses(s ast.Stmt, st *poolState) {
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	merged := poolState{held: map[*types.Var]token.Pos{}}
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, st)
+			}
+			body = c.Body
+		}
+		branch := st.clone()
+		if !w.walkStmts(body, &branch) {
+			merged.merge(&branch)
+		}
+	}
+	// No-match fallthrough (switch without default) keeps the entry state.
+	merged.merge(st)
+	st.held = merged.held
+}
+
+// handleAssign tracks `x := pool.Get(n)` acquisitions and flags
+// overwrites of still-held buffers.
+func (w *poolWalker) handleAssign(s *ast.AssignStmt, st *poolState) {
+	for i, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		isGet := ok && isPoolGetter(calleeFunc(w.pass.Info, call))
+		if i >= len(s.Lhs) {
+			continue
+		}
+		id, isIdent := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+		if !isIdent {
+			if isGet {
+				w.pass.Reportf(call.Pos(), "pooled buffer must be bound to a local variable so its Put can be verified")
+			}
+			continue
+		}
+		v := lhsVar(w.pass.Info, id)
+		if v == nil {
+			if isGet {
+				w.pass.Reportf(call.Pos(), "pooled buffer assigned to %q cannot be tracked; bind it to a local variable", id.Name)
+			}
+			continue
+		}
+		prev, wasHeld := st.held[v]
+		switch {
+		case wasHeld && isGet:
+			get := w.pass.Fset.Position(prev)
+			w.pass.Reportf(s.Pos(), "pooled buffer %q (acquired at %s:%d) overwritten by a new acquisition before Put", v.Name(), shortPath(get.Filename), get.Line)
+			st.held[v] = call.Pos()
+		case wasHeld && mentionsVar(w.pass.Info, rhs, v):
+			// Reslice or self-append: same backing array, still owned.
+		case wasHeld:
+			get := w.pass.Fset.Position(prev)
+			w.pass.Reportf(s.Pos(), "pooled buffer %q (acquired at %s:%d) overwritten before Put", v.Name(), shortPath(get.Filename), get.Line)
+			delete(st.held, v)
+		case isGet:
+			st.held[v] = call.Pos()
+		}
+	}
+}
+
+// handleVarSpec tracks `var x = pool.Get(n)` declarations.
+func (w *poolWalker) handleVarSpec(vs *ast.ValueSpec, st *poolState) {
+	for i, val := range vs.Values {
+		call, ok := ast.Unparen(val).(*ast.CallExpr)
+		if !ok || !isPoolGetter(calleeFunc(w.pass.Info, call)) {
+			continue
+		}
+		if i < len(vs.Names) {
+			if v, ok := w.pass.Info.Defs[vs.Names[i]].(*types.Var); ok {
+				st.held[v] = call.Pos()
+			}
+		}
+	}
+}
+
+// handlePutCall clears the argument of a pool Put call; returns whether
+// the call was a putter.
+func (w *poolWalker) handlePutCall(call *ast.CallExpr, st *poolState) bool {
+	if !isPoolPutter(calleeFunc(w.pass.Info, call)) {
+		return false
+	}
+	if len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if v, ok := w.pass.Info.Uses[id].(*types.Var); ok {
+				delete(st.held, v)
+			}
+		}
+	}
+	return true
+}
+
+// checkUnboundGet flags a getter whose result is consumed inline —
+// `f(pool.Float64(n))` — where no variable exists to Put.
+func (w *poolWalker) checkUnboundGet(call *ast.CallExpr, st *poolState) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		inner, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPoolGetter(calleeFunc(w.pass.Info, inner)) {
+			w.pass.Reportf(inner.Pos(), "pooled buffer used without a local binding; no Put can release it")
+		}
+		return true
+	})
+}
+
+// handleDefer processes defer statements: a direct `defer pool.Put(x)` or
+// a deferred literal whose body Puts held buffers releases them for every
+// return that executes after this point.
+func (w *poolWalker) handleDefer(s *ast.DeferStmt, st *poolState) {
+	if w.handlePutCall(s.Call, st) {
+		return
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				w.handlePutCall(call, st)
+			}
+			return true
+		})
+	}
+}
+
+// handleReturn reports escapes (held buffer in a result) and leaks (any
+// other held buffer at this return).
+func (w *poolWalker) handleReturn(s *ast.ReturnStmt, st *poolState) {
+	for v := range st.held {
+		for _, res := range s.Results {
+			if mentionsVar(w.pass.Info, res, v) {
+				w.pass.Reportf(s.Pos(), "pooled buffer %q escapes via return; the caller cannot know it must Put (transfer ownership explicitly and annotate, or copy)", v.Name())
+				delete(st.held, v)
+				break
+			}
+		}
+	}
+	// Everything still held at this return — including buffers bound to
+	// named results published by a bare `return` — is a leak of this path.
+	w.reportLeaks(st, s.Pos(), "this return")
+}
+
+// mentionsVar reports whether expr references v.
+func mentionsVar(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// lhsVar resolves an assignment target identifier to its variable, for
+// both `:=` definitions and plain assignments. The blank identifier
+// returns nil.
+func lhsVar(info *types.Info, id *ast.Ident) *types.Var {
+	if id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// isTerminalCall reports whether a call never returns (panic, os.Exit,
+// log.Fatal*): statements after it are unreachable, so held buffers are
+// not leaks of this path.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok && fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() + "." + fn.Name() {
+			case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}

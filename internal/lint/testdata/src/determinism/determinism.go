@@ -1,0 +1,62 @@
+// Fixture corpus for the determinism analyzer: true positives carry
+// `// want` expectations; the suppressed case shows the sanctioned
+// //ivn:allow escape hatch.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func topLevelRand() int {
+	return rand.Intn(10) // want "use of math/rand.Intn outside internal/rng"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "use of math/rand.Float64 outside internal/rng"
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now is nondeterministic"
+}
+
+func mapOrderLeaks(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order feeds slice "out"`
+		out = append(out, v)
+	}
+	return out
+}
+
+// mapOrderSorted is the sanctioned collect-then-sort pattern: no finding.
+func mapOrderSorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mapOrderLocal appends to a slice declared inside the loop: order cannot
+// leak out, so no finding.
+func mapOrderLocal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		row := []int{v}
+		total += row[0]
+	}
+	return total
+}
+
+// suppressedClock demonstrates a sanctioned exception.
+func suppressedClock() int64 {
+	//ivn:allow determinism fixture: wall-clock feeds a log line only, never a table
+	return time.Now().UnixNano()
+}
+
+// timeDuration uses the time package without Now: no finding.
+func timeDuration() time.Duration {
+	return 5 * time.Second
+}

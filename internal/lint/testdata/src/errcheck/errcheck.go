@@ -1,0 +1,53 @@
+// Fixture corpus for the errcheck analyzer.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func mayFailValue() (int, error) { return 0, nil }
+
+func discardsBare() {
+	mayFail() // want `discarded error from .*mayFail`
+}
+
+func discardsTuple() {
+	mayFailValue() // want `discarded error from .*mayFailValue`
+}
+
+// handled, propagated, and explicitly-discarded errors are all fine.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	n, err := mayFailValue()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+// allowlisted calls: fmt printing and never-failing builders.
+func allowlisted() string {
+	fmt.Println("diagnostic")
+	var sb strings.Builder
+	sb.WriteString("ok")
+	return sb.String()
+}
+
+// pure calls without error results are out of scope.
+func pure() {
+	strings.ToUpper("x")
+}
+
+// suppressed shows the sanctioned escape hatch.
+func suppressed() {
+	//ivn:allow errcheck fixture: best-effort cleanup, failure is benign
+	mayFail()
+}

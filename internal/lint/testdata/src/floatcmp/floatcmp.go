@@ -1,0 +1,49 @@
+// Fixture corpus for the floatcmp analyzer.
+package floatcmp
+
+func badEq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func badComplex(a, b complex128) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badLiteral(a float64) bool {
+	return a == 0.3 // want `floating-point == comparison`
+}
+
+// zeroGuard compares against the exact-zero sentinel: exempt by design.
+func zeroGuard(a float64) bool {
+	return a == 0
+}
+
+func zeroGuardNeq(a float64) bool {
+	return 0.0 != a
+}
+
+// intCmp is integer equality: out of scope.
+func intCmp(a, b int) bool {
+	return a == b
+}
+
+// constFold compares two compile-time constants: exact, exempt.
+func constFold() bool {
+	const eps = 1e-9
+	return eps == 1e-9
+}
+
+// ordered comparisons are fine.
+func ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// suppressed shows the sanctioned escape hatch.
+func suppressed(a, b float64) bool {
+	//ivn:allow floatcmp fixture: operands are exact integers by construction
+	return a == b
+}

@@ -1,0 +1,45 @@
+// Fixture corpus for the goroutinehygiene analyzer.
+package goroutinehygiene
+
+import "sync"
+
+// rogue launches a raw goroutine outside any sanctioned runner.
+func rogue() {
+	done := make(chan struct{})
+	go func() { close(done) }() // want `goroutine launched outside a sanctioned runner`
+	<-done
+}
+
+// addInsideGoroutine races Add against Wait. The launch itself is
+// suppressed so the Add check is exercised in isolation.
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	//ivn:allow goroutinehygiene fixture: isolating the WaitGroup.Add check
+	go func() {
+		wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// forEachIndexed is a sanctioned runner by name: its launches are clean,
+// and its Add-before-spawn is the required shape. No findings.
+func forEachIndexed(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// suppressedLaunch is a sanctioned one-shot exception.
+func suppressedLaunch() {
+	done := make(chan struct{})
+	//ivn:allow goroutinehygiene fixture: deliberate one-shot goroutine with join below
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,107 @@
+// Fixture corpus for the pooldiscipline analyzer.
+package pooldiscipline
+
+import "ivn/internal/pool"
+
+func consume(s []float64) float64 { return s[0] }
+
+// leaksOnEarlyReturn forgets the Put on the error-shaped path.
+func leaksOnEarlyReturn(n int, bad bool) float64 {
+	buf := pool.Float64(n)
+	if bad {
+		return 0 // want `pooled buffer "buf" .* not released at this return`
+	}
+	s := buf[0]
+	pool.PutFloat64(buf)
+	return s
+}
+
+// escapes hands the pool's backing array to the caller.
+func escapes(n int) []float64 {
+	buf := pool.Float64(n)
+	return buf // want `pooled buffer "buf" escapes via return`
+}
+
+// escapesChan publishes the buffer to another goroutine.
+func escapesChan(n int, ch chan []float64) {
+	buf := pool.Float64(n)
+	ch <- buf // want `pooled buffer "buf" escapes via channel send`
+}
+
+// leaksAtFunctionEnd never releases at all.
+func leaksAtFunctionEnd(n int) {
+	buf := pool.Float64(n)
+	buf[0] = 1
+} // want `pooled buffer "buf" .* not released at function end`
+
+// overwritten loses the first buffer by reacquiring into the same name.
+func overwritten(n int) {
+	buf := pool.Float64(n)
+	buf = pool.Float64(2 * n) // want `overwritten by a new acquisition`
+	pool.PutFloat64(buf)
+}
+
+// unbound consumes a pooled buffer with nothing to Put.
+func unbound(n int) {
+	consume(pool.Float64(n)) // want `without a local binding`
+}
+
+// leaksInLoop acquires fresh scratch every iteration and never returns it.
+func leaksInLoop(n int) float64 {
+	var acc float64
+	for i := 0; i < n; i++ {
+		buf := pool.Float64(n)
+		acc += consume(buf)
+	} // want `not released at end of loop iteration`
+	return acc
+}
+
+// balanced is the canonical correct shape: no findings.
+func balanced(n int, bad bool) float64 {
+	buf := pool.Float64(n)
+	if bad {
+		pool.PutFloat64(buf)
+		return 0
+	}
+	s := consume(buf)
+	pool.PutFloat64(buf)
+	return s
+}
+
+// deferred covers every path with one defer: no findings.
+func deferred(n int, bad bool) float64 {
+	buf := pool.Float64(n)
+	defer pool.PutFloat64(buf)
+	if bad {
+		return 0
+	}
+	return consume(buf)
+}
+
+// resliced keeps ownership through a reslice: no findings.
+func resliced(n int) float64 {
+	buf := pool.Float64(n)
+	buf = buf[:n/2]
+	s := consume(buf)
+	pool.PutFloat64(buf)
+	return s
+}
+
+// loopBalanced releases inside each iteration: no findings.
+func loopBalanced(n int) float64 {
+	var acc float64
+	for i := 0; i < n; i++ {
+		buf := pool.Float64(n)
+		acc += consume(buf)
+		pool.PutFloat64(buf)
+	}
+	return acc
+}
+
+// transfer is the sanctioned ownership handoff, suppressed with a reason.
+func transfer(n int) []float64 {
+	buf := pool.Float64(n)
+	buf[0] = 1
+	//ivn:allow pooldiscipline fixture: ownership transfers to the caller by documented contract
+	return buf
+}

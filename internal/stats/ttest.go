@@ -36,6 +36,7 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 	sa, sb := va/na, vb/nb
 	se := math.Sqrt(sa + sb)
 	if se == 0 {
+		//ivn:allow floatcmp zero-variance degenerate case: both samples are constant, so the means are exact and the tie test is intentional
 		if ma == mb {
 			return TTestResult{T: 0, DF: na + nb - 2, P: 1, MeanA: ma, MeanB: mb}, nil
 		}

@@ -25,6 +25,7 @@ package ivn
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ivn/internal/baseline"
 	"ivn/internal/core"
@@ -274,10 +275,13 @@ func (s *System) InventorySelect(sc scenario.Scenario, sensors map[string]tag.Mo
 	}
 	out := &Session{PeakPowerDBm: 10*math.Log10(peak) + 30}
 
-	// Build every tag, power them all from the shared field.
+	// Build every tag, power them all from the shared field. The map is
+	// iterated in sorted-EPC order: r.Split advances the parent stream, so
+	// iteration order would otherwise change every tag's randomness (and
+	// the tags slice order) from run to run.
 	var tags []*tag.Tag
-	for epcStr, model := range sensors {
-		tg, err := tag.New(model, []byte(epcStr), r.Split("tag-"+epcStr))
+	for _, epcStr := range sortedEPCs(sensors) {
+		tg, err := tag.New(sensors[epcStr], []byte(epcStr), r.Split("tag-"+epcStr))
 		if err != nil {
 			return nil, err
 		}
@@ -596,8 +600,12 @@ func (s *System) InventoryPopulation(sc scenario.Scenario, sensors map[string]ta
 	leak := p.CIBLeakPerWatt * s.Beamformer.Array.TotalRadiatedPower()
 	jam := []radio.ToneAt{{Freq: s.Beamformer.CenterFreq, Power: leak}}
 
+	// Sorted-EPC iteration: r.Split advances the parent stream and
+	// `reachable` feeds the singulation order the caller sees, so map
+	// iteration order must not leak into either.
 	var reachable []*gen2.TagLogic
-	for epcStr, model := range sensors {
+	for _, epcStr := range sortedEPCs(sensors) {
+		model := sensors[epcStr]
 		tg, err := tag.New(model, []byte(epcStr), r.Split("tag-"+epcStr))
 		if err != nil {
 			return nil, err
@@ -621,6 +629,17 @@ func (s *System) InventoryPopulation(sc scenario.Scenario, sensors map[string]ta
 	}
 	ic := gen2.NewInventoryController(gen2.S0)
 	return ic.InventoryAll(reachable, maxRounds, r.Split("rounds"))
+}
+
+// sortedEPCs returns a population's EPC keys in sorted order, so sessions
+// are reproducible regardless of map iteration order.
+func sortedEPCs(sensors map[string]tag.Model) []string {
+	epcs := make([]string, 0, len(sensors))
+	for epcStr := range sensors {
+		epcs = append(epcs, epcStr)
+	}
+	sort.Strings(epcs)
+	return epcs
 }
 
 func anyPowered(tags []*tag.Tag) bool {

@@ -349,3 +349,56 @@ func TestWriteWordSecured(t *testing.T) {
 		t.Fatal("unauthenticated write against protected tag succeeded")
 	}
 }
+
+// Multisensor sessions must be byte-reproducible: the sensor population is
+// a map, and both the per-tag rng streams (r.Split advances the parent)
+// and the singulation order previously depended on map iteration order.
+// Regression test for the sorted-EPC fix — under the old code, repeated
+// runs disagree with high probability.
+func TestMultisensorSessionsDeterministic(t *testing.T) {
+	sensors := map[string]tag.Model{}
+	for i := 0; i < 6; i++ {
+		sensors[string([]byte{0xE2, 0x01, byte(i), 0x00})] = tag.StandardTag()
+	}
+	sc := scenario.NewTank(0.5, em.Water, 0.05)
+	sc.FixedOrientation = 0
+	target := []byte{0xE2, 0x01, 0x03, 0x00}
+
+	run := func() ([][]byte, *Session) {
+		sys, err := New(Config{Antennas: 8, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		epcs, err := sys.InventoryPopulation(sc, sensors, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys2, err := New(Config{Antennas: 8, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		session, err := sys2.InventorySelect(sc, sensors, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return epcs, session
+	}
+
+	wantEPCs, wantSession := run()
+	// Repeat: map iteration order reshuffles per range, so a handful of
+	// runs catches any order dependence with overwhelming probability.
+	for rep := 0; rep < 6; rep++ {
+		epcs, session := run()
+		if len(epcs) != len(wantEPCs) {
+			t.Fatalf("rep %d: read %d sensors, want %d", rep, len(epcs), len(wantEPCs))
+		}
+		for i := range epcs {
+			if !bytes.Equal(epcs[i], wantEPCs[i]) {
+				t.Fatalf("rep %d: singulation order diverged at %d: %x vs %x", rep, i, epcs[i], wantEPCs[i])
+			}
+		}
+		if session.String() != wantSession.String() {
+			t.Fatalf("rep %d: select session diverged:\n%s\nvs\n%s", rep, session, wantSession)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# ci.sh — entry point for continuous integration.
+#
+# Thin wrapper so CI configuration stays out of the pipeline definition:
+# the workflow invokes this one script, and the staged gate itself lives
+# in verify.sh where it is also runnable locally. Prints the toolchain
+# first so CI logs are self-describing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== toolchain =="
+go version
+go env GOOS GOARCH GOFLAGS
+
+exec ./scripts/verify.sh

@@ -1,24 +1,43 @@
 #!/usr/bin/env bash
 # verify.sh — the repo's tier-1 gate plus the concurrency checks.
 #
-# 1. go build ./...        — everything compiles
-# 2. go vet ./...          — static sanity
-# 3. go test ./...         — unit + golden + determinism tests
-# 4. go test -race <pkgs>  — the packages with parallel trial loops and
-#                            shared scratch pools, under the race detector
-set -euo pipefail
+# 1. go build ./...          — everything compiles
+# 2. go vet ./...            — stdlib static sanity, hardened flag set
+# 3. ivnlint ./...           — domain lint suite: determinism, pool
+#                              discipline, float comparisons, goroutine
+#                              hygiene, discarded errors
+# 4. go test ./...           — unit + golden + determinism + lint fixtures
+# 5. go test -race <pkgs>    — the packages with parallel trial loops and
+#                              shared scratch pools, under the race detector
+#
+# Stages run fail-fast: the first failing stage stops the script with a
+# FAIL banner naming the stage, so CI logs point at the culprit directly.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== go build =="
-go build ./...
+stage() {
+  local name="$1"
+  shift
+  echo "== ${name} =="
+  if ! "$@"; then
+    echo "-- FAIL: ${name} --" >&2
+    exit 1
+  fi
+}
 
-echo "== go vet =="
-go vet ./...
+stage "go build" go build ./...
 
-echo "== go test =="
-go test ./...
+# -unusedresult's default function list misses the fmt.Sprint family when
+# the result feeds nothing; keep the default checks and add the stricter
+# composite/copylock coverage explicitly so a future vet default change
+# cannot silently drop them.
+stage "go vet" go vet -copylocks -composites -unusedresult ./...
 
-echo "== go test -race (parallel trial paths) =="
-go test -race . ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ ./internal/dsp/
+stage "ivnlint" go run ./cmd/ivnlint ./...
+
+stage "go test" go test ./...
+
+stage "go test -race (parallel trial paths)" \
+  go test -race . ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ ./internal/dsp/
 
 echo "verify: OK"
