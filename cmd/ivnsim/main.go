@@ -16,6 +16,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"ivn/internal/ivnsim"
@@ -29,17 +31,24 @@ func main() {
 // the process exits (os.Exit in main would skip them).
 func run() int {
 	var (
-		list       = flag.Bool("list", false, "list available experiments")
-		runID      = flag.String("run", "", "experiment id to run, or \"all\"")
-		seed       = flag.Uint64("seed", 1, "random seed (equal seeds reproduce identical tables)")
-		trials     = flag.Int("trials", 0, "override the experiment's trial count (0 = default)")
-		quick      = flag.Bool("quick", false, "reduced workload")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		outDir     = flag.String("out", "", "also write each result to DIR/<id>.txt and DIR/<id>.csv")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to FILE")
-		memProfile = flag.String("memprofile", "", "write a heap profile to FILE on exit")
+		list        = flag.Bool("list", false, "list available experiments")
+		runID       = flag.String("run", "", "experiment id to run, or \"all\"")
+		seed        = flag.Uint64("seed", 1, "random seed (equal seeds reproduce identical tables)")
+		trials      = flag.Int("trials", 0, "override the experiment's trial count (0 = default)")
+		quick       = flag.Bool("quick", false, "reduced workload")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir      = flag.String("out", "", "also write each result to DIR/<id>.txt and DIR/<id>.csv")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to FILE")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to FILE on exit")
+		faultScales = flag.String("faultscales", "", "comma-separated fault-intensity multiples for faultmatrix (e.g. 0,1,4)")
 	)
 	flag.Parse()
+
+	scales, err := parseScales(*faultScales)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivnsim: -faultscales: %v\n", err)
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -77,7 +86,7 @@ func run() int {
 		}
 	case *runID == "all":
 		for _, e := range ivnsim.Registry() {
-			if err := runOne(e, *seed, *trials, *quick, *csv, *outDir); err != nil {
+			if err := runOne(e, *seed, *trials, *quick, *csv, *outDir, scales); err != nil {
 				fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
 				return 1
 			}
@@ -88,7 +97,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "ivnsim: %v\n", err)
 			return 2
 		}
-		if err := runOne(e, *seed, *trials, *quick, *csv, *outDir); err != nil {
+		if err := runOne(e, *seed, *trials, *quick, *csv, *outDir, scales); err != nil {
 			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
 			return 1
 		}
@@ -99,8 +108,29 @@ func run() int {
 	return 0
 }
 
-func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, csv bool, outDir string) error {
-	cfg := ivnsim.Config{Seed: seed, Trials: trials, Quick: quick}
+// parseScales parses the -faultscales list: comma-separated non-negative
+// floats, empty meaning "use the experiment's default sweep".
+func parseScales(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %v", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("scale %q is negative", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, csv bool, outDir string, scales []float64) error {
+	cfg := ivnsim.Config{Seed: seed, Trials: trials, Quick: quick, FaultScales: scales}
 	//ivn:allow determinism wall-clock only feeds the stderr elapsed-time diagnostic, never a table
 	start := time.Now()
 	table, err := e.Run(cfg)

@@ -22,7 +22,7 @@ func TestRunOneWritesOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = runOne(e, 1, 0, true, false, dir)
+	err = runOne(e, 1, 0, true, false, dir, nil)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -55,7 +55,7 @@ func TestRunOneCSVToStdout(t *testing.T) {
 	}
 	old := os.Stdout
 	os.Stdout = w
-	runErr := runOne(e, 1, 0, true, true, "")
+	runErr := runOne(e, 1, 0, true, true, "", nil)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {

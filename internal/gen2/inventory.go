@@ -1,10 +1,83 @@
 package gen2
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"ivn/internal/rng"
 )
+
+// ChannelFault perturbs the simulated air interface between the inventory
+// controller and its tag population. Implementations must be pure
+// functions of their own state and the decision coordinates (command
+// index, tag index) so that identical fault processes can drive paired
+// protocol variants (see ivn/internal/fault). A nil ChannelFault is the
+// clean channel; the unfaulted path costs a nil check and nothing else.
+type ChannelFault interface {
+	// CommandTruncated reports whether reader command cmd is truncated in
+	// flight: no tag receives it, and the reader observes silence.
+	CommandTruncated(cmd int) bool
+	// TagPowered reports whether tag tagIndex has its rail up when
+	// command cmd arrives. A tag observed unpowered is silent; on a
+	// powered→unpowered transition its volatile protocol state is reset,
+	// as a real passive tag's state dies with its rail.
+	TagPowered(cmd, tagIndex int) bool
+	// CorruptUplink optionally corrupts a singulated reply's payload
+	// bits, returning the corrupted copy and true. The input slice must
+	// not be mutated.
+	CorruptUplink(cmd int, bits Bits) (Bits, bool)
+}
+
+// ErrInventoryIncomplete is returned (wrapped) by InventoryAll when the
+// round budget is exhausted with tags still unread. The partial EPC list
+// accompanies the error, so callers can both use what was read and detect
+// that the population was not drained — silent partial success hid
+// persistent-collision livelocks before this sentinel existed.
+var ErrInventoryIncomplete = errors.New("gen2: inventory incomplete")
+
+// RecoveryPolicy enables the reader-side recovery stack: the Gen2 Annex-D
+// style floating-Q adaptation (QueryAdjust mid-sweep), a bounded re-ACK
+// budget on EPC decode failure, and bounded re-query with slot-space
+// backoff across rounds. A nil policy reproduces the pre-recovery
+// controller exactly.
+type RecoveryPolicy struct {
+	// MaxACKRetries is the per-singulation re-ACK budget: when an EPC
+	// reply is lost or fails its CRC, the controller re-issues the ACK up
+	// to this many times (the tag, still in Acknowledged, re-backscatters
+	// its EPC). Without this, a corrupted EPC reply silently strands the
+	// tag: it flips its inventoried flag believing the exchange
+	// succeeded, and stops answering for the rest of the inventory.
+	MaxACKRetries int
+	// MaxRequeries bounds consecutive fruitless rounds in InventoryAll:
+	// after this many rounds with no new EPC the controller gives up
+	// (returning ErrInventoryIncomplete) instead of spinning its budget.
+	MaxRequeries int
+	// QAdjustC is the floating-Q step of the Annex-D algorithm: each
+	// collision adds C, each empty slot subtracts C, and when the rounded
+	// value moves the controller issues a QueryAdjust mid-sweep. Zero
+	// selects DefaultQAdjustC.
+	QAdjustC float64
+}
+
+// DefaultQAdjustC is the Annex-D Q-step used when QAdjustC is zero — the
+// spec suggests 0.1–0.5 with smaller C for larger Q; 0.35 behaves well
+// across the population sizes the experiments sweep.
+const DefaultQAdjustC = 0.35
+
+// DefaultRecovery returns the recovery policy the fault-matrix experiment
+// ships: 2 re-ACKs per singulation, 3 re-queries, default Q step.
+func DefaultRecovery() *RecoveryPolicy {
+	return &RecoveryPolicy{MaxACKRetries: 2, MaxRequeries: 3, QAdjustC: DefaultQAdjustC}
+}
+
+// qStep resolves the configured floating-Q step.
+func (p *RecoveryPolicy) qStep() float64 {
+	if p.QAdjustC > 0 {
+		return p.QAdjustC
+	}
+	return DefaultQAdjustC
+}
 
 // InventoryController is the reader-side inventory engine: it runs
 // slotted-ALOHA sweeps against a tag population, re-sizing the Q
@@ -12,6 +85,12 @@ import (
 // IVN's multi-sensor story (§3.7) rides on this machinery:
 // "In order to avoid collision between multiple sensors, IVN can leverage
 // a variety of techniques from standard backscatter communications."
+//
+// With a non-nil Fault the controller sees a degraded channel (truncated
+// commands, browned-out tags, corrupted uplinks); with a non-nil Recovery
+// it fights back (floating-Q adaptation, re-ACK, re-query backoff). Both
+// nil reproduces the historical clean-channel controller command for
+// command.
 type InventoryController struct {
 	// Session is the inventory session to run rounds in.
 	Session Session
@@ -19,6 +98,16 @@ type InventoryController struct {
 	InitialQ byte
 	// MaxCommands bounds a round (guards against livelock).
 	MaxCommands int
+	// Fault perturbs the air interface; nil = clean channel.
+	Fault ChannelFault
+	// Recovery enables the recovery stack; nil = no recovery.
+	Recovery *RecoveryPolicy
+
+	// cmdClock numbers every command this controller has ever issued, so
+	// a ChannelFault sees globally unique decision coordinates across the
+	// rounds of an InventoryAll (fresh controllers start at zero; reuse a
+	// controller only within one deterministic run).
+	cmdClock int
 }
 
 // NewInventoryController returns a controller with spec-typical defaults.
@@ -56,7 +145,9 @@ func (s SlotOutcome) String() string {
 
 // RoundStats summarizes a completed round.
 type RoundStats struct {
-	// EPCs are the identifiers read, in singulation order.
+	// EPCs are the identifiers read, in singulation order. Under power
+	// faults a tag can be read twice in one round (a brownout resets its
+	// inventoried flag); InventoryAll deduplicates across rounds.
 	EPCs [][]byte
 	// Commands is the number of reader commands issued.
 	Commands int
@@ -64,6 +155,21 @@ type RoundStats struct {
 	Slots, Empties, Singles, Collisions int
 	// FinalQ is the floating Q at round end.
 	FinalQ float64
+
+	// Truncated counts reader commands lost in flight (ChannelFault).
+	Truncated int
+	// Corrupted counts uplink replies the fault layer corrupted.
+	Corrupted int
+	// Brownouts counts observed powered→unpowered tag transitions.
+	Brownouts int
+	// LostSlots counts singulated slots that yielded no EPC: undecodable
+	// RN16, lost ACK exchange, or EPC corruption beyond the retry budget.
+	LostSlots int
+	// ACKRetries counts recovery re-ACKs issued (Recovery only).
+	ACKRetries int
+	// Recovered counts EPCs obtained only through a re-ACK (Recovery
+	// only) — reads that the no-recovery controller would have lost.
+	Recovered int
 }
 
 // Efficiency returns singles per slot — the throughput metric slotted
@@ -77,13 +183,63 @@ func (s RoundStats) Efficiency() float64 {
 
 // medium abstracts what the controller can observe of the air interface.
 // With more than one tag backscattering in a slot the reader sees a
-// collision (CRC/preamble failure), not bits.
+// collision (CRC/preamble failure), not bits. A non-nil fault interposes
+// on every broadcast: command truncation, per-tag power, uplink
+// corruption.
 type medium struct {
-	tags []*TagLogic
+	tags  []*TagLogic
+	fault ChannelFault
+	clock *int
+	lit   []bool // last observed power state per tag (fault != nil only)
+	stats *RoundStats
 }
 
 // broadcast sends a command to every powered tag and classifies replies.
 func (m *medium) broadcast(c Command) (SlotOutcome, Reply, *TagLogic) {
+	if m.fault == nil {
+		return m.broadcastClean(c)
+	}
+	cmd := *m.clock
+	*m.clock++
+	if m.fault.CommandTruncated(cmd) {
+		m.stats.Truncated++
+		return SlotEmpty, Reply{Kind: ReplyNone}, nil
+	}
+	var got []Reply
+	var responders []*TagLogic
+	for i, t := range m.tags {
+		if !m.fault.TagPowered(cmd, i) {
+			if m.lit[i] {
+				t.PowerReset()
+				m.stats.Brownouts++
+			}
+			m.lit[i] = false
+			continue
+		}
+		m.lit[i] = true
+		if r := t.HandleCommand(c); r.Kind != ReplyNone {
+			got = append(got, r)
+			responders = append(responders, t)
+		}
+	}
+	switch len(got) {
+	case 0:
+		return SlotEmpty, Reply{Kind: ReplyNone}, nil
+	case 1:
+		reply := got[0]
+		if bits, corrupted := m.fault.CorruptUplink(cmd, reply.Bits); corrupted {
+			m.stats.Corrupted++
+			reply.Bits = bits
+		}
+		return SlotSingle, reply, responders[0]
+	default:
+		return SlotCollision, Reply{Kind: ReplyNone}, nil
+	}
+}
+
+// broadcastClean is the historical fault-free path, kept separate so the
+// clean channel pays a single nil check and no per-tag bookkeeping.
+func (m *medium) broadcastClean(c Command) (SlotOutcome, Reply, *TagLogic) {
 	var got []Reply
 	var responders []*TagLogic
 	for _, t := range m.tags {
@@ -106,8 +262,14 @@ func (m *medium) broadcast(c Command) (SlotOutcome, Reply, *TagLogic) {
 // Query with the current Q and walks all 2^Q slots with QueryReps, ACKing
 // singles; after the sweep the backlog is estimated from the collision
 // count (Schoute's 2.39·c estimator) and Q is re-sized for the next sweep.
-// The round ends when a sweep drains (no replies) or MaxCommands is hit.
+// With Recovery set, the Annex-D floating-Q algorithm additionally adjusts
+// Q mid-sweep via QueryAdjust. The round ends when a sweep drains (no
+// replies) or MaxCommands is hit.
 func (ic *InventoryController) RunRound(tags []*TagLogic, r *rng.Rand) (*RoundStats, error) {
+	return ic.runRound(tags, ic.InitialQ&0xF, r)
+}
+
+func (ic *InventoryController) runRound(tags []*TagLogic, q byte, r *rng.Rand) (*RoundStats, error) {
 	if len(tags) == 0 {
 		return nil, fmt.Errorf("gen2: no tags to inventory")
 	}
@@ -115,15 +277,34 @@ func (ic *InventoryController) RunRound(tags []*TagLogic, r *rng.Rand) (*RoundSt
 	if maxCmds <= 0 {
 		maxCmds = 4096
 	}
-	m := &medium{tags: tags}
 	stats := &RoundStats{}
-	q := ic.InitialQ & 0xF
+	m := &medium{tags: tags, fault: ic.Fault, clock: &ic.cmdClock, stats: stats}
+	if ic.Fault != nil {
+		m.lit = make([]bool, len(tags))
+		for i := range m.lit {
+			m.lit[i] = true
+		}
+	}
+	_ = r
+	if ic.Recovery != nil {
+		return ic.runAdaptive(m, stats, q, maxCmds)
+	}
+	return ic.runFixed(m, stats, q, maxCmds)
+}
 
-	issue := func(c Command) (SlotOutcome, Reply, *TagLogic) {
+// issueFunc issues one command, charging the round's command budget.
+func (ic *InventoryController) issuer(m *medium, stats *RoundStats) func(Command) (SlotOutcome, Reply, *TagLogic) {
+	return func(c Command) (SlotOutcome, Reply, *TagLogic) {
 		stats.Commands++
 		return m.broadcast(c)
 	}
+}
 
+// runFixed is the historical sweep structure: fixed Q per sweep, Schoute
+// backlog estimation between sweeps. With Fault == nil it issues exactly
+// the command sequence of the pre-fault controller.
+func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, maxCmds int) (*RoundStats, error) {
+	issue := ic.issuer(m, stats)
 	for stats.Commands < maxCmds {
 		// One sweep: Query opens slot 0; QueryReps advance.
 		outcome, reply, _ := issue(&Query{Session: ic.Session, Q: q})
@@ -135,16 +316,8 @@ func (ic *InventoryController) RunRound(tags []*TagLogic, r *rng.Rand) (*RoundSt
 			case SlotSingle:
 				stats.Singles++
 				sweepSingles++
-				var rn RN16Reply
-				if err := rn.DecodeFromBits(reply.Bits); err != nil {
-					return nil, fmt.Errorf("gen2: bad RN16 reply: %w", err)
-				}
-				ackOutcome, epcReply, _ := issue(&ACK{RN16: rn.RN16})
-				if ackOutcome == SlotSingle && epcReply.Kind == ReplyEPC {
-					var er EPCReply
-					if err := er.DecodeFromBits(epcReply.Bits); err == nil {
-						stats.EPCs = append(stats.EPCs, er.EPC)
-					}
+				if err := ic.singulate(stats, issue, reply); err != nil {
+					return nil, err
 				}
 			case SlotCollision:
 				stats.Collisions++
@@ -174,31 +347,169 @@ func (ic *InventoryController) RunRound(tags []*TagLogic, r *rng.Rand) (*RoundSt
 		q = nq
 	}
 	stats.FinalQ = float64(q)
-	_ = r
 	return stats, nil
 }
 
-// InventoryAll runs rounds with alternating target flags until every tag
-// has been read or maxRounds is exhausted, returning the union of EPCs.
-// Real deployments flip the Target between A and B so tags inventoried in
-// one round answer the next.
+// runAdaptive is the recovery-side round: the Gen2 Annex-D floating-Q
+// algorithm. Each collision adds C to the floating Q, each empty slot
+// subtracts C; when the rounded value moves, the controller issues a
+// QueryAdjust, every arbitrating tag redraws its slot, and the sweep
+// restarts at the new size. This tracks the true backlog much faster than
+// per-sweep estimation when faults churn protocol state mid-round.
+func (ic *InventoryController) runAdaptive(m *medium, stats *RoundStats, q byte, maxCmds int) (*RoundStats, error) {
+	issue := ic.issuer(m, stats)
+	c := ic.Recovery.qStep()
+	qfp := float64(q)
+	for stats.Commands < maxCmds {
+		outcome, reply, _ := issue(&Query{Session: ic.Session, Q: q})
+		sweepSingles, sweepCollisions := 0, 0
+		slots := 1 << uint(q)
+		slot := 0
+		for slot < slots && stats.Commands < maxCmds {
+			stats.Slots++
+			switch outcome {
+			case SlotSingle:
+				stats.Singles++
+				sweepSingles++
+				if err := ic.singulate(stats, issue, reply); err != nil {
+					return nil, err
+				}
+			case SlotCollision:
+				stats.Collisions++
+				sweepCollisions++
+				qfp = math.Min(15, qfp+c)
+			case SlotEmpty:
+				stats.Empties++
+				qfp = math.Max(0, qfp-c)
+			}
+			slot++
+			if slot >= slots || stats.Commands >= maxCmds {
+				break
+			}
+			if nq := byte(math.Round(qfp)); nq != q {
+				// Mid-sweep re-size: QueryAdjust redraws every arbitrating
+				// tag into the new slot space (C < 1, so the rounded value
+				// moves by at most one — exactly the ±1 a QueryAdjust
+				// applies tag-side).
+				upDn := QUp
+				if nq < q {
+					upDn = QDown
+				}
+				q = nq
+				slots = 1 << uint(q)
+				slot = 0
+				outcome, reply, _ = issue(&QueryAdjust{Session: ic.Session, UpDn: upDn})
+				continue
+			}
+			outcome, reply, _ = issue(&QueryRep{Session: ic.Session})
+		}
+		if sweepSingles == 0 && sweepCollisions == 0 {
+			break // drained
+		}
+		q = byte(math.Round(qfp))
+	}
+	stats.FinalQ = qfp
+	return stats, nil
+}
+
+// singulate runs the ACK → EPC exchange for a singulated slot, with the
+// recovery policy's bounded re-ACK on decode failure. On the clean
+// channel an undecodable RN16 is a protocol invariant violation and
+// surfaces as an error; under fault injection it is a lost slot.
+func (ic *InventoryController) singulate(stats *RoundStats, issue func(Command) (SlotOutcome, Reply, *TagLogic), reply Reply) error {
+	var rn RN16Reply
+	if err := rn.DecodeFromBits(reply.Bits); err != nil {
+		if ic.Fault == nil {
+			return fmt.Errorf("gen2: bad RN16 reply: %w", err)
+		}
+		// Corruption shortened the reply: the reader cannot form an ACK,
+		// so the slot is lost. (A bit-flipped but length-preserving RN16
+		// decodes to a wrong value; the mismatched ACK below sends the
+		// tag back to arbitration, which is the same loss one exchange
+		// later.)
+		stats.LostSlots++
+		return nil
+	}
+	ackOutcome, epcReply, _ := issue(&ACK{RN16: rn.RN16})
+	if ackOutcome == SlotSingle && epcReply.Kind == ReplyEPC {
+		var er EPCReply
+		if err := er.DecodeFromBits(epcReply.Bits); err == nil {
+			stats.EPCs = append(stats.EPCs, er.EPC)
+			return nil
+		}
+	}
+	// The EPC exchange failed: the reply was lost, collided, or failed
+	// its CRC. The tag meanwhile believes it was acknowledged and will
+	// flip its inventoried flag at the next Query/QueryRep — without
+	// recovery it is stranded for the rest of the inventory. Re-ACK while
+	// it still holds the handshake RN16.
+	if rec := ic.Recovery; rec != nil {
+		for attempt := 0; attempt < rec.MaxACKRetries; attempt++ {
+			stats.ACKRetries++
+			outcome, rep, _ := issue(&ACK{RN16: rn.RN16})
+			if outcome != SlotSingle || rep.Kind != ReplyEPC {
+				continue
+			}
+			var er EPCReply
+			if err := er.DecodeFromBits(rep.Bits); err == nil {
+				stats.EPCs = append(stats.EPCs, er.EPC)
+				stats.Recovered++
+				return nil
+			}
+		}
+	}
+	stats.LostSlots++
+	return nil
+}
+
+// InventoryAll runs rounds until every tag has been read or maxRounds is
+// exhausted, returning the union of EPCs in first-read order. When the
+// budget runs out with tags unread, the partial list is returned together
+// with an error wrapping ErrInventoryIncomplete — exhaustion is never
+// silent. With Recovery set, a round that reads nothing new triggers a
+// bounded re-query with slot-space backoff: the next round opens with a
+// doubled slot count (Q+1), de-correlating persistent collisions; after
+// MaxRequeries consecutive fruitless rounds the controller gives up early
+// rather than spending the remaining budget on a livelocked population.
 func (ic *InventoryController) InventoryAll(tags []*TagLogic, maxRounds int, r *rng.Rand) ([][]byte, error) {
 	if maxRounds < 1 {
 		return nil, fmt.Errorf("gen2: maxRounds %d < 1", maxRounds)
 	}
 	seen := map[string]bool{}
 	var out [][]byte
+	baseQ := ic.InitialQ & 0xF
+	q := baseQ
+	noProgress := 0
 	for round := 0; round < maxRounds && len(seen) < len(tags); round++ {
-		stats, err := ic.RunRound(tags, r)
+		stats, err := ic.runRound(tags, q, r)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
+		progress := 0
 		for _, epc := range stats.EPCs {
 			if !seen[string(epc)] {
 				seen[string(epc)] = true
 				out = append(out, epc)
+				progress++
 			}
 		}
+		if rec := ic.Recovery; rec != nil {
+			if progress == 0 {
+				noProgress++
+				if noProgress > rec.MaxRequeries {
+					break // re-query budget exhausted; report incompleteness below
+				}
+				if q < 15 {
+					q++ // backoff: double the slot space for the re-query
+				}
+			} else {
+				noProgress = 0
+				q = baseQ
+			}
+		}
+	}
+	if len(seen) < len(tags) {
+		return out, fmt.Errorf("gen2: read %d of %d tags: %w", len(seen), len(tags), ErrInventoryIncomplete)
 	}
 	return out, nil
 }

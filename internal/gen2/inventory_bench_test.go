@@ -1,0 +1,51 @@
+package gen2
+
+import (
+	"fmt"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+// cleanChannel is a fault that never fires: it measures the cost of the
+// faulted broadcast path itself (interface dispatch + command clock)
+// against the nil fast path.
+type cleanChannel struct{}
+
+func (cleanChannel) CommandTruncated(int) bool                { return false }
+func (cleanChannel) TagPowered(int, int) bool                 { return true }
+func (cleanChannel) CorruptUplink(_ int, b Bits) (Bits, bool) { return b, false }
+
+// BenchmarkInventoryRound pins the per-round cost of the inventory hot
+// path. The clean variant is the seed's legacy path (Fault == nil) and
+// must stay allocation-identical to it; the fault variants price the
+// injection seam and the recovery stack.
+func BenchmarkInventoryRound(b *testing.B) {
+	bench := func(b *testing.B, fault ChannelFault, rec *RecoveryPolicy) {
+		tags := make([]*TagLogic, 6)
+		for i := range tags {
+			tg, err := NewTagLogic([]byte{0xBE, byte(i), 0x0C, 0x04}, rng.New(uint64(900+i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tags[i] = tg
+		}
+		ic := NewInventoryController(S0)
+		ic.Fault = fault
+		ic.Recovery = rec
+		r := rng.New(5)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, tg := range tags {
+				tg.PowerReset()
+			}
+			if _, err := ic.RunRound(tags, r.Split(fmt.Sprintf("round-%d", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("clean-nil-fault", func(b *testing.B) { bench(b, nil, nil) })
+	b.Run("clean-channel-fault", func(b *testing.B) { bench(b, cleanChannel{}, nil) })
+	b.Run("clean-channel-recovery", func(b *testing.B) { bench(b, cleanChannel{}, DefaultRecovery()) })
+}

@@ -14,6 +14,9 @@ type Config struct {
 	Trials int
 	// Quick shrinks the workload for CI-style runs.
 	Quick bool
+	// FaultScales overrides the fault-matrix intensity sweep when
+	// non-empty (multiples of the default fault config; 0 = fault-free).
+	FaultScales []float64
 }
 
 // trials resolves the effective trial count.

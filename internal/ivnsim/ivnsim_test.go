@@ -52,6 +52,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-flatness", "ablation-averaging", "ablation-outofband",
 		"ablation-safety", "ablation-freqerror", "ablation-hopping",
 		"ablation-multipath", "ablation-phasenoise", "ablation-miller",
+		"faultmatrix",
 	}
 	for _, id := range want {
 		e, err := ByID(id)

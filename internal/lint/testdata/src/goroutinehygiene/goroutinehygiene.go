@@ -43,3 +43,46 @@ func suppressedLaunch() {
 	go func() { close(done) }()
 	<-done
 }
+
+// injector stands in for a shared stateless fault injector.
+type injector struct{}
+
+func (injector) schedule(int) string { return "" }
+
+// injectorFanOutRaw fans trial workers out over a shared injector with a
+// raw launch instead of the bounded runner.
+func injectorFanOutRaw(inj injector, out []string) {
+	var wg sync.WaitGroup
+	for w := range out {
+		wg.Add(1)
+		go func(w int) { // want `goroutine launched outside a sanctioned runner`
+			defer wg.Done()
+			out[w] = inj.schedule(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// injectorFanOutSanctioned routes the same fan-out through the bounded
+// runner: no findings.
+func injectorFanOutSanctioned(inj injector, out []string) {
+	forEachIndexed(len(out), func(w int) {
+		out[w] = inj.schedule(w)
+	})
+}
+
+// injectorFanOutSuppressed is the determinism-test exception: raw
+// concurrent access to the shared injector is the point of the test, so
+// the launch carries an annotation. No findings.
+func injectorFanOutSuppressed(inj injector, out []string) {
+	var wg sync.WaitGroup
+	for w := range out {
+		wg.Add(1)
+		//ivn:allow goroutinehygiene fixture: deliberate raw concurrent access to the shared injector, joined below
+		go func(w int) {
+			defer wg.Done()
+			out[w] = inj.schedule(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -105,3 +105,51 @@ func transfer(n int) []float64 {
 	//ivn:allow pooldiscipline fixture: ownership transfers to the caller by documented contract
 	return buf
 }
+
+// corruptReturnsCopy is the fault-injection shape: pooled scratch stages
+// the corrupted payload, a fresh copy leaves, the scratch goes back. No
+// findings.
+func corruptReturnsCopy(bits []float64) []float64 {
+	buf := pool.Float64(len(bits))
+	copy(buf, bits)
+	buf[0] = -buf[0]
+	out := append([]float64(nil), buf...)
+	pool.PutFloat64(buf)
+	return out
+}
+
+// corruptLeaksScratch hands the pooled scratch out as the corrupted
+// payload — the caller now owns pool memory it never acquired.
+func corruptLeaksScratch(bits []float64) []float64 {
+	buf := pool.Float64(len(bits))
+	copy(buf, bits)
+	buf[0] = -buf[0]
+	return buf // want `pooled buffer "buf" escapes via return`
+}
+
+// retryLeaksOnSuccess is the decode-with-retry shape gone wrong: each
+// attempt acquires scratch, but the success path returns without the Put.
+func retryLeaksOnSuccess(attempts int) float64 {
+	for a := 0; a < attempts; a++ {
+		buf := pool.Float64(8)
+		if s := consume(buf); s > 0 {
+			return s // want `pooled buffer "buf" .* not released at this return`
+		}
+		pool.PutFloat64(buf)
+	}
+	return 0
+}
+
+// retryBalanced releases on both the success and the retry path: no
+// findings.
+func retryBalanced(attempts int) float64 {
+	for a := 0; a < attempts; a++ {
+		buf := pool.Float64(8)
+		if s := consume(buf); s > 0 {
+			pool.PutFloat64(buf)
+			return s
+		}
+		pool.PutFloat64(buf)
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+// TestQuantizeBoundaries pins the clip semantics at the converter rails:
+// exactly-full-scale and just-over-full-scale inputs must land on the max
+// code with no wraparound or sign flip, and negative overloads mirror.
+func TestQuantizeBoundaries(t *testing.T) {
+	const fs = 1.0
+	eps := fs * 1e-9
+	x := []complex128{
+		complex(fs, -fs),             // exactly at the rails: representable boundary
+		complex(fs+eps, -(fs + eps)), // just over: clips, no wraparound
+		complex(fs*1e6, -fs*1e6),     // far over: still the rail codes
+	}
+	clipped, err := Quantize(x, 12, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly ±fullScale is the boundary code, not an overload.
+	if real(x[0]) != fs || imag(x[0]) != -fs {
+		t.Fatalf("full-scale sample moved: %v", x[0])
+	}
+	// Over-range samples clamp to the rails — a wraparound or sign flip
+	// would surface here as a negative real or positive imaginary part.
+	for i := 1; i < 3; i++ {
+		if real(x[i]) != fs || imag(x[i]) != -fs {
+			t.Fatalf("sample %d = %v, want (%v,%v)", i, x[i], fs, -fs)
+		}
+	}
+	// Per-component accounting: samples 1 and 2 clip on both I and Q.
+	if clipped != 4 {
+		t.Fatalf("clipped = %d, want 4 (per-component)", clipped)
+	}
+}
+
+// TestQuantizePerComponentCount: a sample overloading both rails counts
+// twice; one rail counts once; in-range counts zero.
+func TestQuantizePerComponentCount(t *testing.T) {
+	x := []complex128{
+		complex(2.0, 3.0),   // both components clip: +2
+		complex(-2.0, 0.5),  // real only: +1
+		complex(0.25, -0.5), // clean: +0
+	}
+	clipped, err := Quantize(x, 8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped != 3 {
+		t.Fatalf("clipped = %d, want 3", clipped)
+	}
+}
+
+// dropChain zeroes one chain and re-locks another.
+type dropChain struct{ drop, relock int }
+
+func (d dropChain) PerturbCarrier(chain int, c Carrier) Carrier {
+	if chain == d.drop {
+		c.Amplitude = 0
+	}
+	if chain == d.relock {
+		c.Phase = 1.25
+	}
+	return c
+}
+
+// TestPerturbedCarriers: the fault overlays the observed tone set without
+// touching the chains — the next healthy observation is unchanged.
+func TestPerturbedCarriers(t *testing.T) {
+	arr, err := NewUniformArray([]float64{915e6, 915.5e6, 916e6}, 0.05, DefaultPA(), Antenna{GainDBi: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.Lock(rng.New(5))
+	healthy := arr.Carriers()
+
+	got := arr.PerturbedCarriers(dropChain{drop: 0, relock: 2})
+	if got[0].Amplitude != 0 {
+		t.Fatalf("dropped chain still emitting %v", got[0].Amplitude)
+	}
+	if got[1] != healthy[1] {
+		t.Fatalf("untouched chain perturbed: %v vs %v", got[1], healthy[1])
+	}
+	if math.Abs(got[2].Phase-1.25) > 1e-15 {
+		t.Fatalf("re-locked chain phase %v, want 1.25", got[2].Phase)
+	}
+	if got[2].Amplitude != healthy[2].Amplitude {
+		t.Fatalf("re-lock changed amplitude: %v", got[2].Amplitude)
+	}
+
+	// nil fault is the identity, and the overlay never mutated the array.
+	again := arr.PerturbedCarriers(nil)
+	for i := range again {
+		if again[i] != healthy[i] {
+			t.Fatalf("chain %d mutated by overlay: %v vs %v", i, again[i], healthy[i])
+		}
+	}
+}

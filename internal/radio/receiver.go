@@ -156,7 +156,11 @@ func (r *Receiver) AddNoise(x []complex128, rnd *rng.Rand) {
 
 // Quantize applies ADC quantization in place: bits of resolution over
 // ±fullScale on each of I and Q, clipping beyond. It returns the number
-// of clipped samples so callers can detect converter overload.
+// of clipped components (I and Q counted separately — a sample clipped on
+// both rails contributes two) so callers can detect converter overload.
+// Inputs at or beyond a rail clamp to that rail's code: a just-over-full-
+// scale sample produces the max code, never a wrapped or sign-flipped
+// value.
 func Quantize(x []complex128, bits int, fullScale float64) (clipped int, err error) {
 	if bits < 2 || bits > 24 {
 		return 0, fmt.Errorf("radio: ADC bits %d outside [2,24]", bits)
@@ -179,7 +183,10 @@ func Quantize(x []complex128, bits int, fullScale float64) (clipped int, err err
 		re, c1 := q(real(x[i]))
 		im, c2 := q(imag(x[i]))
 		x[i] = complex(re, im)
-		if c1 || c2 {
+		if c1 {
+			clipped++
+		}
+		if c2 {
 			clipped++
 		}
 	}

@@ -76,37 +76,101 @@ func CoherentAveragingGain(k int, sigma2 float64) float64 {
 	return acc / float64(k*k)
 }
 
+// Operating-point defaults, applied wherever the corresponding field is
+// zero: a zero-value Reader decodes at the prototype's configuration
+// (880 MHz, 1 W, 8 samples per half-bit, 32-period averaging, 0.8
+// correlation threshold). Every decode path resolves through the same
+// accessors, so FM0 and Miller can never disagree about what zero means.
+const (
+	DefaultTxFreq               = 880e6
+	DefaultTxAmplitude          = 1.0
+	DefaultSamplesPerHalfBit    = 8
+	DefaultAveragingPeriods     = 32
+	DefaultCorrelationThreshold = 0.8
+)
+
 // New builds a reader at the prototype's operating point: 880 MHz, 30 dBm
 // (1 W) transmit, 8 samples per half-bit, 32-period averaging (the paper
 // averages tag responses over 1-second CIB envelope periods, §5b; the
 // capture length is a free parameter of the protocol).
 func New() *Reader {
 	return &Reader{
-		TxFreq:               880e6,
-		TxAmplitude:          1,
-		RX:                   radio.NewReceiver(880e6),
-		SamplesPerHalfBit:    8,
-		AveragingPeriods:     32,
-		CorrelationThreshold: 0.8,
+		TxFreq:               DefaultTxFreq,
+		TxAmplitude:          DefaultTxAmplitude,
+		RX:                   radio.NewReceiver(DefaultTxFreq),
+		SamplesPerHalfBit:    DefaultSamplesPerHalfBit,
+		AveragingPeriods:     DefaultAveragingPeriods,
+		CorrelationThreshold: DefaultCorrelationThreshold,
 	}
 }
 
-// Validate checks the configuration.
-func (r *Reader) Validate() error {
-	if r.TxFreq <= 0 {
-		return fmt.Errorf("reader: TX frequency %v <= 0", r.TxFreq)
+// txFreq resolves the carrier, defaulting the zero value.
+func (r *Reader) txFreq() float64 {
+	if r.TxFreq == 0 {
+		return DefaultTxFreq
 	}
-	if r.TxAmplitude <= 0 {
-		return fmt.Errorf("reader: TX amplitude %v <= 0", r.TxAmplitude)
+	return r.TxFreq
+}
+
+// txAmplitude resolves the transmit amplitude, defaulting the zero value.
+func (r *Reader) txAmplitude() float64 {
+	if r.TxAmplitude == 0 {
+		return DefaultTxAmplitude
 	}
+	return r.TxAmplitude
+}
+
+// rx resolves the receive chain, building the default receiver (centered
+// at the resolved carrier) when none is configured.
+func (r *Reader) rx() *radio.Receiver {
 	if r.RX == nil {
-		return fmt.Errorf("reader: nil receiver")
+		return radio.NewReceiver(r.txFreq())
 	}
-	if r.SamplesPerHalfBit < 1 {
+	return r.RX
+}
+
+// samplesPerHalfBit resolves the FM0 half-bit resolution.
+func (r *Reader) samplesPerHalfBit() int {
+	if r.SamplesPerHalfBit == 0 {
+		return DefaultSamplesPerHalfBit
+	}
+	return r.SamplesPerHalfBit
+}
+
+// averagingPeriods resolves the coherent-averaging depth K.
+func (r *Reader) averagingPeriods() int {
+	if r.AveragingPeriods == 0 {
+		return DefaultAveragingPeriods
+	}
+	return r.AveragingPeriods
+}
+
+// correlationThreshold resolves the decode acceptance level.
+func (r *Reader) correlationThreshold() float64 {
+	if r.CorrelationThreshold == 0 {
+		return DefaultCorrelationThreshold
+	}
+	return r.CorrelationThreshold
+}
+
+// Validate checks the configuration. Zero values are valid — they select
+// the documented defaults — so only genuinely meaningless settings
+// (negative counts, negative frequencies) are rejected.
+func (r *Reader) Validate() error {
+	if r.TxFreq < 0 {
+		return fmt.Errorf("reader: TX frequency %v < 0", r.TxFreq)
+	}
+	if r.TxAmplitude < 0 {
+		return fmt.Errorf("reader: TX amplitude %v < 0", r.TxAmplitude)
+	}
+	if r.SamplesPerHalfBit < 0 {
 		return fmt.Errorf("reader: %d samples per half-bit", r.SamplesPerHalfBit)
 	}
-	if r.AveragingPeriods < 1 {
+	if r.AveragingPeriods < 0 {
 		return fmt.Errorf("reader: %d averaging periods", r.AveragingPeriods)
+	}
+	if r.CorrelationThreshold < 0 || r.CorrelationThreshold > 1 {
+		return fmt.Errorf("reader: correlation threshold %v outside [0,1]", r.CorrelationThreshold)
 	}
 	return nil
 }
@@ -115,7 +179,7 @@ func (r *Reader) Validate() error {
 // despite the SAW filter. leakPower is the total CIB power reaching the
 // reader antenna (watts) at cibFreq.
 func (r *Reader) Jammed(leakPower, cibFreq float64) bool {
-	return r.RX.Saturated([]radio.ToneAt{{Freq: cibFreq, Power: leakPower}})
+	return r.rx().Saturated([]radio.ToneAt{{Freq: cibFreq, Power: leakPower}})
 }
 
 // DecodeResult is a successful uplink decode.
@@ -142,18 +206,20 @@ func (r *Reader) DecodeUplink(bs []float64, linkGain complex128, jamPowers []rad
 	if len(bs) == 0 {
 		return nil, fmt.Errorf("reader: empty backscatter waveform")
 	}
-	if r.RX.Saturated(jamPowers) {
+	rx := r.rx()
+	if rx.Saturated(jamPowers) {
 		return nil, fmt.Errorf("reader: receiver saturated by %d jamming tones (%.1f dBm post-filter)",
-			len(jamPowers), 10*math.Log10(r.RX.PostFilterPower(jamPowers))+30)
+			len(jamPowers), 10*math.Log10(rx.PostFilterPower(jamPowers))+30)
 	}
 	// Residual interference (after analog and digital filtering) raises
 	// the effective noise floor.
-	noise := r.RX.NoiseFloor + r.RX.EffectiveInterference(jamPowers)
+	noise := rx.NoiseFloor + rx.EffectiveInterference(jamPowers)
 	// Coherent averaging of K periods: signal stays, noise power drops K×.
 	// Oscillator drift between periods decorrelates the stacked replies
 	// and attenuates the combined signal amplitude.
-	k := float64(r.AveragingPeriods)
-	drift := math.Sqrt(CoherentAveragingGain(r.AveragingPeriods, r.PhaseDriftPerPeriod))
+	periods := r.averagingPeriods()
+	k := float64(periods)
+	drift := math.Sqrt(CoherentAveragingGain(periods, r.PhaseDriftPerPeriod))
 	effLink := linkGain * complex(drift, 0)
 	sigma := math.Sqrt(noise / 2 / k)
 	avg := make([]complex128, len(bs))
@@ -174,18 +240,16 @@ func (r *Reader) DecodeUplink(bs []float64, linkGain complex128, jamPowers []rad
 	for i := range levels {
 		levels[i] -= mean
 	}
-	th := r.CorrelationThreshold
-	if th == 0 {
-		th = 0.8
-	}
+	th := r.correlationThreshold()
+	sphb := r.samplesPerHalfBit()
 	var res *gen2.FrameResult
 	var err error
 	if r.Miller != 0 {
 		// One subcarrier cycle per FM0 bit time (see tag.BackscatterWaveform).
-		dec := gen2.MillerDecoder{M: r.Miller, SamplesPerCycle: 2 * r.SamplesPerHalfBit}
+		dec := gen2.MillerDecoder{M: r.Miller, SamplesPerCycle: 2 * sphb}
 		res, err = dec.DecodeFrame(levels, nbits, th)
 	} else {
-		dec := gen2.FM0Decoder{SamplesPerHalfBit: r.SamplesPerHalfBit, CorrelationThreshold: th}
+		dec := gen2.FM0Decoder{SamplesPerHalfBit: sphb, CorrelationThreshold: th}
 		res, err = dec.DecodeFrame(levels, nbits)
 	}
 	if err != nil {
@@ -216,16 +280,18 @@ func ModulationAmplitude(backscatterGain, depth float64) float64 {
 // correlation clears 0.8 (amplitude ratio ≈1.33, i.e. ≈2.5 dB power),
 // plus margin; it is validated against DecodeUplink in the tests.
 func (r *Reader) DecodableRN16(linkGain complex128, modulationAmp float64, jamPowers []radio.ToneAt) bool {
-	if r.RX.Saturated(jamPowers) {
+	rx := r.rx()
+	if rx.Saturated(jamPowers) {
 		return false
 	}
-	noise := r.RX.NoiseFloor + r.RX.EffectiveInterference(jamPowers)
+	noise := rx.NoiseFloor + rx.EffectiveInterference(jamPowers)
+	periods := r.averagingPeriods()
 	a := cmplx.Abs(linkGain) * modulationAmp *
-		math.Sqrt(CoherentAveragingGain(r.AveragingPeriods, r.PhaseDriftPerPeriod))
+		math.Sqrt(CoherentAveragingGain(periods, r.PhaseDriftPerPeriod))
 	if a == 0 {
 		return false
 	}
-	snr := a * a * float64(r.AveragingPeriods) / noise
+	snr := a * a * float64(periods) / noise
 	const minSNRdB = 4.5 // ρ=0.8 point (≈2.5 dB) plus 2 dB margin
 	return 10*math.Log10(snr) >= minSNRdB
 }

@@ -34,12 +34,30 @@ func TestValidate(t *testing.T) {
 	if err := New().Validate(); err != nil {
 		t.Fatal(err)
 	}
-	mutations := []func(*Reader){
+	// Zero values mean "use the default" and must validate; only
+	// meaningless negative settings are rejected.
+	zeros := []func(*Reader){
 		func(r *Reader) { r.TxFreq = 0 },
 		func(r *Reader) { r.TxAmplitude = 0 },
 		func(r *Reader) { r.RX = nil },
 		func(r *Reader) { r.SamplesPerHalfBit = 0 },
 		func(r *Reader) { r.AveragingPeriods = 0 },
+		func(r *Reader) { r.CorrelationThreshold = 0 },
+	}
+	for i, mutate := range zeros {
+		r := New()
+		mutate(r)
+		if err := r.Validate(); err != nil {
+			t.Errorf("zero mutation %d rejected: %v", i, err)
+		}
+	}
+	mutations := []func(*Reader){
+		func(r *Reader) { r.TxFreq = -880e6 },
+		func(r *Reader) { r.TxAmplitude = -1 },
+		func(r *Reader) { r.SamplesPerHalfBit = -8 },
+		func(r *Reader) { r.AveragingPeriods = -32 },
+		func(r *Reader) { r.CorrelationThreshold = -0.5 },
+		func(r *Reader) { r.CorrelationThreshold = 1.5 },
 	}
 	for i, mutate := range mutations {
 		r := New()
@@ -212,7 +230,7 @@ func TestDecodeUplinkErrors(t *testing.T) {
 		t.Fatal("empty waveform accepted")
 	}
 	bad := New()
-	bad.AveragingPeriods = 0
+	bad.AveragingPeriods = -1
 	if _, err := bad.DecodeUplink([]float64{1}, 1, nil, 16, rng.New(1)); err == nil {
 		t.Fatal("invalid reader decoded")
 	}

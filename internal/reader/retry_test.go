@@ -1,0 +1,191 @@
+package reader
+
+import (
+	"testing"
+
+	"ivn/internal/gen2"
+	"ivn/internal/rng"
+	"ivn/internal/tag"
+)
+
+// makeMillerReply builds a tag reply in Miller-M encoding.
+func makeMillerReply(t *testing.T, m, sp int) (gen2.Reply, []float64) {
+	t.Helper()
+	tg, err := tag.New(tag.StandardTag(), []byte{0x56, 0x78}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg.UpdatePower(tg.Model.MinPeakPower() * 2)
+	var mbits byte
+	switch m {
+	case 2:
+		mbits = 1
+	case 4:
+		mbits = 2
+	case 8:
+		mbits = 3
+	}
+	reply := tg.HandleCommand(&gen2.Query{Q: 0, M: mbits})
+	if reply.Kind != gen2.ReplyRN16 {
+		t.Fatalf("reply = %s", reply.Kind)
+	}
+	bs, err := tg.BackscatterWaveform(reply, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply, bs
+}
+
+// TestZeroValueReaderDecodesFM0: a zero-value Reader (no New(), every
+// field at its zero) must decode on the FM0 path using the documented
+// defaults — the satellite-3 regression. Before the fix, Validate
+// rejected the zero value outright and DecodableRN16 read the raw zero
+// AveragingPeriods.
+func TestZeroValueReaderDecodesFM0(t *testing.T) {
+	var r Reader
+	_, reply, bs := makeReply(t, DefaultSamplesPerHalfBit)
+	link := RoundTripGain(DefaultTxAmplitude, complex(1e-2, 0), complex(0, 1e-2))
+	res, err := r.DecodeUplink(bs, link, nil, 16, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bits.Equal(reply.Bits) {
+		t.Fatalf("decoded %s, want %s", res.Bits, reply.Bits)
+	}
+	// The zero-value reader must agree with the explicitly-defaulted one.
+	want, err := New().DecodeUplink(bs, link, nil, 16, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bits.Equal(want.Bits) || res.Correlation != want.Correlation {
+		t.Fatalf("zero-value decode differs from New(): %+v vs %+v", res, want)
+	}
+	if !r.DecodableRN16(link, 0.1, nil) {
+		t.Fatal("zero-value DecodableRN16 rejected a strong link")
+	}
+}
+
+// TestZeroValueReaderDecodesMiller: the same regression on the Miller
+// path — both decoders must resolve SamplesPerHalfBit and the threshold
+// through the same defaulting.
+func TestZeroValueReaderDecodesMiller(t *testing.T) {
+	const m = 4
+	reply, bs := makeMillerReply(t, m, DefaultSamplesPerHalfBit)
+	r := Reader{Miller: m}
+	link := RoundTripGain(DefaultTxAmplitude, complex(1e-2, 0), complex(0, 1e-2))
+	res, err := r.DecodeUplink(bs, link, nil, 16, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bits.Equal(reply.Bits) {
+		t.Fatalf("decoded %s, want %s", res.Bits, reply.Bits)
+	}
+	full := New()
+	full.Miller = m
+	want, err := full.DecodeUplink(bs, link, nil, 16, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bits.Equal(want.Bits) || res.Correlation != want.Correlation {
+		t.Fatalf("zero-value Miller decode differs from New(): %+v vs %+v", res, want)
+	}
+}
+
+// scriptedFault corrupts a fixed set of (exchange, attempt) captures.
+type scriptedFault map[[2]int]bool
+
+func (s scriptedFault) CaptureCorrupted(exchange, attempt int) bool {
+	return s[[2]int{exchange, attempt}]
+}
+
+// TestDecodeUplinkWithRetryRecovers: the first capture is corrupted; the
+// retry decodes, and the accounting shows exactly what happened.
+func TestDecodeUplinkWithRetryRecovers(t *testing.T) {
+	r := New()
+	_, reply, bs := makeReply(t, r.SamplesPerHalfBit)
+	link := RoundTripGain(r.TxAmplitude, complex(1e-2, 0), complex(0, 1e-2))
+	fault := scriptedFault{{7, 0}: true}
+	res, err := r.DecodeUplinkWithRetry(7, 2, fault, bs, link, nil, 16, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded() {
+		t.Fatalf("retry did not recover: %v", res.Attempts)
+	}
+	if !res.Result.Bits.Equal(reply.Bits) {
+		t.Fatalf("decoded %s, want %s", res.Result.Bits, reply.Bits)
+	}
+	want := []AttemptOutcome{AttemptCorrupted, AttemptOK}
+	if len(res.Attempts) != len(want) {
+		t.Fatalf("attempts %v, want %v", res.Attempts, want)
+	}
+	for i := range want {
+		if res.Attempts[i] != want[i] {
+			t.Fatalf("attempt %d = %s, want %s", i, res.Attempts[i], want[i])
+		}
+	}
+}
+
+// TestDecodeUplinkWithRetryExhaustsBudget: every capture corrupted — the
+// budget caps the attempts and the result reports failure without error.
+func TestDecodeUplinkWithRetryExhaustsBudget(t *testing.T) {
+	r := New()
+	_, _, bs := makeReply(t, r.SamplesPerHalfBit)
+	link := RoundTripGain(r.TxAmplitude, complex(1e-2, 0), complex(0, 1e-2))
+	fault := scriptedFault{{1, 0}: true, {1, 1}: true, {1, 2}: true}
+	res, err := r.DecodeUplinkWithRetry(1, 2, fault, bs, link, nil, 16, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded() {
+		t.Fatal("succeeded through an all-corrupted schedule")
+	}
+	if len(res.Attempts) != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + 2 retries)", len(res.Attempts))
+	}
+	for i, a := range res.Attempts {
+		if a != AttemptCorrupted {
+			t.Fatalf("attempt %d = %s, want corrupted", i, a)
+		}
+	}
+}
+
+// TestDecodeUplinkWithRetryNilFault: a nil fault with a clean link is one
+// attempt, one AttemptOK — no fault layer, no retries burned.
+func TestDecodeUplinkWithRetryNilFault(t *testing.T) {
+	r := New()
+	_, _, bs := makeReply(t, r.SamplesPerHalfBit)
+	link := RoundTripGain(r.TxAmplitude, complex(1e-2, 0), complex(0, 1e-2))
+	res, err := r.DecodeUplinkWithRetry(0, 3, nil, bs, link, nil, 16, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded() || len(res.Attempts) != 1 || res.Attempts[0] != AttemptOK {
+		t.Fatalf("clean decode accounting wrong: %v", res.Attempts)
+	}
+	if _, err := r.DecodeUplinkWithRetry(0, -1, nil, bs, link, nil, 16, rng.New(8)); err == nil {
+		t.Fatal("negative retry budget accepted")
+	}
+}
+
+// TestDecodeUplinkWithRetryFailedAttemptsCounted: a hopeless link burns
+// the whole budget as decode failures (distinct from fault corruption).
+func TestDecodeUplinkWithRetryFailedAttemptsCounted(t *testing.T) {
+	r := New()
+	_, _, bs := makeReply(t, r.SamplesPerHalfBit)
+	res, err := r.DecodeUplinkWithRetry(3, 1, nil, bs, complex(1e-9, 0), nil, 16, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded() {
+		t.Fatal("decoded a hopeless link")
+	}
+	for i, a := range res.Attempts {
+		if a != AttemptDecodeFailed {
+			t.Fatalf("attempt %d = %s, want decode-failed", i, a)
+		}
+	}
+	if len(res.Attempts) != 2 {
+		t.Fatalf("%d attempts, want 2", len(res.Attempts))
+	}
+}

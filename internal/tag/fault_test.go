@@ -1,0 +1,85 @@
+package tag
+
+import (
+	"testing"
+
+	"ivn/internal/gen2"
+	"ivn/internal/rng"
+)
+
+// driftAt derates the peak to `scale` at one specific event.
+type driftAt struct {
+	event int
+	scale float64
+}
+
+func (d driftAt) PeakScale(event int) float64 {
+	if event == d.event {
+		return d.scale
+	}
+	return 1
+}
+
+// TestUpdatePowerAtAppliesFault: a drift event derates the harvested peak
+// below sensitivity, the tag browns out and loses its protocol state, and
+// the next clean event powers it back up.
+func TestUpdatePowerAtAppliesFault(t *testing.T) {
+	tg, err := New(StandardTag(), []byte{0x11, 0x22}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := tg.Model.MinPeakPower() * 2
+	tg.Fault = driftAt{event: 1, scale: 0.1}
+
+	tg.UpdatePowerAt(0, peak)
+	if !tg.Powered() {
+		t.Fatal("tag dark at full peak")
+	}
+	// Put the tag mid-round so the brownout has volatile state to destroy.
+	reply := tg.HandleCommand(&gen2.Query{Q: 0})
+	if reply.Kind != gen2.ReplyRN16 {
+		t.Fatalf("reply = %s", reply.Kind)
+	}
+	if tg.Logic.State() != gen2.StateReply {
+		t.Fatalf("state = %v", tg.Logic.State())
+	}
+
+	// Event 1: the peak drifts off the sensor; 2× margin × 0.1 is below
+	// the operating point.
+	tg.UpdatePowerAt(1, peak)
+	if tg.Powered() {
+		t.Fatal("tag survived a 10× power derate")
+	}
+	if tg.Logic.State() != gen2.StateReady {
+		t.Fatalf("brownout did not reset protocol state: %v", tg.Logic.State())
+	}
+	if r := tg.HandleCommand(&gen2.QueryRep{}); r.Kind != gen2.ReplyNone {
+		t.Fatalf("unpowered tag replied %s", r.Kind)
+	}
+
+	// Event 2: drift passed; the tag powers back up and participates.
+	tg.UpdatePowerAt(2, peak)
+	if !tg.Powered() {
+		t.Fatal("tag did not recover when the peak returned")
+	}
+}
+
+// TestUpdatePowerAtNilFault: without a fault the event index is inert and
+// the behavior is exactly UpdatePower.
+func TestUpdatePowerAtNilFault(t *testing.T) {
+	tg, err := New(MiniatureTag(), []byte{0x33, 0x44}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := tg.Model.MinPeakPower() * 1.5
+	for event := 0; event < 3; event++ {
+		tg.UpdatePowerAt(event, peak)
+		if !tg.Powered() {
+			t.Fatalf("event %d: nil-fault tag dark above sensitivity", event)
+		}
+	}
+	tg.UpdatePowerAt(3, peak*0.1)
+	if tg.Powered() {
+		t.Fatal("tag powered below sensitivity")
+	}
+}

@@ -167,11 +167,25 @@ func (m Model) SensitivityDBm() float64 {
 	return 10*math.Log10(m.MinPeakPower()) + 30
 }
 
+// PowerFault scales the envelope peak power a tag harvests at a given
+// observation event — the injection seam for CIB peak drift (the envelope
+// maximum wandering off the sensor with subject motion). Implementations
+// must be pure functions of the event index and their own state (see
+// ivn/internal/fault). A nil PowerFault harvests the full peak.
+type PowerFault interface {
+	// PeakScale returns the multiplicative power factor in [0,1] for
+	// observation event `event` (experiments use the round index).
+	PeakScale(event int) float64
+}
+
 // Tag is a live sensor instance: a model plus protocol state and power
 // bookkeeping.
 type Tag struct {
 	Model Model
 	Logic *gen2.TagLogic
+	// Fault optionally derates the harvested peak per observation event;
+	// nil means the tag always sees the full envelope peak.
+	Fault PowerFault
 
 	powered bool
 }
@@ -200,6 +214,16 @@ func (t *Tag) UpdatePower(peakWattsIsotropic float64) {
 		t.Logic.PowerReset()
 	}
 	t.powered = up
+}
+
+// UpdatePowerAt applies the envelope peak power for observation event
+// `event`, derated through the tag's PowerFault when one is installed.
+// With a nil Fault it is exactly UpdatePower.
+func (t *Tag) UpdatePowerAt(event int, peakWattsIsotropic float64) {
+	if t.Fault != nil {
+		peakWattsIsotropic *= t.Fault.PeakScale(event)
+	}
+	t.UpdatePower(peakWattsIsotropic)
 }
 
 // HandleCommand runs the protocol when powered; an unpowered tag is

@@ -9,6 +9,8 @@
 # 4. go test ./...           — unit + golden + determinism + lint fixtures
 # 5. go test -race <pkgs>    — the packages with parallel trial loops and
 #                              shared scratch pools, under the race detector
+# 6. faultmatrix smoke       — the fault-injection experiment end to end:
+#                              injector, recovery stack, paired ablation
 #
 # Stages run fail-fast: the first failing stage stops the script with a
 # FAIL banner naming the stage, so CI logs point at the culprit directly.
@@ -38,6 +40,10 @@ stage "ivnlint" go run ./cmd/ivnlint ./...
 stage "go test" go test ./...
 
 stage "go test -race (parallel trial paths)" \
-  go test -race . ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ ./internal/dsp/
+  go test -race . ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ ./internal/dsp/ \
+  ./internal/fault/ ./internal/gen2/
+
+stage "faultmatrix smoke" \
+  go run ./cmd/ivnsim -run faultmatrix -quick -seed 2
 
 echo "verify: OK"
