@@ -30,6 +30,7 @@ import (
 	"sync"
 	"testing"
 
+	"ivn/internal/engine"
 	"ivn/internal/ivnsim"
 )
 
@@ -44,19 +45,19 @@ func runExperimentBench(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	cfg := ivnsim.Config{Seed: 1, Quick: true}
-	var table *ivnsim.Table
+	var res *engine.Result
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		table, err = e.Run(cfg)
+		res, err = e.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	if _, printed := benchPrintOnce.LoadOrStore(id, true); !printed && table != nil {
+	if _, printed := benchPrintOnce.LoadOrStore(id, true); !printed && res != nil {
 		var buf bytes.Buffer
-		if err := table.Render(&buf); err != nil {
+		if err := engine.RenderText(res, &buf); err != nil {
 			b.Fatal(err)
 		}
 		b.Logf("\n%s", buf.String())

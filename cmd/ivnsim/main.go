@@ -4,8 +4,8 @@
 // Usage:
 //
 //	ivnsim -list
-//	ivnsim -run fig9 [-seed 1] [-trials 150] [-csv]
-//	ivnsim -run all [-quick]
+//	ivnsim -run fig9 [-seed 1] [-trials 150] [-csv|-json]
+//	ivnsim -run all [-quick] [-parallel 4]
 //	ivnsim -run fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"ivn/internal/engine"
 	"ivn/internal/ivnsim"
 )
 
@@ -37,12 +38,20 @@ func run() int {
 		trials      = flag.Int("trials", 0, "override the experiment's trial count (0 = default)")
 		quick       = flag.Bool("quick", false, "reduced workload")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		outDir      = flag.String("out", "", "also write each result to DIR/<id>.txt and DIR/<id>.csv")
+		jsonOut     = flag.Bool("json", false, "emit JSON (typed cells) instead of aligned text")
+		parallel    = flag.Int("parallel", 0, "cap concurrent trial workers (0 = GOMAXPROCS; never changes results)")
+		outDir      = flag.String("out", "", "also write each result to DIR/<id>.txt, DIR/<id>.csv and DIR/<id>.json")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to FILE")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to FILE on exit")
 		faultScales = flag.String("faultscales", "", "comma-separated fault-intensity multiples for faultmatrix (e.g. 0,1,4)")
 	)
 	flag.Parse()
+
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "ivnsim: -csv and -json are mutually exclusive")
+		return 2
+	}
+	engine.SetMaxParallel(*parallel)
 
 	scales, err := parseScales(*faultScales)
 	if err != nil {
@@ -78,6 +87,14 @@ func run() int {
 		}()
 	}
 
+	render := engine.RenderText
+	switch {
+	case *csv:
+		render = engine.RenderCSV
+	case *jsonOut:
+		render = engine.RenderJSON
+	}
+
 	switch {
 	case *list:
 		for _, e := range ivnsim.Registry() {
@@ -86,7 +103,7 @@ func run() int {
 		}
 	case *runID == "all":
 		for _, e := range ivnsim.Registry() {
-			if err := runOne(e, *seed, *trials, *quick, *csv, *outDir, scales); err != nil {
+			if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales); err != nil {
 				fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
 				return 1
 			}
@@ -97,7 +114,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "ivnsim: %v\n", err)
 			return 2
 		}
-		if err := runOne(e, *seed, *trials, *quick, *csv, *outDir, scales); err != nil {
+		if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales); err != nil {
 			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
 			return 1
 		}
@@ -129,48 +146,53 @@ func parseScales(s string) ([]float64, error) {
 	return out, nil
 }
 
-func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, csv bool, outDir string, scales []float64) error {
+func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, jsonOut bool, render engine.Renderer, outDir string, scales []float64) error {
 	cfg := ivnsim.Config{Seed: seed, Trials: trials, Quick: quick, FaultScales: scales}
 	//ivn:allow determinism wall-clock only feeds the stderr elapsed-time diagnostic, never a table
 	start := time.Now()
-	table, err := e.Run(cfg)
+	res, err := e.Run(cfg)
 	if err != nil {
 		return err
 	}
-	if csv {
-		if err := table.RenderCSV(os.Stdout); err != nil {
-			return err
-		}
-	} else {
-		if err := table.Render(os.Stdout); err != nil {
-			return err
-		}
+	if err := render(res, os.Stdout); err != nil {
+		return err
 	}
 	if outDir != "" {
-		if err := writeOutputs(table, outDir); err != nil {
+		if err := writeOutputs(res, outDir); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("(%s in %v, seed %d)\n\n", e.ID, time.Since(start).Round(time.Millisecond), seed)
+	if !jsonOut {
+		fmt.Printf("(%s in %v, seed %d)\n\n", e.ID, time.Since(start).Round(time.Millisecond), seed)
+	} else {
+		fmt.Fprintf(os.Stderr, "(%s in %v, seed %d)\n", e.ID, time.Since(start).Round(time.Millisecond), seed)
+	}
 	return nil
 }
 
-func writeOutputs(table *ivnsim.Table, dir string) error {
+// writeOutputs writes one file per registered renderer: <id>.txt, <id>.csv
+// and <id>.json under dir.
+func writeOutputs(res *engine.Result, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	txt, err := os.Create(filepath.Join(dir, table.ID+".txt"))
-	if err != nil {
-		return err
+	for _, out := range []struct {
+		ext    string
+		render engine.Renderer
+	}{
+		{"txt", engine.RenderText}, {"csv", engine.RenderCSV}, {"json", engine.RenderJSON},
+	} {
+		f, err := os.Create(filepath.Join(dir, res.ID+"."+out.ext))
+		if err != nil {
+			return err
+		}
+		if err := out.render(res, f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	defer txt.Close()
-	if err := table.Render(txt); err != nil {
-		return err
-	}
-	csvF, err := os.Create(filepath.Join(dir, table.ID+".csv"))
-	if err != nil {
-		return err
-	}
-	defer csvF.Close()
-	return table.RenderCSV(csvF)
+	return nil
 }

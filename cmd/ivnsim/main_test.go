@@ -1,13 +1,39 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"ivn/internal/engine"
 	"ivn/internal/ivnsim"
 )
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
 
 func TestRunOneWritesOutputs(t *testing.T) {
 	dir := t.TempDir()
@@ -22,7 +48,7 @@ func TestRunOneWritesOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = runOne(e, 1, 0, true, false, dir, nil)
+	err = runOne(e, 1, 0, true, false, engine.RenderText, dir, nil)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -42,6 +68,18 @@ func TestRunOneWritesOutputs(t *testing.T) {
 	if !strings.HasPrefix(string(csv), "V (V),") {
 		t.Fatalf("csv output missing header:\n%s", csv)
 	}
+	// -out also writes the machine-readable result.
+	js, err := os.ReadFile(filepath.Join(dir, "fig2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res engine.Result
+	if err := json.Unmarshal(js, &res); err != nil {
+		t.Fatalf("fig2.json is not valid JSON: %v", err)
+	}
+	if res.ID != "fig2" || len(res.Rows) == 0 {
+		t.Fatalf("fig2.json incomplete: id %q, %d rows", res.ID, len(res.Rows))
+	}
 }
 
 func TestRunOneCSVToStdout(t *testing.T) {
@@ -49,23 +87,40 @@ func TestRunOneCSVToStdout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, w, err := os.Pipe()
+	out := captureStdout(t, func() error {
+		return runOne(e, 1, 0, true, false, engine.RenderCSV, "", nil)
+	})
+	if !strings.Contains(out, "distance (cm),air loss (dB)") {
+		t.Fatalf("CSV stdout missing header:\n%s", out)
+	}
+}
+
+func TestRunOneJSONToStdout(t *testing.T) {
+	e, err := ivnsim.ByID("fig3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	old := os.Stdout
-	os.Stdout = w
-	runErr := runOne(e, 1, 0, true, true, "", nil)
-	w.Close()
-	os.Stdout = old
-	if runErr != nil {
-		t.Fatal(runErr)
+	out := captureStdout(t, func() error {
+		return runOne(e, 1, 0, true, true, engine.RenderJSON, "", nil)
+	})
+	var res engine.Result
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json stdout is not one JSON document: %v\n%s", err, out)
 	}
-	buf := make([]byte, 1<<16)
-	n, _ := r.Read(buf)
-	out := string(buf[:n])
-	if !strings.Contains(out, "distance (cm),air loss (dB)") {
-		t.Fatalf("CSV stdout missing header:\n%s", out)
+	if res.ID != "fig3" {
+		t.Fatalf("JSON id %q, want fig3", res.ID)
+	}
+	// Cells must carry numeric payloads, not formatted strings.
+	found := false
+	for _, row := range res.Rows {
+		for _, c := range row {
+			if c.Kind == engine.KindNumber && len(c.Values) == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no numeric cells in JSON output")
 	}
 }
 
@@ -74,7 +129,7 @@ func TestWriteOutputsBadDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := e.Run(ivnsim.Config{Seed: 1, Quick: true})
+	res, err := e.Run(ivnsim.Config{Seed: 1, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +138,25 @@ func TestWriteOutputsBadDir(t *testing.T) {
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeOutputs(tab, filepath.Join(f, "sub")); err == nil {
+	if err := writeOutputs(res, filepath.Join(f, "sub")); err == nil {
 		t.Fatal("writeOutputs into a file path succeeded")
+	}
+}
+
+func TestParseScales(t *testing.T) {
+	got, err := parseScales("0, 1.5 ,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1.5 || got[2] != 4 {
+		t.Fatalf("parseScales = %v", got)
+	}
+	if out, err := parseScales(""); err != nil || out != nil {
+		t.Fatalf("empty scales: %v, %v", out, err)
+	}
+	for _, bad := range []string{"x", "-1", "1,,2"} {
+		if _, err := parseScales(bad); err == nil {
+			t.Fatalf("parseScales(%q) accepted", bad)
+		}
 	}
 }

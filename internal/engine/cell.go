@@ -1,0 +1,156 @@
+// Package engine is the typed trial-engine layer behind every IVN
+// experiment. It owns the sweep/trial/measure/aggregate pipeline that the
+// experiment files used to hand-roll: declarative sweeps over typed
+// points, a per-point trial schedule on deterministic rng.SplitIndexed
+// streams, one shared bounded-parallel scheduler, and a typed result
+// model (values + units, not pre-formatted strings) from which pluggable
+// renderers derive aligned text, CSV, and JSON.
+//
+// Determinism contract: for a fixed seed, every Result — and therefore
+// every rendered byte — is identical at any GOMAXPROCS and any -parallel
+// setting. The scheduler writes each trial into its own index slot and
+// all reductions happen in index order, so scheduling can never reorder a
+// floating-point sum or a table row.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the typed cell variants.
+type Kind string
+
+const (
+	// KindNumber is a single numeric value rendered with Format.
+	KindNumber Kind = "number"
+	// KindString is an irreducibly textual cell (a scenario name, a
+	// "no operation" marker).
+	KindString Kind = "string"
+	// KindBool is a boolean rendered as true/false.
+	KindBool Kind = "bool"
+	// KindTuple is a small vector of numeric values rendered through a
+	// multi-verb Format (counts like "12/16 (75.0%)").
+	KindTuple Kind = "tuple"
+	// KindList is a numeric list rendered in Go's %v form (a frequency
+	// plan's offsets).
+	KindList Kind = "list"
+)
+
+// Cell is one typed table cell. The numeric payload lives in Values so
+// renderers can emit machine-readable output; Format carries the fmt verbs
+// the text renderers apply to reproduce the published tables exactly.
+type Cell struct {
+	Kind   Kind      `json:"kind"`
+	Values []float64 `json:"values,omitempty"`
+	S      string    `json:"s,omitempty"`
+	B      bool      `json:"b,omitempty"`
+	Format string    `json:"format,omitempty"`
+}
+
+// Number returns a numeric cell rendered with the given fmt verb
+// (e.g. "%.1f").
+func Number(format string, v float64) Cell {
+	return Cell{Kind: KindNumber, Values: []float64{v}, Format: format}
+}
+
+// Int returns an integer-valued numeric cell rendered with %d.
+func Int(v int) Cell {
+	return Cell{Kind: KindNumber, Values: []float64{float64(v)}, Format: "%d"}
+}
+
+// Str returns a string cell.
+func Str(s string) Cell {
+	return Cell{Kind: KindString, S: s}
+}
+
+// Bool returns a boolean cell.
+func Bool(b bool) Cell {
+	return Cell{Kind: KindBool, B: b}
+}
+
+// Tuple returns a multi-value numeric cell rendered through format, which
+// must consume exactly len(vs) verbs. Integer verbs (%d and friends)
+// receive the value truncated to int64.
+func Tuple(format string, vs ...float64) Cell {
+	return Cell{Kind: KindTuple, Values: append([]float64(nil), vs...), Format: format}
+}
+
+// Counts is Tuple for integer counts joined by slashes: Counts(3, 6)
+// renders "3/6", Counts(1, 2, 3) renders "1/2/3".
+func Counts(vs ...int) Cell {
+	values := make([]float64, len(vs))
+	format := ""
+	for i, v := range vs {
+		values[i] = float64(v)
+		if i > 0 {
+			format += "/"
+		}
+		format += "%d"
+	}
+	return Cell{Kind: KindTuple, Values: values, Format: format}
+}
+
+// List returns a numeric-list cell rendered as %v of a []float64
+// (e.g. "[0 7 20]").
+func List(vs []float64) Cell {
+	return Cell{Kind: KindList, Values: append([]float64(nil), vs...)}
+}
+
+// Text renders the cell to the exact string the aligned-text and CSV
+// renderers print.
+func (c Cell) Text() string {
+	switch c.Kind {
+	case KindNumber, KindTuple:
+		return sprintValues(c.Format, c.Values)
+	case KindString:
+		return c.S
+	case KindBool:
+		return strconv.FormatBool(c.B)
+	case KindList:
+		return fmt.Sprintf("%v", c.Values)
+	default:
+		return fmt.Sprintf("engine: unknown cell kind %q", c.Kind)
+	}
+}
+
+// sprintValues applies a fmt format string to float64 arguments,
+// converting each value bound to an integer verb to int64 so "%d" and
+// friends format cleanly. The verb scan recognizes the standard
+// flag/width/precision prefix; "%%" consumes no argument.
+func sprintValues(format string, values []float64) string {
+	args := make([]interface{}, 0, len(values))
+	next := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, and precision up to the verb letter.
+		for i < len(format) && !isVerb(format[i]) {
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue // literal %% (or trailing %, which Sprintf will flag)
+		}
+		if next >= len(values) {
+			return fmt.Sprintf("engine: format %q wants more than %d values", format, len(values))
+		}
+		switch format[i] {
+		case 'd', 'b', 'o', 'x', 'X', 'c', 'q':
+			args = append(args, int64(values[next]))
+		default:
+			args = append(args, values[next])
+		}
+		next++
+	}
+	if next != len(values) {
+		return fmt.Sprintf("engine: format %q consumed %d of %d values", format, next, len(values))
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// isVerb reports whether b terminates a fmt directive.
+func isVerb(b byte) bool {
+	return b == '%' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}

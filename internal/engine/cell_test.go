@@ -1,0 +1,84 @@
+package engine
+
+import "testing"
+
+func TestCellText(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		want string
+	}{
+		{Number("%.1f", 3.14159), "3.1"},
+		{Number("%.0f", 12.6), "13"},
+		{Number("%g", 0.5), "0.5"},
+		{Int(42), "42"},
+		{Str("no operation"), "no operation"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Counts(3, 6), "3/6"},
+		{Counts(1, 2, 3), "1/2/3"},
+		{Tuple("%d/%d (%.1f%%)", 24, 24, 100.0), "24/24 (100.0%)"},
+		{Tuple("%d/%d (%d att)", 4, 4, 4), "4/4 (4 att)"},
+		{List([]float64{0, 3, 139}), "[0 3 139]"},
+		{List(nil), "[]"},
+	}
+	for _, c := range cases {
+		if got := c.cell.Text(); got != c.want {
+			t.Errorf("%+v.Text() = %q, want %q", c.cell, got, c.want)
+		}
+	}
+}
+
+func TestCellTextFormatMismatch(t *testing.T) {
+	// A format consuming fewer or more verbs than values must not panic —
+	// it renders an inline error a golden test would catch immediately.
+	under := Cell{Kind: KindTuple, Values: []float64{1, 2}, Format: "%d"}
+	if got := under.Text(); got == "1" {
+		t.Fatalf("under-consumption silently rendered %q", got)
+	}
+	over := Cell{Kind: KindTuple, Values: []float64{1}, Format: "%d/%d"}
+	if got := over.Text(); got == "1/0" {
+		t.Fatalf("over-consumption silently rendered %q", got)
+	}
+}
+
+func TestTupleCopiesValues(t *testing.T) {
+	vs := []float64{1, 2}
+	c := Tuple("%d/%d", vs...)
+	vs[0] = 99
+	if got := c.Text(); got != "1/2" {
+		t.Fatalf("Tuple aliased its arguments: %q", got)
+	}
+	ls := []float64{1, 2}
+	l := List(ls)
+	ls[0] = 99
+	if got := l.Text(); got != "[1 2]" {
+		t.Fatalf("List aliased its argument: %q", got)
+	}
+}
+
+func TestResultAddRowPanicsOnArityMismatch(t *testing.T) {
+	r := NewResult("x", "demo", Col("a", ""), Col("b", "m"))
+	r.AddRow(Int(1), Int(2))
+	for _, cells := range [][]Cell{
+		{Int(1)},
+		{Int(1), Int(2), Int(3)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("row of %d cells accepted against 2 columns", len(cells))
+				}
+			}()
+			r.AddRow(cells...)
+		}()
+	}
+}
+
+func TestColumnLabel(t *testing.T) {
+	if got := Col("depth", "cm").Label(); got != "depth (cm)" {
+		t.Fatalf("Label() = %q", got)
+	}
+	if got := Col("antennas", "").Label(); got != "antennas" {
+		t.Fatalf("Label() = %q", got)
+	}
+}

@@ -1,0 +1,80 @@
+package engine
+
+import "fmt"
+
+// Column names one table column and carries its unit separately from its
+// name, so machine-readable renderers can expose units as data while the
+// text renderers print the conventional "name (unit)" label.
+type Column struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+// Col constructs a column.
+func Col(name, unit string) Column { return Column{Name: name, Unit: unit} }
+
+// Label renders the column header the text and CSV renderers print.
+func (c Column) Label() string {
+	if c.Unit == "" {
+		return c.Name
+	}
+	return c.Name + " (" + c.Unit + ")"
+}
+
+// Result is a typed experiment result: the rows that correspond to a
+// figure's series or a table's lines, as values rather than strings.
+type Result struct {
+	// ID is the experiment id (e.g. "fig9").
+	ID string `json:"id"`
+	// Title describes the experiment.
+	Title string `json:"title"`
+	// Columns name the columns and their units.
+	Columns []Column `json:"columns"`
+	// Rows hold the typed cells, one slice per table row.
+	Rows [][]Cell `json:"rows"`
+	// Notes carry paper-vs-measured commentary.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// NewResult constructs a result with the given identity and columns.
+func NewResult(id, title string, columns ...Column) *Result {
+	return &Result{ID: id, Title: title, Columns: columns}
+}
+
+// AddRow appends a row. The cell count must match the column count
+// exactly; a mismatch panics so a migration or refactor cannot silently
+// drop or misalign columns.
+func (r *Result) AddRow(cells ...Cell) {
+	if len(cells) != len(r.Columns) {
+		panic(fmt.Sprintf("engine: %s: row has %d cells for %d columns", r.ID, len(cells), len(r.Columns)))
+	}
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a commentary line.
+func (r *Result) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// HeaderLabels returns the rendered column labels.
+func (r *Result) HeaderLabels() []string {
+	out := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		out[i] = c.Label()
+	}
+	return out
+}
+
+// TextRows renders every cell to its text form, the string-level view the
+// legacy table consumers and the shape tests read.
+func (r *Result) TextRows() [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells := make([]string, len(row))
+		for j, c := range row {
+			cells[j] = c.Text()
+		}
+		out[i] = cells
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelOverride is the configured worker cap; 0 means derive from
+// GOMAXPROCS at call time. Set from the CLI's -parallel flag.
+var parallelOverride atomic.Int64
+
+// SetMaxParallel caps the scheduler's concurrent trial workers. n <= 0
+// restores the automatic GOMAXPROCS-derived default. Changing the cap
+// never changes results — only how many trials run at once.
+func SetMaxParallel(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelOverride.Store(int64(n))
+}
+
+// MaxParallel resolves the current worker cap.
+func MaxParallel() int {
+	if n := int(parallelOverride.Load()); n > 0 {
+		return n
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ForEach runs fn(0..n-1) on the shared bounded worker pool and returns
+// the error of the lowest-indexed failure, so the outcome — including
+// which error surfaces — is independent of scheduling. Callers keep
+// determinism by writing results into per-index slots and reducing them
+// in index order afterwards.
+func ForEach(n int, fn func(i int) error) error {
+	return forEachIndexed(n, fn)
+}
+
+// forEachIndexed is the one sanctioned goroutine launcher (see ivnlint's
+// goroutinehygiene): a fixed pool of MaxParallel workers claims indices
+// from an atomic counter, keeping goroutine count bounded by the cap
+// rather than by n.
+func forEachIndexed(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := MaxParallel()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

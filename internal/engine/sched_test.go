@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count int64
+	hit := make([]bool, 100)
+	err := ForEach(100, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		hit[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("ran %d of 100", count)
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	// Multiple failures: the lowest-indexed error must surface, so error
+	// reporting is deterministic regardless of scheduling.
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for round := 0; round < 10; round++ {
+		err := ForEach(50, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 33:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("round %d: got %v, want the index-7 error", round, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxParallelPositive(t *testing.T) {
+	if MaxParallel() < 1 {
+		t.Fatalf("MaxParallel() = %d", MaxParallel())
+	}
+}
+
+func TestSetMaxParallelCapsWorkers(t *testing.T) {
+	defer SetMaxParallel(0)
+	SetMaxParallel(2)
+	if got := MaxParallel(); got != 2 {
+		t.Fatalf("MaxParallel() = %d after SetMaxParallel(2)", got)
+	}
+	// With a cap of 2, at most 2 callbacks may ever be in flight.
+	var inFlight, peak atomic.Int64
+	err := ForEach(64, func(int) error {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("observed %d concurrent callbacks with cap 2", peak.Load())
+	}
+	SetMaxParallel(-5) // negative restores the automatic default
+	if MaxParallel() < 1 {
+		t.Fatalf("MaxParallel() = %d after reset", MaxParallel())
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ForEach(16, func(int) error { return nil })
+	}
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+
+	"ivn/internal/rng"
+)
+
+// Trials runs n independent trials of measure on the bounded scheduler
+// and returns the samples in trial order. Each trial's stream is derived
+// with SplitIndexed from a parent seeded with seed, so the sample slice —
+// not just its aggregate — is a pure function of (seed, label, n) at any
+// GOMAXPROCS.
+func Trials[S any](seed uint64, label string, n int, measure func(trial int, r *rng.Rand) (S, error)) ([]S, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("engine: %d trials", n)
+	}
+	parent := rng.New(seed)
+	samples := make([]S, n)
+	err := ForEach(n, func(i int) error {
+		r := parent.SplitIndexed(label, i)
+		var e error
+		samples[i], e = measure(i, r)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// Sweep is a declarative per-point trial schedule: for each sweep point
+// (an antenna count, a depth, a fault scale, a scenario) the engine runs
+// Trials independent measurements on deterministic streams and reduces
+// the samples — in index order — to one typed table row.
+//
+// Points execute sequentially (trials within a point are what
+// parallelize), so Row closures may accumulate cross-point state such as
+// a worst-case statistic for a trailing note.
+type Sweep[P, S any] struct {
+	// Trials is the per-point trial count.
+	Trials int
+	// Plan derives the point's rng plan: the parent seed and the
+	// SplitIndexed label. Labels/seeds must differ between points unless
+	// the experiment deliberately reuses placements across rows (the
+	// paired-ablation pattern).
+	Plan func(p P) (seed uint64, label string)
+	// Measure runs one trial and returns a typed sample.
+	Measure func(p P, trial int, r *rng.Rand) (S, error)
+	// Row reduces a point's samples (in trial order) to one table row.
+	Row func(p P, samples []S) ([]Cell, error)
+}
+
+// Run executes the sweep over points and returns one row per point.
+func (s Sweep[P, S]) Run(points []P) ([][]Cell, error) {
+	rows := make([][]Cell, 0, len(points))
+	for _, p := range points {
+		seed, label := s.Plan(p)
+		samples, err := Trials(seed, label, s.Trials, func(trial int, r *rng.Rand) (S, error) {
+			return s.Measure(p, trial, r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row, err := s.Row(p, samples)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunInto executes the sweep and appends its rows to res.
+func (s Sweep[P, S]) RunInto(res *Result, points []P) error {
+	rows, err := s.Run(points)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		res.AddRow(row...)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+func TestTrialsDeterministic(t *testing.T) {
+	measure := func(_ int, r *rng.Rand) (float64, error) {
+		return r.Float64(), nil
+	}
+	a, err := Trials(7, "demo", 32, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Trials(7, "demo", 32, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical (seed, label, n) produced different samples")
+	}
+	c, err := Trials(8, "demo", 32, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestTrialsMatchesSplitIndexedByHand(t *testing.T) {
+	// The engine's streams must be exactly the hand-rolled pattern the
+	// experiments used before the migration: parent := rng.New(seed);
+	// r := parent.SplitIndexed(label, i).
+	got, err := Trials(11, "check", 8, func(_ int, r *rng.Rand) (float64, error) {
+		return r.Float64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := rng.New(11)
+	for i, g := range got {
+		want := parent.SplitIndexed("check", i).Float64()
+		if g != want {
+			t.Fatalf("trial %d: engine %v, hand-rolled %v", i, g, want)
+		}
+	}
+}
+
+func TestTrialsRejectsBadCount(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := Trials(1, "x", n, func(int, *rng.Rand) (int, error) { return 0, nil }); err == nil {
+			t.Fatalf("%d trials accepted", n)
+		}
+	}
+}
+
+func TestTrialsSurfacesLowestIndexError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Trials(1, "x", 16, func(i int, _ *rng.Rand) (int, error) {
+		if i >= 4 {
+			return 0, fmt.Errorf("trial %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "trial 4: boom" {
+		t.Fatalf("got %v, want the index-4 error", err)
+	}
+}
+
+func TestSweepRunInto(t *testing.T) {
+	res := NewResult("s", "sweep demo", Col("n", ""), Col("sum", ""))
+	sweep := Sweep[int, float64]{
+		Trials: 4,
+		Plan: func(n int) (uint64, string) {
+			return uint64(n), fmt.Sprintf("point-%d", n)
+		},
+		Measure: func(n, trial int, _ *rng.Rand) (float64, error) {
+			return float64(n * trial), nil
+		},
+		Row: func(n int, samples []float64) ([]Cell, error) {
+			sum := 0.0
+			for _, v := range samples {
+				sum += v
+			}
+			return []Cell{Int(n), Number("%.0f", sum)}, nil
+		},
+	}
+	if err := sweep.RunInto(res, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	// n * (0+1+2+3) = 6n
+	for i, n := range []int{1, 2, 3} {
+		if got := res.Rows[i][1].Text(); got != fmt.Sprintf("%d", 6*n) {
+			t.Fatalf("row %d sum %q, want %d", i, got, 6*n)
+		}
+	}
+}
+
+func TestSweepErrorsPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	sweep := Sweep[int, int]{
+		Trials: 2,
+		Plan:   func(n int) (uint64, string) { return 0, "p" },
+		Measure: func(n, _ int, _ *rng.Rand) (int, error) {
+			if n == 2 {
+				return 0, boom
+			}
+			return n, nil
+		},
+		Row: func(n int, samples []int) ([]Cell, error) { return []Cell{Int(n)}, nil },
+	}
+	if _, err := sweep.Run([]int{1, 2}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}

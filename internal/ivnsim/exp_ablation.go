@@ -7,6 +7,7 @@ import (
 	"ivn/internal/baseline"
 	"ivn/internal/core"
 	"ivn/internal/em"
+	"ivn/internal/engine"
 	"ivn/internal/gen2"
 	"ivn/internal/pool"
 	"ivn/internal/radio"
@@ -58,118 +59,130 @@ func init() {
 	})
 }
 
-func runAblationCoherent(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-coherent",
-		Title:  "Median peak power gain over a single antenna (10 antennas)",
-		Header: []string{"medium", "CIB (blind)", "oracle MRT", "blind array"},
+func runAblationCoherent(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-coherent", "Median peak power gain over a single antenna (10 antennas)",
+		engine.Col("medium", ""), engine.Col("CIB (blind)", ""), engine.Col("oracle MRT", ""), engine.Col("blind array", ""))
+	sweep := engine.Sweep[scenario.Scenario, GainSample]{
+		Trials: cfg.trials(80, 20),
+		Plan: func(scenario.Scenario) (uint64, string) {
+			// Every medium reuses the same streams: RunGainTrials' historical
+			// seeding, kept for byte-identical tables.
+			return cfg.Seed, "gain-trial"
+		},
+		Measure: func(sc scenario.Scenario, _ int, r *rng.Rand) (GainSample, error) {
+			return MeasureGains(sc, 10, r)
+		},
+		Row: func(sc scenario.Scenario, samples []GainSample) ([]engine.Cell, error) {
+			cib, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
+			if err != nil {
+				return nil, err
+			}
+			mrt, err := gainStats(samples, func(g GainSample) float64 { return g.MRT / g.Single })
+			if err != nil {
+				return nil, err
+			}
+			blind, err := gainStats(samples, func(g GainSample) float64 { return g.Blind / g.Single })
+			if err != nil {
+				return nil, err
+			}
+			return []engine.Cell{
+				engine.Str(sc.Name()),
+				engine.Number("%.1f", cib.Median),
+				engine.Number("%.1f", mrt.Median),
+				engine.Number("%.1f", blind.Median),
+			}, nil
+		},
 	}
-	trials := cfg.trials(80, 20)
-	for _, sc := range []scenario.Scenario{
+	err := sweep.RunInto(res, []scenario.Scenario{
 		scenario.NewAir(3),
 		scenario.NewTank(0.5, em.Water, 0.10),
 		scenario.NewTank(0.5, em.Muscle, 0.05),
-	} {
-		samples, err := RunGainTrials(sc, 10, trials, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		cib, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
-		if err != nil {
-			return nil, err
-		}
-		mrt, err := gainStats(samples, func(g GainSample) float64 { return g.MRT / g.Single })
-		if err != nil {
-			return nil, err
-		}
-		blind, err := gainStats(samples, func(g GainSample) float64 { return g.Blind / g.Single })
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(
-			sc.Name(),
-			fmt.Sprintf("%.1f", cib.Median),
-			fmt.Sprintf("%.1f", mrt.Median),
-			fmt.Sprintf("%.1f", blind.Median),
-		)
+	})
+	if err != nil {
+		return nil, err
 	}
-	t.AddNote("oracle MRT needs per-antenna channel feedback — unobtainable from an unpowered implant")
-	t.AddNote("CIB reaches a large fraction of the oracle gain with zero channel knowledge")
-	return t, nil
+	res.AddNote("oracle MRT needs per-antenna channel feedback — unobtainable from an unpowered implant")
+	res.AddNote("CIB reaches a large fraction of the oracle gain with zero channel knowledge")
+	return res, nil
 }
 
-func runAblationEqualPower(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-equalpower",
-		Title:  "CIB peak power gain with total power fixed to one chain's budget",
-		Header: []string{"antennas", "median gain (equal budget)", "median gain (N× budget)"},
-	}
-	trials := cfg.trials(80, 20)
+// equalPowerSample is one equal-budget trial: gains under the fixed total
+// budget and under the N-chain budget, against the same placement.
+type equalPowerSample struct {
+	eq, full float64
+}
+
+func runAblationEqualPower(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-equalpower", "CIB peak power gain with total power fixed to one chain's budget",
+		engine.Col("antennas", ""), engine.Col("median gain (equal budget)", ""), engine.Col("median gain (N× budget)", ""))
 	sc := scenario.NewTank(0.5, em.Water, 0.10)
-	parent := rng.New(cfg.Seed)
-	for _, n := range []int{2, 4, 8, 10} {
-		// Trials are independent; per-index result slots keep the summary
-		// identical at any GOMAXPROCS.
-		label := fmt.Sprintf("eqp-%d", n)
-		eq := make([]float64, trials)
-		full := make([]float64, trials)
-		err := forEachIndexed(trials, func(i int) error {
-			r := parent.SplitIndexed(label, i)
+	sweep := engine.Sweep[int, equalPowerSample]{
+		Trials: cfg.trials(80, 20),
+		Plan: func(n int) (uint64, string) {
+			return cfg.Seed, fmt.Sprintf("eqp-%d", n)
+		},
+		Measure: func(n, _ int, r *rng.Rand) (equalPowerSample, error) {
+			var s equalPowerSample
 			p, err := sc.Realize(n, r)
 			if err != nil {
-				return err
+				return s, err
 			}
 			chans := DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = n
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
-				return err
+				return s, err
 			}
 			pf, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return err
+				return s, err
 			}
 			pe, err := baseline.PeakReceivedPowerRefined(bf.EqualPowerCarriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return err
+				return s, err
 			}
 			single := baseline.SingleAntenna(915e6, chainAmplitude())
 			ps, err := baseline.PeakReceivedPower(single, chans[:1], scanDuration, 1)
 			if err != nil {
-				return err
+				return s, err
 			}
-			eq[i] = pe / ps
-			full[i] = pf / ps
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		se, err := stats.Summarize(eq)
-		if err != nil {
-			return nil, err
-		}
-		sf, err := stats.Summarize(full)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(
-			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.1f", se.Median),
-			fmt.Sprintf("%.1f", sf.Median),
-		)
+			s.eq = pe / ps
+			s.full = pf / ps
+			return s, nil
+		},
+		Row: func(n int, samples []equalPowerSample) ([]engine.Cell, error) {
+			eq := make([]float64, len(samples))
+			full := make([]float64, len(samples))
+			for i, s := range samples {
+				eq[i] = s.eq
+				full[i] = s.full
+			}
+			se, err := stats.Summarize(eq)
+			if err != nil {
+				return nil, err
+			}
+			sf, err := stats.Summarize(full)
+			if err != nil {
+				return nil, err
+			}
+			return []engine.Cell{
+				engine.Int(n),
+				engine.Number("%.1f", se.Median),
+				engine.Number("%.1f", sf.Median),
+			}, nil
+		},
 	}
-	t.AddNote("equal-budget gain tracks ≈N (paper §3.4); the N× budget adds another factor of N")
-	return t, nil
+	if err := sweep.RunInto(res, []int{2, 4, 8, 10}); err != nil {
+		return nil, err
+	}
+	res.AddNote("equal-budget gain tracks ≈N (paper §3.4); the N× budget adds another factor of N")
+	return res, nil
 }
 
-func runAblationTwoStage(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-twostage",
-		Title:  "Discovery (peak-optimized) vs steady (dwell-optimized) plans, N=5",
-		Header: []string{"plan", "offsets (Hz)", "E[peak]/N", "E[dwell above 0.45N] (ms)"},
-	}
+func runAblationTwoStage(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-twostage", "Discovery (peak-optimized) vs steady (dwell-optimized) plans, N=5",
+		engine.Col("plan", ""), engine.Col("offsets", "Hz"), engine.Col("E[peak]/N", ""), engine.Col("E[dwell above 0.45N]", "ms"))
 	r := rng.New(cfg.Seed)
 	ocfg := core.DefaultOptimizerConfig()
 	if cfg.Quick {
@@ -194,25 +207,28 @@ func runAblationTwoStage(cfg Config) (*Table, error) {
 		name string
 		plan core.Plan
 	}{{"discovery", discovery}, {"steady", steady}} {
-		t.AddRow(
-			row.name,
-			fmt.Sprintf("%v", row.plan.Offsets),
-			fmt.Sprintf("%.3f", evalPeak(row.plan.Offsets)/n),
-			fmt.Sprintf("%.2f", evalDwell(row.plan.Offsets)*1e3),
+		res.AddRow(
+			engine.Str(row.name),
+			engine.List(row.plan.Offsets),
+			engine.Number("%.3f", evalPeak(row.plan.Offsets)/n),
+			engine.Number("%.2f", evalDwell(row.plan.Offsets)*1e3),
 		)
 	}
-	t.AddNote("the steady plan holds the envelope above the (now known) threshold for longer contiguous bursts, trading peak height for charge time (§3.7)")
-	return t, nil
+	res.AddNote("the steady plan holds the envelope above the (now known) threshold for longer contiguous bursts, trading peak height for charge time (§3.7)")
+	return res, nil
 }
 
-func runAblationFlatness(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-flatness",
-		Title:  "Query decode success vs plan RMS offset (tag envelope detector)",
-		Header: []string{"RMS Δf (Hz)", "decode success", "envelope fluctuation α"},
-	}
+// flatnessSample is one flatness trial: whether the query decoded and the
+// worst high-level envelope fluctuation observed.
+type flatnessSample struct {
+	decoded bool
+	fluct   float64
+}
+
+func runAblationFlatness(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-flatness", "Query decode success vs plan RMS offset (tag envelope detector)",
+		engine.Col("RMS Δf", "Hz"), engine.Col("decode success", ""), engine.Col("envelope fluctuation α", ""))
 	trials := cfg.trials(40, 10)
-	parent := rng.New(cfg.Seed)
 	pie := gen2.DefaultPIE(1e6)
 	q := &gen2.Query{Q: 4}
 	bits := q.AppendBits(nil)
@@ -223,17 +239,17 @@ func runAblationFlatness(cfg Config) (*Table, error) {
 	// Extend with CW so the decoder sees the frame end.
 	env := append(append([]float64(nil), baseEnv...), ones(2000)...)
 	// Candidate plans with growing RMS: scaled versions of the paper set.
-	for _, scale := range []float64{0.5, 1, 2, 4, 8, 16} {
-		offsets := make([]float64, 10)
-		for i, f := range core.PaperOffsets() {
-			offsets[i] = f * scale
-		}
-		rms := core.RMSOffset(offsets)
-		label := fmt.Sprintf("flat-%v", scale)
-		decoded := make([]bool, trials)
-		fluct := make([]float64, trials)
-		err := forEachIndexed(trials, func(trial int) error {
-			r := parent.SplitIndexed(label, trial)
+	sweep := engine.Sweep[float64, flatnessSample]{
+		Trials: trials,
+		Plan: func(scale float64) (uint64, string) {
+			return cfg.Seed, fmt.Sprintf("flat-%v", scale)
+		},
+		Measure: func(scale float64, _ int, r *rng.Rand) (flatnessSample, error) {
+			var s flatnessSample
+			offsets := make([]float64, 10)
+			for i, f := range core.PaperOffsets() {
+				offsets[i] = f * scale
+			}
 			betas := make([]float64, len(offsets))
 			for i := range betas {
 				if i > 0 {
@@ -256,31 +272,37 @@ func runAblationFlatness(cfg Config) (*Table, error) {
 				}
 			}
 			if hi > 0 {
-				fluct[trial] = (hi - lo) / hi
+				s.fluct = (hi - lo) / hi
 			}
 			got, _, err := pie.DecodeFrame(combined)
-			decoded[trial] = err == nil && got.Equal(bits)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		ok := 0
-		var worstFluct float64
-		for trial := 0; trial < trials; trial++ {
-			if decoded[trial] {
-				ok++
+			s.decoded = err == nil && got.Equal(bits)
+			return s, nil
+		},
+		Row: func(scale float64, samples []flatnessSample) ([]engine.Cell, error) {
+			offsets := make([]float64, 10)
+			for i, f := range core.PaperOffsets() {
+				offsets[i] = f * scale
 			}
-			worstFluct = math.Max(worstFluct, fluct[trial])
-		}
-		t.AddRow(
-			fmt.Sprintf("%.0f", rms),
-			fmt.Sprintf("%d/%d", ok, trials),
-			fmt.Sprintf("%.2f", worstFluct),
-		)
+			ok := 0
+			var worstFluct float64
+			for _, s := range samples {
+				if s.decoded {
+					ok++
+				}
+				worstFluct = math.Max(worstFluct, s.fluct)
+			}
+			return []engine.Cell{
+				engine.Number("%.0f", core.RMSOffset(offsets)),
+				engine.Counts(ok, trials),
+				engine.Number("%.2f", worstFluct),
+			}, nil
+		},
 	}
-	t.AddNote("the Eq. 9 limit for this 1.06 ms query is %.0f Hz; success collapses beyond it", mustLimitFor(pie, bits))
-	return t, nil
+	if err := sweep.RunInto(res, []float64{0.5, 1, 2, 4, 8, 16}); err != nil {
+		return nil, err
+	}
+	res.AddNote("the Eq. 9 limit for this 1.06 ms query is %.0f Hz; success collapses beyond it", mustLimitFor(pie, bits))
+	return res, nil
 }
 
 func mustLimitFor(pie gen2.PIEParams, bits gen2.Bits) float64 {
@@ -313,46 +335,44 @@ func ones(n int) []float64 {
 	return out
 }
 
-func runAblationAveraging(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-averaging",
-		Title:  "Gastric uplink decode success vs coherent averaging periods",
-		Header: []string{"averaging periods K", "decoded"},
-	}
+func runAblationAveraging(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-averaging", "Gastric uplink decode success vs coherent averaging periods",
+		engine.Col("averaging periods K", ""), engine.Col("decoded", ""))
 	trials := cfg.trials(20, 8)
-	parent := rng.New(cfg.Seed)
 	sc := scenario.NewSwine(scenario.Gastric)
 	model := tag.StandardTag()
-	for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
-		decoded := make([]bool, trials)
-		err := forEachIndexed(trials, func(i int) error {
-			r := parent.SplitIndexed("avg", i) // same placements across K
+	sweep := engine.Sweep[int, bool]{
+		Trials: trials,
+		Plan: func(int) (uint64, string) {
+			return cfg.Seed, "avg" // same placements across K
+		},
+		Measure: func(k, _ int, r *rng.Rand) (bool, error) {
 			p, err := sc.Realize(8, r)
 			if err != nil {
-				return err
+				return false, err
 			}
 			tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
 			if err != nil {
-				return err
+				return false, err
 			}
 			chans := DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = 8
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
-				return err
+				return false, err
 			}
 			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return err
+				return false, err
 			}
 			tg.UpdatePower(peak)
 			if !tg.Powered() {
-				return nil
+				return false, nil
 			}
 			reply := tg.HandleCommand(&gen2.Query{Q: 0})
 			if reply.Kind != gen2.ReplyRN16 {
-				return nil
+				return false, nil
 			}
 			rd := reader.New()
 			rd.AveragingPeriods = k
@@ -361,38 +381,37 @@ func runAblationAveraging(cfg Config) (*Table, error) {
 			rd.TxAmplitude = 0.2
 			bs, err := tg.BackscatterWaveform(reply, rd.SamplesPerHalfBit)
 			if err != nil {
-				return err
+				return false, err
 			}
 			tagG := model.AntennaAmplitudeGain()
 			link := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
 			leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
 			jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
 			if dr, err := rd.DecodeUplink(bs, link, jam, len(reply.Bits), r.Split(fmt.Sprintf("ul-%d", k))); err == nil && dr.Bits.Equal(reply.Bits) {
-				decoded[i] = true
+				return true, nil
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		ok := 0
-		for _, d := range decoded {
-			if d {
-				ok++
+			return false, nil
+		},
+		Row: func(k int, decoded []bool) ([]engine.Cell, error) {
+			ok := 0
+			for _, d := range decoded {
+				if d {
+					ok++
+				}
 			}
-		}
-		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d/%d", ok, trials))
+			return []engine.Cell{engine.Int(k), engine.Counts(ok, trials)}, nil
+		},
 	}
-	t.AddNote("identical placements across rows; only the averaging depth changes")
-	return t, nil
+	if err := sweep.RunInto(res, []int{1, 2, 4, 8, 16, 32, 64}); err != nil {
+		return nil, err
+	}
+	res.AddNote("identical placements across rows; only the averaging depth changes")
+	return res, nil
 }
 
-func runAblationOutOfBand(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-outofband",
-		Title:  "Reader architecture under CIB self-jamming (10 chains at 30 dBm)",
-		Header: []string{"reader", "saturated", "effective interference (dBm)", "decode possible"},
-	}
+func runAblationOutOfBand(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-outofband", "Reader architecture under CIB self-jamming (10 chains at 30 dBm)",
+		engine.Col("reader", ""), engine.Col("saturated", ""), engine.Col("effective interference", "dBm"), engine.Col("decode possible", ""))
 	p, err := scenario.NewTank(0.5, em.Water, 0.10).Realize(10, rng.New(cfg.Seed))
 	if err != nil {
 		return nil, err
@@ -421,13 +440,13 @@ func runAblationOutOfBand(cfg Config) (*Table, error) {
 		sat := rd.RX.Saturated(jam)
 		eff := rd.RX.EffectiveInterference(jam)
 		dec := rd.DecodableRN16(link, modAmp, jam)
-		t.AddRow(
-			row.name,
-			fmt.Sprintf("%t", sat),
-			fmt.Sprintf("%.1f", 10*math.Log10(eff)+30),
-			fmt.Sprintf("%t", dec),
+		res.AddRow(
+			engine.Str(row.name),
+			engine.Bool(sat),
+			engine.Number("%.1f", 10*math.Log10(eff)+30),
+			engine.Bool(dec),
 		)
 	}
-	t.AddNote("CIB leak at the reader antenna: %.1f dBm", 10*math.Log10(leak)+30)
-	return t, nil
+	res.AddNote("CIB leak at the reader antenna: %.1f dBm", 10*math.Log10(leak)+30)
+	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"ivn/internal/baseline"
 	"ivn/internal/core"
 	"ivn/internal/em"
+	"ivn/internal/engine"
 	"ivn/internal/gen2"
 	"ivn/internal/pool"
 	"ivn/internal/radio"
@@ -54,12 +55,9 @@ func init() {
 	})
 }
 
-func runAblationSafety(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-safety",
-		Title:  "Surface exposure at 0.35 m, 10-chain CIB vs peak-equivalent CW",
-		Header: []string{"transmitter", "avg SAR (W/kg)", "peak SAR (W/kg)", "compliant (1.6 W/kg avg)"},
-	}
+func runAblationSafety(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-safety", "Surface exposure at 0.35 m, 10-chain CIB vs peak-equivalent CW",
+		engine.Col("transmitter", ""), engine.Col("avg SAR", "W/kg"), engine.Col("peak SAR", "W/kg"), engine.Col("compliant (1.6 W/kg avg)", ""))
 	r := rng.New(cfg.Seed)
 	bcfg := core.DefaultConfig()
 	bf, err := core.New(bcfg, r)
@@ -84,45 +82,44 @@ func runAblationSafety(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("10-chain CIB (duty-cycled)",
-		fmt.Sprintf("%.3f", cib.AverageSAR),
-		fmt.Sprintf("%.3f", cib.PeakSAR),
-		fmt.Sprintf("%t", cib.Compliant()))
+	res.AddRow(engine.Str("10-chain CIB (duty-cycled)"),
+		engine.Number("%.3f", cib.AverageSAR),
+		engine.Number("%.3f", cib.PeakSAR),
+		engine.Bool(cib.Compliant()))
 
 	// A continuous transmitter matching CIB's deliverable peak must run
 	// PAPR× hotter on average.
 	cwAvg := cib.AverageSAR * dc.PAPR
-	t.AddRow("CW matching CIB's peak",
-		fmt.Sprintf("%.3f", cwAvg),
-		fmt.Sprintf("%.3f", cwAvg),
-		fmt.Sprintf("%t", cwAvg <= safety.SARLimitWkg))
+	res.AddRow(engine.Str("CW matching CIB's peak"),
+		engine.Number("%.3f", cwAvg),
+		engine.Number("%.3f", cwAvg),
+		engine.Bool(cwAvg <= safety.SARLimitWkg))
 
 	eirp := safety.EIRPdBm(bf.Carriers(), 7)
-	t.AddNote("CIB envelope PAPR %.1f, %.1f%% of time within 3 dB of peak", dc.PAPR, dc.FractionNearPeak*100)
-	t.AddNote("per-chain EIRP %.1f dBm (FCC §15.247 limit %.0f dBm; compliant at 6 dBi antennas or 1 dB backoff)",
+	res.AddNote("CIB envelope PAPR %.1f, %.1f%% of time within 3 dB of peak", dc.PAPR, dc.FractionNearPeak*100)
+	res.AddNote("per-chain EIRP %.1f dBm (FCC §15.247 limit %.0f dBm; compliant at 6 dBi antennas or 1 dB backoff)",
 		eirp, safety.FCCMaxEIRPdBm)
-	return t, nil
+	return res, nil
 }
 
-func runAblationFreqError(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-freqerror",
-		Title:  "Peak gain and 10-period peak recurrence vs per-carrier frequency error (10 carriers)",
-		Header: []string{"error σ (Hz)", "E[peak]/N", "peak recurrence after 10 s"},
-	}
-	trials := cfg.trials(40, 10)
-	parent := rng.New(cfg.Seed)
+// freqErrorSample is one frequency-error trial: the 1 s envelope peak and
+// its recurrence ratio 10 periods later.
+type freqErrorSample struct {
+	peak, recur float64
+}
+
+func runAblationFreqError(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-freqerror", "Peak gain and 10-period peak recurrence vs per-carrier frequency error (10 carriers)",
+		engine.Col("error σ", "Hz"), engine.Col("E[peak]/N", ""), engine.Col("peak recurrence after 10 s", ""))
 	base := core.PaperOffsets()
 	n := len(base)
-	for _, sigma := range []float64{0, 0.05, 0.2, 0.5, 2, 10} {
-		// Per-trial slots, summed in index order afterwards: float addition
-		// is not associative, so the reduction order must not depend on
-		// scheduling.
-		label := fmt.Sprintf("fe-%v", sigma)
-		peaks := make([]float64, trials)
-		recurs := make([]float64, trials)
-		err := forEachIndexed(trials, func(trial int) error {
-			r := parent.SplitIndexed(label, trial)
+	sweep := engine.Sweep[float64, freqErrorSample]{
+		Trials: cfg.trials(40, 10),
+		Plan: func(sigma float64) (uint64, string) {
+			return cfg.Seed, fmt.Sprintf("fe-%v", sigma)
+		},
+		Measure: func(sigma float64, _ int, r *rng.Rand) (freqErrorSample, error) {
+			var s freqErrorSample
 			offsets := make([]float64, n)
 			for i, f := range base {
 				if i == 0 {
@@ -147,38 +144,39 @@ func runAblationFreqError(cfg Config) (*Table, error) {
 					peak, idx = v, k
 				}
 			}
-			peaks[trial] = peak
+			s.peak = peak
 			// The cyclic-operation guarantee: with exact integer offsets
 			// the same peak recurs at t+10 s; frequency error dephases it.
 			tPeak := float64(idx) / 4096
-			recurs[trial] = core.Envelope(offsets, betas, tPeak+10) / peak
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		var peakAcc, recurAcc float64
-		for trial := 0; trial < trials; trial++ {
-			peakAcc += peaks[trial]
-			recurAcc += recurs[trial]
-		}
-		t.AddRow(
-			fmt.Sprintf("%.2f", sigma),
-			fmt.Sprintf("%.3f", peakAcc/float64(trials)/float64(n)),
-			fmt.Sprintf("%.3f", recurAcc/float64(trials)),
-		)
+			s.recur = core.Envelope(offsets, betas, tPeak+10) / peak
+			return s, nil
+		},
+		Row: func(sigma float64, samples []freqErrorSample) ([]engine.Cell, error) {
+			// Stream folds in index order: float addition is not associative,
+			// so the reduction must not depend on scheduling.
+			var peaks, recurs stats.Stream
+			for _, s := range samples {
+				peaks.Add(s.peak)
+				recurs.Add(s.recur)
+			}
+			return []engine.Cell{
+				engine.Number("%.2f", sigma),
+				engine.Number("%.3f", peaks.Mean()/float64(n)),
+				engine.Number("%.3f", recurs.Mean()),
+			}, nil
+		},
 	}
-	t.AddNote("the peak amplitude itself is insensitive to offset error (CIB stays blind-channel-safe)")
-	t.AddNote("but errors above ~0.05 Hz break the every-T-seconds peak schedule (§3.6 cyclic constraint) — why the prototype soft-codes offsets digitally instead of trusting PLL steps")
-	return t, nil
+	if err := sweep.RunInto(res, []float64{0, 0.05, 0.2, 0.5, 2, 10}); err != nil {
+		return nil, err
+	}
+	res.AddNote("the peak amplitude itself is insensitive to offset error (CIB stays blind-channel-safe)")
+	res.AddNote("but errors above ~0.05 Hz break the every-T-seconds peak schedule (§3.6 cyclic constraint) — why the prototype soft-codes offsets digitally instead of trusting PLL steps")
+	return res, nil
 }
 
-func runAblationHopping(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-hopping",
-		Title:  "Delivered peak power in a deep 915 MHz fade, fixed center vs hopped",
-		Header: []string{"strategy", "center (MHz)", "peak at sensor (dBm)"},
-	}
+func runAblationHopping(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-hopping", "Delivered peak power in a deep 915 MHz fade, fixed center vs hopped",
+		engine.Col("strategy", ""), engine.Col("center", "MHz"), engine.Col("peak at sensor", "dBm"))
 	r := rng.New(cfg.Seed)
 	// Construct a channel with a strong echo that nulls 915 MHz: delay τ
 	// with e^{-j2πfτ} = −1 at 915 MHz (τ = k/915e6 + 1/(2·915e6)).
@@ -205,7 +203,7 @@ func runAblationHopping(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("fixed", "915.0", fmt.Sprintf("%.1f", 10*math.Log10(fixed)+30))
+	res.AddRow(engine.Str("fixed"), engine.Number("%.1f", 915.0), engine.Number("%.1f", 10*math.Log10(fixed)+30))
 
 	// Hop: probe candidate ISM centers and move to the best.
 	bcfg := core.DefaultConfig()
@@ -228,52 +226,50 @@ func runAblationHopping(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("hopped", fmt.Sprintf("%.1f", best/1e6), fmt.Sprintf("%.1f", 10*math.Log10(hopped)+30))
-	t.AddNote("hop gain: %.1f dB out of the engineered fade", 10*math.Log10(hopped/fixed))
+	res.AddRow(engine.Str("hopped"), engine.Number("%.1f", best/1e6), engine.Number("%.1f", 10*math.Log10(hopped)+30))
+	res.AddNote("hop gain: %.1f dB out of the engineered fade", 10*math.Log10(hopped/fixed))
 	_ = cfg
-	return t, nil
+	return res, nil
 }
 
-func runAblationPhaseNoise(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-phasenoise",
-		Title:  "Effective coherent-averaging gain and gastric decode vs phase drift (K=32)",
-		Header: []string{"drift (rad²/period)", "averaging gain retained", "gastric decodes"},
-	}
+func runAblationPhaseNoise(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-phasenoise", "Effective coherent-averaging gain and gastric decode vs phase drift (K=32)",
+		engine.Col("drift", "rad²/period"), engine.Col("averaging gain retained", ""), engine.Col("gastric decodes", ""))
 	trials := cfg.trials(20, 8)
-	parent := rng.New(cfg.Seed)
 	sc := scenario.NewSwine(scenario.Gastric)
 	model := tag.StandardTag()
-	for _, drift := range []float64{0, 0.05, 0.2, 0.5, 2} {
-		decoded := make([]bool, trials)
-		err := forEachIndexed(trials, func(i int) error {
-			r := parent.SplitIndexed("pn", i) // same placements across rows
+	sweep := engine.Sweep[float64, bool]{
+		Trials: trials,
+		Plan: func(float64) (uint64, string) {
+			return cfg.Seed, "pn" // same placements across rows
+		},
+		Measure: func(drift float64, _ int, r *rng.Rand) (bool, error) {
 			p, err := sc.Realize(8, r)
 			if err != nil {
-				return err
+				return false, err
 			}
 			tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
 			if err != nil {
-				return err
+				return false, err
 			}
 			chans := DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = 8
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
-				return err
+				return false, err
 			}
 			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
 			if err != nil {
-				return err
+				return false, err
 			}
 			tg.UpdatePower(peak)
 			if !tg.Powered() {
-				return nil
+				return false, nil
 			}
 			replyMsg := tg.HandleCommand(&gen2.Query{Q: 0})
 			if replyMsg.Kind != gen2.ReplyRN16 {
-				return nil
+				return false, nil
 			}
 			rd := reader.New()
 			rd.PhaseDriftPerPeriod = drift
@@ -281,72 +277,81 @@ func runAblationPhaseNoise(cfg Config) (*Table, error) {
 			rd.TxAmplitude = 0.2
 			bs, err := tg.BackscatterWaveform(replyMsg, rd.SamplesPerHalfBit)
 			if err != nil {
-				return err
+				return false, err
 			}
 			tagG := model.AntennaAmplitudeGain()
 			lg := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
 			leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
 			jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
 			if dr, err := rd.DecodeUplink(bs, lg, jam, len(replyMsg.Bits), r.Split("ul")); err == nil && dr.Bits.Equal(replyMsg.Bits) {
-				decoded[i] = true
+				return true, nil
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		ok := 0
-		for _, d := range decoded {
-			if d {
-				ok++
+			return false, nil
+		},
+		Row: func(drift float64, decoded []bool) ([]engine.Cell, error) {
+			ok := 0
+			for _, d := range decoded {
+				if d {
+					ok++
+				}
 			}
-		}
-		t.AddRow(
-			fmt.Sprintf("%.2f", drift),
-			fmt.Sprintf("%.3f", reader.CoherentAveragingGain(32, drift)),
-			fmt.Sprintf("%d/%d", ok, trials),
-		)
+			return []engine.Cell{
+				engine.Number("%.2f", drift),
+				engine.Number("%.3f", reader.CoherentAveragingGain(32, drift)),
+				engine.Counts(ok, trials),
+			}, nil
+		},
 	}
-	t.AddNote("drift 0 models the shared Octoclock reference; free-running oscillators forfeit most of the K=32 averaging gain")
-	return t, nil
+	if err := sweep.RunInto(res, []float64{0, 0.05, 0.2, 0.5, 2}); err != nil {
+		return nil, err
+	}
+	res.AddNote("drift 0 models the shared Octoclock reference; free-running oscillators forfeit most of the K=32 averaging gain")
+	return res, nil
 }
 
-func runAblationMultipath(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-multipath",
-		Title:  "10-antenna CIB gain vs multipath richness (water tank)",
-		Header: []string{"environment", "median gain", "p10", "p90"},
+// multipathPoint is one multipath sweep point: a named profile and its
+// position in the sweep (which seeds its trial streams).
+type multipathPoint struct {
+	index int
+	name  string
+	mp    em.MultipathProfile
+}
+
+func runAblationMultipath(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-multipath", "10-antenna CIB gain vs multipath richness (water tank)",
+		engine.Col("environment", ""), engine.Col("median gain", ""), engine.Col("p10", ""), engine.Col("p90", ""))
+	sweep := engine.Sweep[multipathPoint, GainSample]{
+		Trials: cfg.trials(80, 20),
+		Plan: func(p multipathPoint) (uint64, string) {
+			return cfg.Seed + uint64(p.index*997), "gain-trial"
+		},
+		Measure: func(p multipathPoint, _ int, r *rng.Rand) (GainSample, error) {
+			sc := scenario.NewTank(0.5, em.Water, 0.10)
+			sc.Multipath = p.mp
+			return MeasureGains(sc, 10, r)
+		},
+		Row: func(p multipathPoint, samples []GainSample) ([]engine.Cell, error) {
+			sum, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
+			if err != nil {
+				return nil, err
+			}
+			return []engine.Cell{
+				engine.Str(p.name),
+				engine.Number("%.1f", sum.Median),
+				engine.Number("%.1f", sum.P10),
+				engine.Number("%.1f", sum.P90),
+			}, nil
+		},
 	}
-	trials := cfg.trials(80, 20)
-	profiles := []struct {
-		name string
-		mp   em.MultipathProfile
-	}{
-		{"no multipath", em.MultipathProfile{}},
-		{"line of sight", em.LOSProfile},
-		{"indoor", em.DefaultIndoorProfile},
-		{"rich scattering", em.RichProfile},
+	points := []multipathPoint{
+		{0, "no multipath", em.MultipathProfile{}},
+		{1, "line of sight", em.LOSProfile},
+		{2, "indoor", em.DefaultIndoorProfile},
+		{3, "rich scattering", em.RichProfile},
 	}
-	for pi, p := range profiles {
-		sc := scenario.NewTank(0.5, em.Water, 0.10)
-		sc.Multipath = p.mp
-		samples, err := RunGainTrials(sc, 10, trials, cfg.Seed+uint64(pi*997))
-		if err != nil {
-			return nil, err
-		}
-		gains := make([]float64, len(samples))
-		for i, s := range samples {
-			gains[i] = s.CIB / s.Single
-		}
-		sum, err := stats.Summarize(gains)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(p.name,
-			fmt.Sprintf("%.1f", sum.Median),
-			fmt.Sprintf("%.1f", sum.P10),
-			fmt.Sprintf("%.1f", sum.P90))
+	if err := sweep.RunInto(res, points); err != nil {
+		return nil, err
 	}
-	t.AddNote("the median CIB gain holds across environments; richer scattering widens the distribution without destroying the gain (§3.7 robustness)")
-	return t, nil
+	res.AddNote("the median CIB gain holds across environments; richer scattering widens the distribution without destroying the gain (§3.7 robustness)")
+	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"ivn/internal/baseline"
 	"ivn/internal/core"
+	"ivn/internal/engine"
 	"ivn/internal/fault"
 	"ivn/internal/gen2"
 	"ivn/internal/reader"
@@ -216,20 +217,16 @@ func FaultMatrixSummary(cfg Config) ([]FaultMatrixRow, error) {
 		scales = fault.DefaultScales()
 	}
 	trials := cfg.trials(16, 4)
-	parent := rng.New(cfg.Seed)
 	var rows []FaultMatrixRow
 	for _, scale := range scales {
 		for _, recovery := range []bool{true, false} {
 			row := FaultMatrixRow{Scale: scale, Recovery: recovery, Trials: trials}
-			results := make([]faultTrialResult, trials)
 			// The stream label excludes `recovery`, pairing the variants:
 			// same placements, same fault schedules, different protocol.
 			label := fmt.Sprintf("fault-%g", scale)
-			err := forEachIndexed(trials, func(i int) error {
-				r := parent.SplitIndexed(label, i)
-				var e error
-				results[i], e = runFaultTrial(scale, recovery, r)
-				return e
+			rec := recovery
+			results, err := engine.Trials(cfg.Seed, label, trials, func(_ int, r *rng.Rand) (faultTrialResult, error) {
+				return runFaultTrial(scale, rec, r)
 			})
 			if err != nil {
 				return nil, err
@@ -258,36 +255,34 @@ func FaultMatrixSummary(cfg Config) ([]FaultMatrixRow, error) {
 	return rows, nil
 }
 
-func runFaultMatrix(cfg Config) (*Table, error) {
+func runFaultMatrix(cfg Config) (*engine.Result, error) {
 	rows, err := FaultMatrixSummary(cfg)
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:     "faultmatrix",
-		Title:  "Multi-sensor inventory under injected faults (subcutaneous swine, 8-antenna CIB)",
-		Header: []string{"scale", "recovery", "inventoried", "tags read", "avg rounds", "avg cmds", "reACK/rec", "faults t/c/b", "capture"},
-	}
+	res := engine.NewResult("faultmatrix", "Multi-sensor inventory under injected faults (subcutaneous swine, 8-antenna CIB)",
+		engine.Col("scale", ""), engine.Col("recovery", ""), engine.Col("inventoried", ""), engine.Col("tags read", ""),
+		engine.Col("avg rounds", ""), engine.Col("avg cmds", ""), engine.Col("reACK/rec", ""), engine.Col("faults t/c/b", ""), engine.Col("capture", ""))
 	for _, row := range rows {
 		rec := "off"
 		if row.Recovery {
 			rec = "on"
 		}
-		t.AddRow(
-			fmt.Sprintf("%g", row.Scale),
-			rec,
-			fmt.Sprintf("%d/%d", row.Inventoried, row.Trials),
-			fmt.Sprintf("%d/%d (%.1f%%)", row.TagsRead, row.TagsTotal, 100*row.SuccessRate()),
-			fmt.Sprintf("%.1f", float64(row.Rounds)/float64(row.Trials)),
-			fmt.Sprintf("%.0f", float64(row.Commands)/float64(row.Trials)),
-			fmt.Sprintf("%d/%d", row.ACKRetries, row.Recovered),
-			fmt.Sprintf("%d/%d/%d", row.Truncated, row.Corrupted, row.Brownouts),
-			fmt.Sprintf("%d/%d (%d att)", row.CaptureOK, row.Trials, row.CaptureAttempts),
+		res.AddRow(
+			engine.Number("%g", row.Scale),
+			engine.Str(rec),
+			engine.Counts(row.Inventoried, row.Trials),
+			engine.Tuple("%d/%d (%.1f%%)", float64(row.TagsRead), float64(row.TagsTotal), 100*row.SuccessRate()),
+			engine.Number("%.1f", float64(row.Rounds)/float64(row.Trials)),
+			engine.Number("%.0f", float64(row.Commands)/float64(row.Trials)),
+			engine.Counts(row.ACKRetries, row.Recovered),
+			engine.Counts(row.Truncated, row.Corrupted, row.Brownouts),
+			engine.Tuple("%d/%d (%d att)", float64(row.CaptureOK), float64(row.Trials), float64(row.CaptureAttempts)),
 		)
 	}
-	t.AddNote("scale multiplies every rate of the default fault config (0 = fault-free baseline)")
-	t.AddNote("paired ablation: recovery on/off variants share placements, PLL phases and fault schedules")
-	t.AddNote("faults t/c/b = command truncations / corrupted uplinks / observed brownouts")
-	t.AddNote("capture = reader-side decode-with-retry sub-measurement (budget 2 with recovery, 0 without)")
-	return t, nil
+	res.AddNote("scale multiplies every rate of the default fault config (0 = fault-free baseline)")
+	res.AddNote("paired ablation: recovery on/off variants share placements, PLL phases and fault schedules")
+	res.AddNote("faults t/c/b = command truncations / corrupted uplinks / observed brownouts")
+	res.AddNote("capture = reader-side decode-with-retry sub-measurement (budget 2 with recovery, 0 without)")
+	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ivn/internal/core"
+	"ivn/internal/engine"
 	"ivn/internal/rng"
 	"ivn/internal/stats"
 )
@@ -26,12 +27,9 @@ func init() {
 	})
 }
 
-func runFig6(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "fig6",
-		Title:  "CIB peak power gain CDF, 5-antenna transmitter",
-		Header: []string{"power gain", "CDF best set", "CDF worst set"},
-	}
+func runFig6(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("fig6", "CIB peak power gain CDF, 5-antenna transmitter",
+		engine.Col("power gain", ""), engine.Col("CDF best set", ""), engine.Col("CDF worst set", ""))
 	r := rng.New(cfg.Seed)
 	trials := cfg.trials(2000, 300)
 	samples := 4096
@@ -60,27 +58,24 @@ func runFig6(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	for g := 8.0; g <= 25.0; g += 1.0 {
-		t.AddRow(
-			fmt.Sprintf("%.0f", g),
-			fmt.Sprintf("%.3f", bestCDF.At(g)),
-			fmt.Sprintf("%.3f", worstCDF.At(g)),
+		res.AddRow(
+			engine.Number("%.0f", g),
+			engine.Number("%.3f", bestCDF.At(g)),
+			engine.Number("%.3f", worstCDF.At(g)),
 		)
 	}
 	medBest := bestCDF.Quantile(0.5)
 	medWorst := worstCDF.Quantile(0.5)
-	t.AddNote("best set %v (median gain %.1f of max 25)", best, medBest)
-	t.AddNote("worst-of-24 set %v (median gain %.1f)", worstPlan.Offsets, medWorst)
-	t.AddNote("fraction of draws with best-set gain >= 22.5 (90%% of optimal): %.2f",
+	res.AddNote("best set %v (median gain %.1f of max 25)", best, medBest)
+	res.AddNote("worst-of-24 set %v (median gain %.1f)", worstPlan.Offsets, medWorst)
+	res.AddNote("fraction of draws with best-set gain >= 22.5 (90%% of optimal): %.2f",
 		bestCDF.FractionAbove(22.5))
-	return t, nil
+	return res, nil
 }
 
-func runFreqOpt(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "freqopt",
-		Title:  "Constrained frequency-plan optimization per antenna count",
-		Header: []string{"N", "optimized Δf (Hz)", "E[peak]/N", "RMS (Hz)", "limit (Hz)"},
-	}
+func runFreqOpt(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("freqopt", "Constrained frequency-plan optimization per antenna count",
+		engine.Col("N", ""), engine.Col("optimized Δf", "Hz"), engine.Col("E[peak]/N", ""), engine.Col("RMS", "Hz"), engine.Col("limit", "Hz"))
 	r := rng.New(cfg.Seed)
 	ocfg := core.DefaultOptimizerConfig()
 	counts := []int{3, 5, 8, 10}
@@ -93,12 +88,12 @@ func runFreqOpt(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(
-			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%v", plan.Offsets),
-			fmt.Sprintf("%.3f", plan.Score/float64(n)),
-			fmt.Sprintf("%.1f", plan.RMS),
-			fmt.Sprintf("%.1f", plan.Limit),
+		res.AddRow(
+			engine.Int(n),
+			engine.List(plan.Offsets),
+			engine.Number("%.3f", plan.Score/float64(n)),
+			engine.Number("%.1f", plan.RMS),
+			engine.Number("%.1f", plan.Limit),
 		)
 	}
 	paper := core.PaperOffsets()
@@ -107,9 +102,9 @@ func runFreqOpt(cfg Config) (*Table, error) {
 		seed = seed*1000003 + uint64(f)
 	}
 	paperScore := core.ExpectedPeak(paper, ocfg.Trials, ocfg.SamplesPerTrial, rng.New(seed))
-	t.AddNote("paper plan %v: E[peak]/N = %.3f, RMS = %.1f Hz (limit %.1f Hz for an 800 µs query)",
+	res.AddNote("paper plan %v: E[peak]/N = %.3f, RMS = %.1f Hz (limit %.1f Hz for an 800 µs query)",
 		paper, paperScore/10, core.RMSOffset(paper), mustLimit())
-	return t, nil
+	return res, nil
 }
 
 func mustLimit() float64 {

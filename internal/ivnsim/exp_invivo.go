@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"ivn/internal/engine"
 	"ivn/internal/gen2"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
@@ -26,7 +27,7 @@ func init() {
 		ID:    "fig15a",
 		Title: "Decoded backscatter waveform: standard tag in the stomach",
 		Paper: "time-domain response with preamble correlation > 0.8 and decoded bits",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*engine.Result, error) {
 			return runFig15(cfg, "fig15a", scenario.NewSwine(scenario.Gastric), tag.StandardTag())
 		},
 	})
@@ -34,78 +35,73 @@ func init() {
 		ID:    "fig15b",
 		Title: "Decoded backscatter waveform: miniature tag subcutaneous",
 		Paper: "time-domain response with preamble correlation > 0.8 and decoded bits",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*engine.Result, error) {
 			return runFig15(cfg, "fig15b", scenario.NewSwine(scenario.Subcutaneous), tag.MiniatureTag())
 		},
 	})
 }
 
-func runInVivo(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "invivo",
-		Title:  "Swine communication sessions (8-antenna CIB, out-of-band reader)",
-		Header: []string{"placement", "tag", "powered", "decoded", "sessions"},
-	}
-	trials := cfg.trials(6, 4)
-	parent := rng.New(cfg.Seed)
-	cases := []struct {
-		sc    *scenario.Swine
-		model tag.Model
-	}{
-		{scenario.NewSwine(scenario.Gastric), tag.StandardTag()},
-		{scenario.NewSwine(scenario.Gastric), tag.MiniatureTag()},
-		{scenario.NewSwine(scenario.Subcutaneous), tag.StandardTag()},
-		{scenario.NewSwine(scenario.Subcutaneous), tag.MiniatureTag()},
-	}
-	for ci, c := range cases {
-		// Sessions are independent; run them on the worker pool and count
-		// afterwards (counts are order-independent, so the table is
-		// identical at any GOMAXPROCS).
-		label := fmt.Sprintf("invivo-%d", ci)
-		sessions := make([]CommTrial, trials)
-		err := forEachIndexed(trials, func(i int) error {
-			r := parent.SplitIndexed(label, i)
-			tr, err := RunCommTrial(c.sc, 8, c.model, CommOptions{Waveform: true}, r)
-			if err != nil {
-				return err
-			}
-			sessions[i] = tr
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		powered, decoded := 0, 0
-		for _, tr := range sessions {
-			if tr.Powered {
-				powered++
-			}
-			if tr.Powered && tr.Decoded {
-				decoded++
-			}
-		}
-		t.AddRow(
-			c.sc.Placement.String(),
-			c.model.Name,
-			fmt.Sprintf("%d/%d", powered, trials),
-			fmt.Sprintf("%d/%d", decoded, trials),
-			fmt.Sprintf("%d", trials),
-		)
-	}
-	t.AddNote("success criterion: FM0 preamble correlation > 0.8 after coherent averaging (paper §6.2)")
-	t.AddNote("each session re-places the tag with fresh position, orientation and breathing state")
-	return t, nil
+// invivoCase is one swine sweep point: a placement/tag pairing and its
+// position in the sweep (which labels its trial streams).
+type invivoCase struct {
+	index int
+	sc    *scenario.Swine
+	model tag.Model
 }
 
-func runFig15(cfg Config, id string, sc *scenario.Swine, model tag.Model) (*Table, error) {
-	t := &Table{
-		ID:     id,
-		Title:  fmt.Sprintf("Backscatter waveform and decoded bits: %s tag, %s placement", model.Name, sc.Placement),
-		Header: []string{"half-bit index", "mean level (µV)"},
+func runInVivo(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("invivo", "Swine communication sessions (8-antenna CIB, out-of-band reader)",
+		engine.Col("placement", ""), engine.Col("tag", ""), engine.Col("powered", ""), engine.Col("decoded", ""), engine.Col("sessions", ""))
+	trials := cfg.trials(6, 4)
+	sweep := engine.Sweep[invivoCase, CommTrial]{
+		Trials: trials,
+		Plan: func(c invivoCase) (uint64, string) {
+			return cfg.Seed, fmt.Sprintf("invivo-%d", c.index)
+		},
+		Measure: func(c invivoCase, _ int, r *rng.Rand) (CommTrial, error) {
+			return RunCommTrial(c.sc, 8, c.model, CommOptions{Waveform: true}, r)
+		},
+		Row: func(c invivoCase, sessions []CommTrial) ([]engine.Cell, error) {
+			powered, decoded := 0, 0
+			for _, tr := range sessions {
+				if tr.Powered {
+					powered++
+				}
+				if tr.Powered && tr.Decoded {
+					decoded++
+				}
+			}
+			return []engine.Cell{
+				engine.Str(c.sc.Placement.String()),
+				engine.Str(c.model.Name),
+				engine.Counts(powered, trials),
+				engine.Counts(decoded, trials),
+				engine.Int(trials),
+			}, nil
+		},
 	}
+	cases := []invivoCase{
+		{0, scenario.NewSwine(scenario.Gastric), tag.StandardTag()},
+		{1, scenario.NewSwine(scenario.Gastric), tag.MiniatureTag()},
+		{2, scenario.NewSwine(scenario.Subcutaneous), tag.StandardTag()},
+		{3, scenario.NewSwine(scenario.Subcutaneous), tag.MiniatureTag()},
+	}
+	if err := sweep.RunInto(res, cases); err != nil {
+		return nil, err
+	}
+	res.AddNote("success criterion: FM0 preamble correlation > 0.8 after coherent averaging (paper §6.2)")
+	res.AddNote("each session re-places the tag with fresh position, orientation and breathing state")
+	return res, nil
+}
+
+func runFig15(cfg Config, id string, sc *scenario.Swine, model tag.Model) (*engine.Result, error) {
+	res := engine.NewResult(id,
+		fmt.Sprintf("Backscatter waveform and decoded bits: %s tag, %s placement", model.Name, sc.Placement),
+		engine.Col("half-bit index", ""), engine.Col("mean level", "µV"))
 	parent := rng.New(cfg.Seed)
 	// Find a successful session (the paper likewise shows a sample output
-	// from a successful trial).
+	// from a successful trial). The attempts are a sequential search — each
+	// stops as soon as one succeeds — so this stays off the scheduler.
 	maxAttempts := 40
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		r := parent.SplitIndexed("fig15", attempt)
@@ -161,12 +157,12 @@ func runFig15(cfg Config, id string, sc *scenario.Swine, model tag.Model) (*Tabl
 				mean += bs[hb*sp+k]*absC(link) + sigma*dispR.NormFloat64()
 			}
 			mean /= float64(sp)
-			t.AddRow(fmt.Sprintf("%d", hb), fmt.Sprintf("%.4f", mean*1e6))
+			res.AddRow(engine.Int(hb), engine.Number("%.4f", mean*1e6))
 		}
-		t.AddNote("decoded RN16 bits: %s", dr.Bits)
-		t.AddNote("preamble correlation %.3f (threshold 0.8); post-averaging SNR %.1f dB", dr.Correlation, dr.SNRdB)
-		t.AddNote("session found on attempt %d; CIB peak at sensor %.2e W", attempt+1, tr.PeakPower)
-		return t, nil
+		res.AddNote("decoded RN16 bits: %s", dr.Bits)
+		res.AddNote("preamble correlation %.3f (threshold 0.8); post-averaging SNR %.1f dB", dr.Correlation, dr.SNRdB)
+		res.AddNote("session found on attempt %d; CIB peak at sensor %.2e W", attempt+1, tr.PeakPower)
+		return res, nil
 	}
 	return nil, fmt.Errorf("ivnsim: no successful %s session in %d attempts", id, maxAttempts)
 }

@@ -1,16 +1,17 @@
 package ivnsim
 
 import (
-	"fmt"
 	"math"
 
 	"ivn/internal/circuit"
 	"ivn/internal/em"
+	"ivn/internal/engine"
 	"ivn/internal/tag"
 )
 
 // Microbenchmark experiments: the paper's explanatory figures (2-4), which
-// characterize the substrates rather than the beamformer.
+// characterize the substrates rather than the beamformer. Analytic — no
+// trial schedule, so they build their results directly.
 
 func init() {
 	register(Experiment{
@@ -33,12 +34,9 @@ func init() {
 	})
 }
 
-func runFig2(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "fig2",
-		Title:  "Diode I-V curves (ideal vs realistic)",
-		Header: []string{"V (V)", "I_ideal (mA)", "I_realistic (mA)"},
-	}
+func runFig2(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("fig2", "Diode I-V curves (ideal vs realistic)",
+		engine.Col("V", "V"), engine.Col("I_ideal", "mA"), engine.Col("I_realistic", "mA"))
 	const vth = 0.3
 	ideal := circuit.IdealDiode{OnConductance: 0.02}
 	realistic := circuit.ThresholdDiode{Vth: vth, OnConductance: 0.02}
@@ -55,22 +53,19 @@ func runFig2(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	for i, v := range volts {
-		t.AddRow(
-			fmt.Sprintf("%.3f", v),
-			fmt.Sprintf("%.3f", iIdeal[i]*1e3),
-			fmt.Sprintf("%.3f", iReal[i]*1e3),
+		res.AddRow(
+			engine.Number("%.3f", v),
+			engine.Number("%.3f", iIdeal[i]*1e3),
+			engine.Number("%.3f", iReal[i]*1e3),
 		)
 	}
-	t.AddNote("realistic diode threshold Vth = %.0f mV (paper: 200-400 mV for IC processes)", vth*1e3)
-	return t, nil
+	res.AddNote("realistic diode threshold Vth = %.0f mV (paper: 200-400 mV for IC processes)", vth*1e3)
+	return res, nil
 }
 
-func runFig3(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "fig3",
-		Title:  "Normalized signal power loss vs distance, air vs muscle tissue",
-		Header: []string{"distance (cm)", "air loss (dB)", "tissue loss (dB)"},
-	}
+func runFig3(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("fig3", "Normalized signal power loss vs distance, air vs muscle tissue",
+		engine.Col("distance", "cm"), engine.Col("air loss", "dB"), engine.Col("tissue loss", "dB"))
 	const freq = 915e6
 	ref := em.Path{AirDistance: 0.10} // normalize at 10 cm
 	refLoss := ref.LossDB(freq)
@@ -83,23 +78,20 @@ func runFig3(cfg Config) (*Table, error) {
 		air := em.Path{AirDistance: d}
 		// Tissue: first 10 cm in air, remainder in muscle.
 		tissue := em.Path{AirDistance: 0.10, Layers: []em.Layer{{Medium: em.Muscle, Thickness: d - 0.10}}}
-		t.AddRow(
-			fmt.Sprintf("%d", cm),
-			fmt.Sprintf("%.2f", air.LossDB(freq)-refLoss),
-			fmt.Sprintf("%.2f", tissue.LossDB(freq)-refLoss),
+		res.AddRow(
+			engine.Int(cm),
+			engine.Number("%.2f", air.LossDB(freq)-refLoss),
+			engine.Number("%.2f", tissue.LossDB(freq)-refLoss),
 		)
 	}
-	t.AddNote("muscle loss %.2f dB/cm at 915 MHz (paper: 2.3-6.9 dB/cm)", em.Muscle.LossDBPerCM(freq))
-	t.AddNote("air follows 1/r² (≈6 dB per distance doubling); tissue adds an exponential term")
-	return t, nil
+	res.AddNote("muscle loss %.2f dB/cm at 915 MHz (paper: 2.3-6.9 dB/cm)", em.Muscle.LossDBPerCM(freq))
+	res.AddNote("air follows 1/r² (≈6 dB per distance doubling); tissue adds an exponential term")
+	return res, nil
 }
 
-func runFig4(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "fig4",
-		Title:  "Threshold impact on RF harvesting across the three regimes",
-		Header: []string{"regime", "peak V at rectifier (V)", "conduction angle (fraction)", "V_DC (V)"},
-	}
+func runFig4(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("fig4", "Threshold impact on RF harvesting across the three regimes",
+		engine.Col("regime", ""), engine.Col("peak V at rectifier", "V"), engine.Col("conduction angle", "fraction"), engine.Col("V_DC", "V"))
 	model := tag.StandardTag()
 	// Three placements: 1 m air, 3 cm muscle, 8 cm muscle — matching the
 	// figure's close/shallow/deep storyboard. Single 30 dBm / 7 dBi chain.
@@ -121,17 +113,17 @@ func runFig4(cfg Config) (*Table, error) {
 		w := circuit.ConductionAngle(v, model.ThresholdVoltage)
 		vdc := rect.SteadyStateVoltage(v)
 		angles = append(angles, w)
-		t.AddRow(
-			c.name,
-			fmt.Sprintf("%.3f", v),
-			fmt.Sprintf("%.3f", w),
-			fmt.Sprintf("%.3f", vdc),
+		res.AddRow(
+			engine.Str(c.name),
+			engine.Number("%.3f", v),
+			engine.Number("%.3f", w),
+			engine.Number("%.3f", vdc),
 		)
 	}
 	if len(angles) == 3 {
-		t.AddNote("conduction angle ordering a > b > c = %t; deep-tissue angle = %v (paper: zero)",
+		res.AddNote("conduction angle ordering a > b > c = %t; deep-tissue angle = %v (paper: zero)",
 			angles[0] > angles[1] && angles[1] > angles[2], angles[2])
 	}
 	_ = cfg
-	return t, nil
+	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ivn/internal/engine"
 	"ivn/internal/gen2"
 	"ivn/internal/rng"
 )
@@ -22,14 +23,10 @@ func init() {
 // M subcarrier cycles (M× the on-air time of an FM0 bit at the same link
 // frequency), so its demodulator integrates M× more samples per decision:
 // the classic rate-for-robustness trade, isolated from preamble detection.
-func runAblationMiller(cfg Config) (*Table, error) {
-	t := &Table{
-		ID:     "ablation-miller",
-		Title:  "Payload bit-error rate by encoding (aligned capture, known timing)",
-		Header: []string{"per-sample SNR (dB)", "FM0", "Miller-2", "Miller-4", "Miller-8"},
-	}
+func runAblationMiller(cfg Config) (*engine.Result, error) {
+	res := engine.NewResult("ablation-miller", "Payload bit-error rate by encoding (aligned capture, known timing)",
+		engine.Col("per-sample SNR", "dB"), engine.Col("FM0", ""), engine.Col("Miller-2", ""), engine.Col("Miller-4", ""), engine.Col("Miller-8", ""))
 	trials := cfg.trials(60, 15)
-	parent := rng.New(cfg.Seed)
 	const sp = 8 // FM0 samples per half-bit; Miller uses 2·sp per cycle
 	const nbits = 16
 
@@ -39,76 +36,83 @@ func runAblationMiller(cfg Config) (*Table, error) {
 	}
 	encodings := []enc{{"fm0", 0}, {"m2", 2}, {"m4", 4}, {"m8", 8}}
 
-	for _, snrDB := range []float64{-12, -9, -6, -3, 0, 3} {
-		row := []string{fmt.Sprintf("%.0f", snrDB)}
+	measureBER := func(e enc, snrDB float64) (float64, error) {
 		// Per-sample noise sigma for unit-amplitude levels.
 		sigma := powNeg20(snrDB)
-		for _, e := range encodings {
-			// Trials are independent; per-trial error counts summed in index
-			// order keep the BER table identical at any GOMAXPROCS.
-			label := fmt.Sprintf("ber-%s-%v", e.name, snrDB)
-			trialErrs := make([]int, trials)
-			err := forEachIndexed(trials, func(trial int) error {
-				r := parent.SplitIndexed(label, trial)
-				payload := make(gen2.Bits, nbits)
-				for i := range payload {
-					payload[i] = byte(r.Intn(2))
-				}
-				var wave []float64
-				var err error
-				var decode func([]float64) (gen2.Bits, error)
-				if e.miller == 0 {
-					fe := gen2.FM0Encoder{SamplesPerHalfBit: sp}
-					wave, err = fe.Encode(payload)
-					if err != nil {
-						return err
-					}
-					pre := len(gen2.FM0PreambleHalfBits) * sp
-					dec := gen2.FM0Decoder{SamplesPerHalfBit: sp}
-					decode = func(w []float64) (gen2.Bits, error) {
-						return dec.DecodePayload(w[pre:], nbits)
-					}
-				} else {
-					me := gen2.MillerEncoder{M: e.miller, SamplesPerCycle: 2 * sp}
-					wave, err = me.Encode(payload)
-					if err != nil {
-						return err
-					}
-					off := gen2.MillerPayloadOffset(e.miller, 2*sp)
-					dec := gen2.MillerDecoder{M: e.miller, SamplesPerCycle: 2 * sp}
-					decode = func(w []float64) (gen2.Bits, error) {
-						return dec.DecodePayload(w[off:], nbits)
-					}
-				}
-				noisy := make([]float64, len(wave))
-				for i, v := range wave {
-					noisy[i] = v + sigma*r.NormFloat64()
-				}
-				got, err := decode(noisy)
+		// Trials are independent; per-trial error counts summed in index
+		// order keep the BER table identical at any GOMAXPROCS.
+		label := fmt.Sprintf("ber-%s-%v", e.name, snrDB)
+		trialErrs, err := engine.Trials(cfg.Seed, label, trials, func(_ int, r *rng.Rand) (int, error) {
+			payload := make(gen2.Bits, nbits)
+			for i := range payload {
+				payload[i] = byte(r.Intn(2))
+			}
+			var wave []float64
+			var err error
+			var decode func([]float64) (gen2.Bits, error)
+			if e.miller == 0 {
+				fe := gen2.FM0Encoder{SamplesPerHalfBit: sp}
+				wave, err = fe.Encode(payload)
 				if err != nil {
-					return err
+					return 0, err
 				}
-				for i := range payload {
-					if got[i] != payload[i] {
-						trialErrs[trial]++
-					}
+				pre := len(gen2.FM0PreambleHalfBits) * sp
+				dec := gen2.FM0Decoder{SamplesPerHalfBit: sp}
+				decode = func(w []float64) (gen2.Bits, error) {
+					return dec.DecodePayload(w[pre:], nbits)
 				}
-				return nil
-			})
+			} else {
+				me := gen2.MillerEncoder{M: e.miller, SamplesPerCycle: 2 * sp}
+				wave, err = me.Encode(payload)
+				if err != nil {
+					return 0, err
+				}
+				off := gen2.MillerPayloadOffset(e.miller, 2*sp)
+				dec := gen2.MillerDecoder{M: e.miller, SamplesPerCycle: 2 * sp}
+				decode = func(w []float64) (gen2.Bits, error) {
+					return dec.DecodePayload(w[off:], nbits)
+				}
+			}
+			noisy := make([]float64, len(wave))
+			for i, v := range wave {
+				noisy[i] = v + sigma*r.NormFloat64()
+			}
+			got, err := decode(noisy)
+			if err != nil {
+				return 0, err
+			}
+			bitErrs := 0
+			for i := range payload {
+				if got[i] != payload[i] {
+					bitErrs++
+				}
+			}
+			return bitErrs, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		errors, total := 0, trials*nbits
+		for _, e := range trialErrs {
+			errors += e
+		}
+		return float64(errors) / float64(total), nil
+	}
+
+	for _, snrDB := range []float64{-12, -9, -6, -3, 0, 3} {
+		row := []engine.Cell{engine.Number("%.0f", snrDB)}
+		for _, e := range encodings {
+			ber, err := measureBER(e, snrDB)
 			if err != nil {
 				return nil, err
 			}
-			errors, total := 0, trials*nbits
-			for _, e := range trialErrs {
-				errors += e
-			}
-			row = append(row, fmt.Sprintf("%.3f", float64(errors)/float64(total)))
+			row = append(row, engine.Number("%.3f", ber))
 		}
-		t.AddRow(row...)
+		res.AddRow(row...)
 	}
-	t.AddNote("per-sample SNR = 20·log10(1/σ) on ±1 levels; a Miller-M demodulator integrates M× more samples per bit")
-	t.AddNote("the crossover SNR improves ≈3 dB per doubling of M, at M× the on-air time per bit")
-	return t, nil
+	res.AddNote("per-sample SNR = 20·log10(1/σ) on ±1 levels; a Miller-M demodulator integrates M× more samples per bit")
+	res.AddNote("the crossover SNR improves ≈3 dB per doubling of M, at M× the on-air time per bit")
+	return res, nil
 }
 
 // powNeg20 converts an SNR in dB on unit-amplitude levels to a noise σ:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ivn/internal/em"
+	"ivn/internal/engine"
 	"ivn/internal/scenario"
 	"ivn/internal/tag"
 )
@@ -15,7 +16,7 @@ func init() {
 		ID:    "fig13a",
 		Title: "Operating range vs antennas: standard tag in air",
 		Paper: "≈5.2 m at 1 antenna up to ≈38 m at 8 (7.6x)",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*engine.Result, error) {
 			return runRangeSweep(cfg, "fig13a", tag.StandardTag(), false)
 		},
 	})
@@ -23,7 +24,7 @@ func init() {
 		ID:    "fig13b",
 		Title: "Operating range vs antennas: miniature tag in air",
 		Paper: "≈0.5 m at 1 antenna up to ≈4 m at 8",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*engine.Result, error) {
 			return runRangeSweep(cfg, "fig13b", tag.MiniatureTag(), false)
 		},
 	})
@@ -31,7 +32,7 @@ func init() {
 		ID:    "fig13c",
 		Title: "Operating depth vs antennas: standard tag in water",
 		Paper: "no operation at 1 antenna; ≈23 cm at 8 antennas; logarithmic in N",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*engine.Result, error) {
 			return runRangeSweep(cfg, "fig13c", tag.StandardTag(), true)
 		},
 	})
@@ -39,22 +40,20 @@ func init() {
 		ID:    "fig13d",
 		Title: "Operating depth vs antennas: miniature tag in water",
 		Paper: "no operation at 1 antenna; ≈11 cm at 8 antennas",
-		Run: func(cfg Config) (*Table, error) {
+		Run: func(cfg Config) (*engine.Result, error) {
 			return runRangeSweep(cfg, "fig13d", tag.MiniatureTag(), true)
 		},
 	})
 }
 
-func runRangeSweep(cfg Config, id string, model tag.Model, water bool) (*Table, error) {
-	unit := "range (m)"
+func runRangeSweep(cfg Config, id string, model tag.Model, water bool) (*engine.Result, error) {
+	col := engine.Col("range", "m")
 	if water {
-		unit = "depth (cm)"
+		col = engine.Col("depth", "cm")
 	}
-	t := &Table{
-		ID:     id,
-		Title:  fmt.Sprintf("Maximum operating %s vs antennas, %s tag", unit, model.Name),
-		Header: []string{"antennas", unit},
-	}
+	res := engine.NewResult(id,
+		fmt.Sprintf("Maximum operating %s vs antennas, %s tag", col.Label(), model.Name),
+		engine.Col("antennas", ""), col)
 	trialsPerPoint := 5
 	successNeeded := 3
 	if cfg.Quick {
@@ -79,6 +78,9 @@ func runRangeSweep(cfg Config, id string, model tag.Model, water bool) (*Table, 
 	if cfg.Quick {
 		antennaCounts = []int{1, 2, 4, 8}
 	}
+	// The inner trial loop already runs on the engine scheduler
+	// (MaxOperatingDistance bisects sequentially, parallelizing each
+	// probe's trials), so the sweep over antenna counts stays a plain loop.
 	var first, last float64
 	for _, n := range antennaCounts {
 		d, err := MaxOperatingDistance(mk, n, model, lo, hi, trialsPerPoint, successNeeded, cfg.Seed+uint64(n))
@@ -89,27 +91,27 @@ func runRangeSweep(cfg Config, id string, model tag.Model, water bool) (*Table, 
 			first = d
 		}
 		last = d
-		val := fmt.Sprintf("%.1f", d)
+		val := engine.Number("%.1f", d)
 		if water {
-			val = fmt.Sprintf("%.1f", d*100)
+			val = engine.Number("%.1f", d*100)
 		}
 		if d == 0 {
-			val = "no operation"
+			val = engine.Str("no operation")
 		}
-		t.AddRow(fmt.Sprintf("%d", n), val)
+		res.AddRow(engine.Int(n), val)
 	}
 	switch {
 	case water && first > 0:
-		t.AddNote("depth grows roughly logarithmically with N (exponential loss in water, paper §6.1.2)")
+		res.AddNote("depth grows roughly logarithmically with N (exponential loss in water, paper §6.1.2)")
 	case water:
-		t.AddNote("single antenna cannot operate at all in this setup (matches the paper's in-water result)")
+		res.AddNote("single antenna cannot operate at all in this setup (matches the paper's in-water result)")
 	case first > 0:
-		t.AddNote("range gain %d antennas vs 1: %.1fx (paper: ≈7.6x in air)", antennaCounts[len(antennaCounts)-1], last/first)
+		res.AddNote("range gain %d antennas vs 1: %.1fx (paper: ≈7.6x in air)", antennaCounts[len(antennaCounts)-1], last/first)
 	default:
-		t.AddNote("no operation even at the minimum distance")
+		res.AddNote("no operation even at the minimum distance")
 	}
 	_ = last
-	t.AddNote("success = tag powers up AND the out-of-band reader decodes its RN16 in >= %d/%d placements",
+	res.AddNote("success = tag powers up AND the out-of-band reader decodes its RN16 in >= %d/%d placements",
 		successNeeded, trialsPerPoint)
-	return t, nil
+	return res, nil
 }

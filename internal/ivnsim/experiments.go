@@ -3,6 +3,8 @@ package ivnsim
 import (
 	"fmt"
 	"sort"
+
+	"ivn/internal/engine"
 )
 
 // Config tunes an experiment run.
@@ -39,8 +41,9 @@ type Experiment struct {
 	// Paper summarizes the published result the output should be compared
 	// against.
 	Paper string
-	// Run executes the experiment.
-	Run func(Config) (*Table, error)
+	// Run executes the experiment through the trial engine and returns
+	// its typed result.
+	Run func(Config) (*engine.Result, error)
 }
 
 var registry = map[string]Experiment{}

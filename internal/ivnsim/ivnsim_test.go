@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ivn/internal/em"
+	"ivn/internal/engine"
 	"ivn/internal/rng"
 	"ivn/internal/scenario"
 	"ivn/internal/tag"
@@ -27,6 +28,16 @@ func TestTableRender(t *testing.T) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
 	}
+}
+
+func TestTableAddRowRejectsWideRows(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row wider than the header was silently accepted")
+		}
+	}()
+	tab.AddRow("1", "2", "3") // wider than the header: must panic, not truncate
 }
 
 func TestTableRenderCSV(t *testing.T) {
@@ -216,7 +227,7 @@ func TestQuickExperimentsAllRun(t *testing.T) {
 				t.Fatalf("table id %q != experiment id %q", tab.ID, e.ID)
 			}
 			var buf bytes.Buffer
-			if err := tab.Render(&buf); err != nil {
+			if err := engine.RenderText(tab, &buf); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -269,11 +280,17 @@ func TestInVivoShape(t *testing.T) {
 	}
 }
 
+// mustRun executes an experiment and returns the string-level view of its
+// typed result, which the shape tests assert on.
 func mustRun(t *testing.T, id string, cfg Config) (*Table, error) {
 	t.Helper()
 	e, err := ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(cfg)
+	res, err := e.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return TableOf(res), nil
 }

@@ -3,11 +3,10 @@ package ivnsim
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"ivn/internal/baseline"
 	"ivn/internal/core"
+	"ivn/internal/engine"
 	"ivn/internal/gen2"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
@@ -32,36 +31,6 @@ const (
 	// periods of the same deterministic envelope).
 	scanDuration = 1.0
 )
-
-// forEachIndexed runs fn(0..n-1) on a bounded worker pool (maxParallel
-// goroutines) and returns the error of the lowest-indexed failure, so the
-// outcome — including which error surfaces — is independent of
-// scheduling. Callers keep determinism by writing results into
-// per-index slots and reducing them in index order afterwards.
-func forEachIndexed(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
 // DownlinkCoeffs evaluates each downlink channel at freq.
 func DownlinkCoeffs(p *scenario.Placement, freq float64) []complex128 {
@@ -151,34 +120,15 @@ func measureGainsAt(p *scenario.Placement, n int, r *rng.Rand) (GainSample, erro
 	return out, nil
 }
 
-// RunGainTrials measures trials independent placements in parallel and
-// returns the samples in trial order (deterministic regardless of
-// scheduling).
+// RunGainTrials measures trials independent placements on the engine's
+// bounded scheduler and returns the samples in trial order (deterministic
+// regardless of scheduling).
 func RunGainTrials(sc scenario.Scenario, n, trials int, seed uint64) ([]GainSample, error) {
-	if trials < 1 {
-		return nil, fmt.Errorf("ivnsim: %d trials", trials)
-	}
-	parent := rng.New(seed)
-	samples := make([]GainSample, trials)
-	err := forEachIndexed(trials, func(i int) error {
-		r := parent.SplitIndexed("gain-trial", i)
-		var e error
-		samples[i], e = MeasureGains(sc, n, r)
-		return e
+	return engine.Trials(seed, "gain-trial", trials, func(_ int, r *rng.Rand) (GainSample, error) {
+		return MeasureGains(sc, n, r)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return samples, nil
 }
 
-func maxParallel() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		return 1
-	}
-	return n
-}
 
 // CommTrial is one end-to-end communication attempt: power-up via CIB,
 // then RN16 decode via the out-of-band reader.
@@ -300,7 +250,7 @@ func MaxOperatingDistance(mk func(d float64) scenario.Scenario, n int, model tag
 		// and the per-trial outcomes are identical at any GOMAXPROCS.
 		label := fmt.Sprintf("range-%.6g", d)
 		good := make([]bool, trialsPerPoint)
-		err := forEachIndexed(trialsPerPoint, func(i int) error {
+		err := engine.ForEach(trialsPerPoint, func(i int) error {
 			r := parent.SplitIndexed(label, i)
 			tr, err := RunCommTrial(mk(d), n, model, CommOptions{}, r)
 			if err != nil {

@@ -1,63 +1,13 @@
 package ivnsim
 
 import (
-	"errors"
 	"runtime"
 	"strings"
-	"sync/atomic"
 	"testing"
 )
 
-func TestForEachIndexedRunsAll(t *testing.T) {
-	var count int64
-	hit := make([]bool, 100)
-	err := forEachIndexed(100, func(i int) error {
-		atomic.AddInt64(&count, 1)
-		hit[i] = true
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if count != 100 {
-		t.Fatalf("ran %d of 100", count)
-	}
-	for i, h := range hit {
-		if !h {
-			t.Fatalf("index %d never ran", i)
-		}
-	}
-}
-
-func TestForEachIndexedFirstErrorByIndex(t *testing.T) {
-	// Multiple failures: the lowest-indexed error must surface, so error
-	// reporting is deterministic regardless of scheduling.
-	errLow := errors.New("low")
-	errHigh := errors.New("high")
-	for round := 0; round < 10; round++ {
-		err := forEachIndexed(50, func(i int) error {
-			switch i {
-			case 7:
-				return errLow
-			case 33:
-				return errHigh
-			}
-			return nil
-		})
-		if err != errLow {
-			t.Fatalf("round %d: got %v, want the index-7 error", round, err)
-		}
-	}
-}
-
-func TestForEachIndexedEmpty(t *testing.T) {
-	if err := forEachIndexed(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
-		t.Fatal(err)
-	}
-	if err := forEachIndexed(-3, func(int) error { t.Fatal("called"); return nil }); err != nil {
-		t.Fatal(err)
-	}
-}
+// The scheduler's own unit tests live with it in internal/engine; this
+// file keeps the end-to-end determinism check at the experiment level.
 
 // renderedTable flattens a table to one comparable string.
 func renderedTable(tab *Table) string {
@@ -72,7 +22,7 @@ func TestTablesIdenticalAcrossGOMAXPROCS(t *testing.T) {
 	// The determinism contract of the parallel trial loops: for a fixed
 	// seed, every experiment table is byte-identical whether trials run
 	// serially (GOMAXPROCS=1) or concurrently. Covers the experiments
-	// whose trial loops run through forEachIndexed.
+	// whose trial loops run through the engine scheduler.
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -104,17 +54,5 @@ func TestTablesIdenticalAcrossGOMAXPROCS(t *testing.T) {
 			t.Errorf("%s: table differs between GOMAXPROCS=1 and %d:\nserial:\n%s\nparallel:\n%s",
 				id, prev, serial[id], got)
 		}
-	}
-}
-
-func TestMaxParallelPositive(t *testing.T) {
-	if maxParallel() < 1 {
-		t.Fatalf("maxParallel() = %d", maxParallel())
-	}
-}
-
-func BenchmarkForEachIndexedOverhead(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = forEachIndexed(16, func(int) error { return nil })
 	}
 }

@@ -1,0 +1,79 @@
+package ivnsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ivn/internal/engine"
+)
+
+// Renderer equivalence suite: the committed goldens under testdata/golden
+// were captured from the pre-engine string pipeline (Seed 11, Quick).
+// Every experiment's typed result must render to those exact bytes — the
+// engine migration is only allowed to change how tables are built, never
+// a single output byte — and must survive a JSON round trip unchanged.
+
+// goldenConfig matches the configuration the goldens were captured with.
+func goldenConfig() Config { return Config{Seed: 11, Quick: true} }
+
+func TestRenderersMatchCommittedGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(goldenConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			for ext, render := range map[string]engine.Renderer{
+				"txt": engine.RenderText,
+				"csv": engine.RenderCSV,
+			} {
+				want, err := os.ReadFile(filepath.Join("testdata", "golden", e.ID+"."+ext))
+				if err != nil {
+					t.Fatalf("missing golden: %v", err)
+				}
+				var buf bytes.Buffer
+				if err := render(res, &buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Errorf("%s.%s differs from the committed golden:\ngot:\n%s\nwant:\n%s",
+						e.ID, ext, buf.String(), want)
+				}
+			}
+		})
+	}
+}
+
+func TestResultsRoundTripThroughJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(goldenConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			var buf bytes.Buffer
+			if err := engine.RenderJSON(res, &buf); err != nil {
+				t.Fatal(err)
+			}
+			var back engine.Result
+			if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+				t.Fatalf("%s: bad JSON: %v", e.ID, err)
+			}
+			if !reflect.DeepEqual(*res, back) {
+				t.Fatalf("%s changed across the JSON round trip", e.ID)
+			}
+		})
+	}
+}

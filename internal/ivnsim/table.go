@@ -1,18 +1,23 @@
-// Package ivnsim is IVN's experiment engine: it wires scenarios, the CIB
+// Package ivnsim is IVN's experiment layer: it wires scenarios, the CIB
 // beamformer, the baselines, the tag models and the out-of-band reader
-// into the measurements the paper reports, and renders each figure/table
-// as rows of text. Every experiment is registered under the paper's
-// figure/table id (see Registry) and is deterministic for a given seed.
+// into the measurements the paper reports, and expresses each figure or
+// table as a declarative spec over the trial engine (internal/engine).
+// Every experiment is registered under the paper's figure/table id (see
+// Registry), returns a typed engine.Result, and is deterministic for a
+// given seed.
 package ivnsim
 
 import (
 	"fmt"
 	"io"
-	"strings"
+
+	"ivn/internal/engine"
 )
 
-// Table is a rendered experiment result: the rows that correspond to a
-// figure's series or a table's lines.
+// Table is the legacy string-level view of a result: every cell already
+// formatted. Experiments no longer build Tables — they return typed
+// engine.Results — but the view remains for tests and consumers that
+// assert on rendered cells.
 type Table struct {
 	// ID is the experiment id (e.g. "fig9").
 	ID string
@@ -26,13 +31,31 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends a row; it pads or truncates to the header width.
+// TableOf flattens a typed result to its string-level view.
+func TableOf(r *engine.Result) *Table {
+	t := &Table{
+		ID:     r.ID,
+		Title:  r.Title,
+		Header: r.HeaderLabels(),
+		Notes:  append([]string(nil), r.Notes...),
+	}
+	for _, row := range r.TextRows() {
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// AddRow appends a row; it pads short rows to the header width. A row
+// wider than the header panics: silently truncating it once let a
+// renderer migration drop columns unnoticed.
 func (t *Table) AddRow(cells ...string) {
 	if len(t.Header) > 0 {
+		if len(cells) > len(t.Header) {
+			panic(fmt.Sprintf("ivnsim: %s: row has %d cells for %d header columns", t.ID, len(cells), len(t.Header)))
+		}
 		for len(cells) < len(t.Header) {
 			cells = append(cells, "")
 		}
-		cells = cells[:len(t.Header)]
 	}
 	t.Rows = append(t.Rows, cells)
 }
@@ -42,96 +65,29 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
+// result lifts the string table back into the engine's result model (all
+// cells as strings) so both render paths share one implementation.
+func (t *Table) result() *engine.Result {
+	r := &engine.Result{ID: t.ID, Title: t.Title, Notes: t.Notes}
+	for _, h := range t.Header {
+		r.Columns = append(r.Columns, engine.Col(h, ""))
+	}
+	for _, row := range t.Rows {
+		cells := make([]engine.Cell, len(row))
+		for i, c := range row {
+			cells[i] = engine.Str(c)
+		}
+		r.Rows = append(r.Rows, cells)
+	}
+	return r
+}
+
 // Render writes an aligned text table.
 func (t *Table) Render(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
-		return err
-	}
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	writeRow := func(cells []string) error {
-		var sb strings.Builder
-		for i, c := range cells {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			sb.WriteString(c)
-			if i < len(widths) {
-				for p := len(c); p < widths[i]; p++ {
-					sb.WriteByte(' ')
-				}
-			}
-		}
-		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
-		return err
-	}
-	if len(t.Header) > 0 {
-		if err := writeRow(t.Header); err != nil {
-			return err
-		}
-		var sb strings.Builder
-		for i, width := range widths {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			sb.WriteString(strings.Repeat("-", width))
-		}
-		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
-			return err
-		}
-	}
-	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
-			return err
-		}
-	}
-	for _, n := range t.Notes {
-		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
-			return err
-		}
-	}
-	return nil
+	return engine.RenderText(t.result(), w)
 }
 
 // RenderCSV writes the table as CSV (header + rows; notes as comments).
 func (t *Table) RenderCSV(w io.Writer) error {
-	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-		}
-		return s
-	}
-	writeRow := func(cells []string) error {
-		out := make([]string, len(cells))
-		for i, c := range cells {
-			out[i] = esc(c)
-		}
-		_, err := fmt.Fprintln(w, strings.Join(out, ","))
-		return err
-	}
-	if len(t.Header) > 0 {
-		if err := writeRow(t.Header); err != nil {
-			return err
-		}
-	}
-	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
-			return err
-		}
-	}
-	for _, n := range t.Notes {
-		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
-			return err
-		}
-	}
-	return nil
+	return engine.RenderCSV(t.result(), w)
 }

@@ -1,7 +1,10 @@
 // Fixture corpus for the goroutinehygiene analyzer.
 package goroutinehygiene
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // rogue launches a raw goroutine outside any sanctioned runner.
 func rogue() {
@@ -22,16 +25,69 @@ func addInsideGoroutine() {
 	wg.Wait()
 }
 
-// forEachIndexed is a sanctioned runner by name: its launches are clean,
-// and its Add-before-spawn is the required shape. No findings.
-func forEachIndexed(n int, fn func(int)) {
+// forEachIndexed is a sanctioned runner by name, in the engine scheduler's
+// shape: a bounded worker count claiming indices from an atomic counter.
+// Its launches are clean, and its Add-before-spawn is the required form.
+// No findings.
+func forEachIndexed(n, workers int, fn func(int)) {
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			fn(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// boundedPoolUnsanctioned is the identical worker-pool shape under an
+// unsanctioned name: a correct structure does not buy a raw launch.
+func boundedPoolUnsanctioned(n, workers int, fn func(int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() { // want `goroutine launched outside a sanctioned runner`
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// poolAddInsideWorker buries the WaitGroup.Add inside the worker body —
+// Wait can return before any worker registers. The launch is suppressed
+// so the Add check is exercised on the scheduler shape in isolation.
+func poolAddInsideWorker(n, workers int, fn func(int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		//ivn:allow goroutinehygiene fixture: isolating the Add-inside-worker check
+		go func() {
+			wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine`
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
 	}
 	wg.Wait()
 }
@@ -66,7 +122,7 @@ func injectorFanOutRaw(inj injector, out []string) {
 // injectorFanOutSanctioned routes the same fan-out through the bounded
 // runner: no findings.
 func injectorFanOutSanctioned(inj injector, out []string) {
-	forEachIndexed(len(out), func(w int) {
+	forEachIndexed(len(out), 2, func(w int) {
 		out[w] = inj.schedule(w)
 	})
 }

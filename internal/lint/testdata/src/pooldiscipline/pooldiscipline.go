@@ -140,6 +140,69 @@ func retryLeaksOnSuccess(attempts int) float64 {
 	return 0
 }
 
+// runner stands in for the engine scheduler: it invokes fn once per
+// index (sequentially here; concurrency is the runner's concern, not the
+// fixture's).
+func runner(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// measureClosureBalanced is the trial-engine measure shape: per-trial
+// scratch acquired and released inside the scheduler callback. The
+// literal is analyzed as its own unit. No findings.
+func measureClosureBalanced(n int) []float64 {
+	out := make([]float64, n)
+	runner(n, func(i int) {
+		buf := pool.Float64(16)
+		out[i] = consume(buf)
+		pool.PutFloat64(buf)
+	})
+	return out
+}
+
+// measureClosureLeaks skips the Put on the callback's early-out path —
+// one leaked buffer per scheduled trial.
+func measureClosureLeaks(n int, skip bool) []float64 {
+	out := make([]float64, n)
+	runner(n, func(i int) {
+		buf := pool.Float64(16)
+		if skip {
+			return // want `pooled buffer "buf" .* not released at this return`
+		}
+		out[i] = consume(buf)
+		pool.PutFloat64(buf)
+	})
+	return out
+}
+
+// measureClosureEscapes publishes pooled scratch through the result
+// slice the callback writes into — the pool can recycle the backing
+// array while the aggregation stage still reads it.
+func measureClosureEscapes(n int, ch chan []float64) {
+	runner(n, func(i int) {
+		buf := pool.Float64(16)
+		buf[0] = float64(i)
+		ch <- buf // want `pooled buffer "buf" escapes via channel send`
+	})
+}
+
+// measureClosureDeferred covers every callback path with one defer: no
+// findings.
+func measureClosureDeferred(n int, skip bool) []float64 {
+	out := make([]float64, n)
+	runner(n, func(i int) {
+		buf := pool.Float64(16)
+		defer pool.PutFloat64(buf)
+		if skip {
+			return
+		}
+		out[i] = consume(buf)
+	})
+	return out
+}
+
 // retryBalanced releases on both the success and the retry path: no
 // findings.
 func retryBalanced(attempts int) float64 {

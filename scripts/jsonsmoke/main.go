@@ -1,0 +1,83 @@
+// Command jsonsmoke validates the machine-readable output of
+// `ivnsim -json`. It reads one or more JSON documents from stdin (the
+// `-run all -json` stream is a sequence of engine.Result objects, one per
+// experiment) and fails loudly unless every document is a structurally
+// complete result: an ID, a title, at least one column, rows whose arity
+// matches the header, and at least one numeric cell carrying a value —
+// the whole point of the typed pipeline over formatted strings.
+//
+// Usage: ivnsim -run all -quick -json | go run ./scripts/jsonsmoke
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ivn/internal/engine"
+)
+
+func main() {
+	if err := run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader) error {
+	dec := json.NewDecoder(in)
+	seen := 0
+	for {
+		var res engine.Result
+		if err := dec.Decode(&res); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("document %d: %w", seen+1, err)
+		}
+		if err := check(&res); err != nil {
+			return fmt.Errorf("document %d (%s): %w", seen+1, res.ID, err)
+		}
+		seen++
+	}
+	if seen == 0 {
+		return fmt.Errorf("no JSON documents on stdin")
+	}
+	fmt.Printf("jsonsmoke: %d result(s) OK\n", seen)
+	return nil
+}
+
+func check(res *engine.Result) error {
+	if res.ID == "" || res.Title == "" {
+		return fmt.Errorf("missing id or title")
+	}
+	if len(res.Columns) == 0 {
+		return fmt.Errorf("no columns")
+	}
+	if len(res.Rows) == 0 {
+		return fmt.Errorf("no rows")
+	}
+	numeric := 0
+	for i, row := range res.Rows {
+		if len(row) != len(res.Columns) {
+			return fmt.Errorf("row %d has %d cells, header has %d", i, len(row), len(res.Columns))
+		}
+		for j, c := range row {
+			switch c.Kind {
+			case engine.KindNumber, engine.KindTuple, engine.KindList:
+				if c.Kind != engine.KindList && len(c.Values) == 0 {
+					return fmt.Errorf("row %d cell %d: %s cell without values", i, j, c.Kind)
+				}
+				numeric += len(c.Values)
+			case engine.KindString, engine.KindBool:
+				// Formatted-only kinds: nothing numeric to demand.
+			default:
+				return fmt.Errorf("row %d cell %d: unknown kind %q", i, j, c.Kind)
+			}
+		}
+	}
+	if numeric == 0 {
+		return fmt.Errorf("no numeric cell values anywhere in the table")
+	}
+	return nil
+}

@@ -11,6 +11,10 @@
 #                              shared scratch pools, under the race detector
 # 6. faultmatrix smoke       — the fault-injection experiment end to end:
 #                              injector, recovery stack, paired ablation
+# 7. json smoke              — `ivnsim -run all -json` piped through the
+#                              jsonsmoke parser: every experiment must emit
+#                              a structurally complete typed result with
+#                              numeric cell payloads
 #
 # Stages run fail-fast: the first failing stage stops the script with a
 # FAIL banner naming the stage, so CI logs point at the culprit directly.
@@ -40,10 +44,15 @@ stage "ivnlint" go run ./cmd/ivnlint ./...
 stage "go test" go test ./...
 
 stage "go test -race (parallel trial paths)" \
-  go test -race . ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ ./internal/dsp/ \
-  ./internal/fault/ ./internal/gen2/
+  go test -race . ./internal/engine/ ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ \
+  ./internal/dsp/ ./internal/fault/ ./internal/gen2/
 
 stage "faultmatrix smoke" \
   go run ./cmd/ivnsim -run faultmatrix -quick -seed 2
+
+json_smoke() {
+  go run ./cmd/ivnsim -run all -quick -seed 2 -json | go run ./scripts/jsonsmoke
+}
+stage "json smoke" json_smoke
 
 echo "verify: OK"
