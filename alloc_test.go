@@ -1,0 +1,63 @@
+package ivn
+
+import (
+	"testing"
+
+	"ivn/internal/session"
+)
+
+// TestInventoryExchangeAllocBudget pins the hot path's allocation count
+// with tracing disabled: the link/session decomposition must not cost the
+// facade anything. 135 is the pre-refactor BenchmarkInventoryExchange
+// figure; the scratch link on System keeps realization off the heap.
+func TestInventoryExchangeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; budget holds without -race")
+	}
+	sys, err := New(Config{Antennas: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := benchScenario()
+	model := benchTag()
+	// Warm up pools and lazy state outside the measured window.
+	if _, err := sys.Inventory(sc, model); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := sys.Inventory(sc, model); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 135 {
+		t.Fatalf("Inventory allocates %.0f times per exchange with a nil observer, budget 135", allocs)
+	}
+}
+
+// TestObserverCostIsOptIn checks the other side of the zero-cost
+// contract: attaching an observer records events without perturbing the
+// exchange outcome.
+func TestObserverCostIsOptIn(t *testing.T) {
+	run := func(obs session.Observer) *Session {
+		sys, err := New(Config{Antennas: 8, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Observer = obs
+		res, err := sys.Inventory(benchScenario(), benchTag())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rec := &session.Recorder{}
+	plain := run(nil)
+	traced := run(rec)
+	if plain.Powered != traced.Powered || plain.Decoded != traced.Decoded ||
+		string(plain.EPC) != string(traced.EPC) {
+		t.Fatalf("observer changed the exchange: %+v vs %+v", plain, traced)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("observer attached but no events recorded")
+	}
+}

@@ -6,6 +6,7 @@
 //	ivnsim -list
 //	ivnsim -run fig9 [-seed 1] [-trials 150] [-csv|-json]
 //	ivnsim -run all [-quick] [-parallel 4]
+//	ivnsim -run fig12 -trace events.jsonl
 //	ivnsim -run fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -22,6 +23,7 @@ import (
 
 	"ivn/internal/engine"
 	"ivn/internal/ivnsim"
+	"ivn/internal/session"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func run() int {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to FILE")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to FILE on exit")
 		faultScales = flag.String("faultscales", "", "comma-separated fault-intensity multiples for faultmatrix (e.g. 0,1,4)")
+		traceFile   = flag.String("trace", "", "write the session-layer event stream to FILE as JSON lines")
 	)
 	flag.Parse()
 
@@ -95,6 +98,14 @@ func run() int {
 		render = engine.RenderJSON
 	}
 
+	// One log across every experiment of the invocation: span keys carry
+	// the experiment id, and the JSONL form sorts spans, so -run all with
+	// -trace is as deterministic as a single experiment.
+	var tlog *session.TraceLog
+	if *traceFile != "" {
+		tlog = session.NewTraceLog()
+	}
+
 	switch {
 	case *list:
 		for _, e := range ivnsim.Registry() {
@@ -103,7 +114,7 @@ func run() int {
 		}
 	case *runID == "all":
 		for _, e := range ivnsim.Registry() {
-			if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales); err != nil {
+			if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales, tlog); err != nil {
 				fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
 				return 1
 			}
@@ -114,7 +125,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "ivnsim: %v\n", err)
 			return 2
 		}
-		if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales); err != nil {
+		if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales, tlog); err != nil {
 			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
 			return 1
 		}
@@ -122,7 +133,27 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+
+	if *traceFile != "" {
+		if err := writeTrace(tlog, *traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: trace: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeTrace serializes the collected event log as JSON lines.
+func writeTrace(tlog *session.TraceLog, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tlog.WriteJSONL(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseScales parses the -faultscales list: comma-separated non-negative
@@ -146,8 +177,8 @@ func parseScales(s string) ([]float64, error) {
 	return out, nil
 }
 
-func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, jsonOut bool, render engine.Renderer, outDir string, scales []float64) error {
-	cfg := ivnsim.Config{Seed: seed, Trials: trials, Quick: quick, FaultScales: scales}
+func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, jsonOut bool, render engine.Renderer, outDir string, scales []float64, tlog *session.TraceLog) error {
+	cfg := ivnsim.Config{Seed: seed, Trials: trials, Quick: quick, FaultScales: scales, Trace: tlog}
 	//ivn:allow determinism wall-clock only feeds the stderr elapsed-time diagnostic, never a table
 	start := time.Now()
 	res, err := e.Run(cfg)

@@ -48,7 +48,7 @@ func TestRunOneWritesOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = runOne(e, 1, 0, true, false, engine.RenderText, dir, nil)
+	err = runOne(e, 1, 0, true, false, engine.RenderText, dir, nil, nil)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -88,7 +88,7 @@ func TestRunOneCSVToStdout(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return runOne(e, 1, 0, true, false, engine.RenderCSV, "", nil)
+		return runOne(e, 1, 0, true, false, engine.RenderCSV, "", nil, nil)
 	})
 	if !strings.Contains(out, "distance (cm),air loss (dB)") {
 		t.Fatalf("CSV stdout missing header:\n%s", out)
@@ -101,7 +101,7 @@ func TestRunOneJSONToStdout(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return runOne(e, 1, 0, true, true, engine.RenderJSON, "", nil)
+		return runOne(e, 1, 0, true, true, engine.RenderJSON, "", nil, nil)
 	})
 	var res engine.Result
 	if err := json.Unmarshal([]byte(out), &res); err != nil {

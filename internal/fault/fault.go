@@ -17,7 +17,7 @@
 //
 // Consumers never import this package's types directly on their hot
 // paths: each seam is a one-method interface declared by the consuming
-// package (gen2.ChannelFault, reader.DecodeFault, radio.CarrierFault,
+// package (session.ChannelFault, reader.DecodeFault, radio.CarrierFault,
 // tag.PowerFault) with nil meaning fault-free, so the unfaulted path
 // costs a nil check and nothing else.
 package fault
@@ -28,15 +28,16 @@ import (
 	"ivn/internal/gen2"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
+	"ivn/internal/session"
 	"ivn/internal/tag"
 )
 
 // Compile-time checks that the injector satisfies every consuming seam.
 var (
-	_ gen2.ChannelFault  = (*Injector)(nil)
-	_ reader.DecodeFault = (*Injector)(nil)
-	_ radio.CarrierFault = carrierEpoch{}
-	_ tag.PowerFault     = tagDrift{}
+	_ session.ChannelFault = (*Injector)(nil)
+	_ reader.DecodeFault   = (*Injector)(nil)
+	_ radio.CarrierFault   = carrierEpoch{}
+	_ tag.PowerFault       = tagDrift{}
 )
 
 // Config sets the intensity of each fault process. All rates are
@@ -171,14 +172,14 @@ func (inj *Injector) draw(domain, a, b uint64) float64 {
 	return float64(h>>11) / (1 << 53)
 }
 
-// CommandTruncated implements gen2.ChannelFault: whether reader command
+// CommandTruncated implements session.ChannelFault: whether reader command
 // cmd is truncated in flight.
 func (inj *Injector) CommandTruncated(cmd int) bool {
 	p := inj.cfg.CommandTruncation
 	return p > 0 && inj.draw(domTruncate, uint64(cmd), 0) < p
 }
 
-// TagPowered implements gen2.ChannelFault: whether tag tagIndex has its
+// TagPowered implements session.ChannelFault: whether tag tagIndex has its
 // rail up when command cmd arrives. Brownouts last whole windows of
 // BrownoutWindow commands.
 func (inj *Injector) TagPowered(cmd, tagIndex int) bool {
@@ -194,7 +195,7 @@ func (inj *Injector) TagPowered(cmd, tagIndex int) bool {
 	return inj.draw(domBrownout, uint64(window), uint64(tagIndex)) >= p
 }
 
-// CorruptUplink implements gen2.ChannelFault: with probability
+// CorruptUplink implements session.ChannelFault: with probability
 // UplinkCorruption it returns a corrupted copy of a reply's payload bits
 // (1–3 bit flips; one capture in four also loses its tail) and true.
 // The input slice is never mutated.

@@ -11,6 +11,7 @@ import (
 	"ivn/internal/gen2"
 	"ivn/internal/radio"
 	"ivn/internal/rng"
+	"ivn/internal/session"
 )
 
 // renderSchedule serializes every fault decision over a coordinate grid —
@@ -240,10 +241,10 @@ func TestDefaultScalesShape(t *testing.T) {
 func TestInjectorWithGen2Controller(t *testing.T) {
 	run := func(recovery bool) (read, rounds int) {
 		tags := gen2PopulationForFaultTest(t, 6)
-		ic := gen2.NewInventoryController(gen2.S0)
+		ic := session.NewInventoryController(gen2.S0)
 		ic.Fault = NewInjector(DefaultConfig(), 23)
 		if recovery {
-			ic.Recovery = gen2.DefaultRecovery()
+			ic.Recovery = session.DefaultRecovery()
 		}
 		epcs, _ := ic.InventoryAll(tags, 8, rng.New(24))
 		return len(epcs), 8

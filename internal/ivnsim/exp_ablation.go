@@ -9,6 +9,7 @@ import (
 	"ivn/internal/em"
 	"ivn/internal/engine"
 	"ivn/internal/gen2"
+	"ivn/internal/link"
 	"ivn/internal/pool"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
@@ -127,23 +128,23 @@ func runAblationEqualPower(cfg Config) (*engine.Result, error) {
 			if err != nil {
 				return s, err
 			}
-			chans := DownlinkCoeffs(p, 915e6)
+			chans := link.DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = n
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
 				return s, err
 			}
-			pf, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+			pf, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, link.ScanDuration, link.ScanCoarse, link.ScanSamples)
 			if err != nil {
 				return s, err
 			}
-			pe, err := baseline.PeakReceivedPowerRefined(bf.EqualPowerCarriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+			pe, err := baseline.PeakReceivedPowerRefined(bf.EqualPowerCarriers(), chans, link.ScanDuration, link.ScanCoarse, link.ScanSamples)
 			if err != nil {
 				return s, err
 			}
-			single := baseline.SingleAntenna(915e6, chainAmplitude())
-			ps, err := baseline.PeakReceivedPower(single, chans[:1], scanDuration, 1)
+			single := baseline.SingleAntenna(915e6, link.ChainAmplitude())
+			ps, err := baseline.PeakReceivedPower(single, chans[:1], link.ScanDuration, 1)
 			if err != nil {
 				return s, err
 			}
@@ -355,14 +356,14 @@ func runAblationAveraging(cfg Config) (*engine.Result, error) {
 			if err != nil {
 				return false, err
 			}
-			chans := DownlinkCoeffs(p, 915e6)
+			chans := link.DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = 8
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
 				return false, err
 			}
-			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, link.ScanDuration, link.ScanCoarse, link.ScanSamples)
 			if err != nil {
 				return false, err
 			}
@@ -384,10 +385,10 @@ func runAblationAveraging(cfg Config) (*engine.Result, error) {
 				return false, err
 			}
 			tagG := model.AntennaAmplitudeGain()
-			link := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
-			leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
+			gain := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
+			leak := p.CIBLeakPerWatt * 8 * link.ChainAmplitude() * link.ChainAmplitude()
 			jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
-			if dr, err := rd.DecodeUplink(bs, link, jam, len(reply.Bits), r.Split(fmt.Sprintf("ul-%d", k))); err == nil && dr.Bits.Equal(reply.Bits) {
+			if dr, err := rd.DecodeUplink(bs, gain, jam, len(reply.Bits), r.Split(fmt.Sprintf("ul-%d", k))); err == nil && dr.Bits.Equal(reply.Bits) {
 				return true, nil
 			}
 			return false, nil
@@ -416,7 +417,7 @@ func runAblationOutOfBand(cfg Config) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	leak := p.CIBLeakPerWatt * 10 * chainAmplitude() * chainAmplitude()
+	leak := p.CIBLeakPerWatt * 10 * link.ChainAmplitude() * link.ChainAmplitude()
 	jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
 	model := tag.StandardTag()
 	tagG := model.AntennaAmplitudeGain()
@@ -436,10 +437,10 @@ func runAblationOutOfBand(cfg Config) (*engine.Result, error) {
 		{"out-of-band (880 MHz)", mk(880e6)},
 	} {
 		rd := row.reader
-		link := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
+		gain := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
 		sat := rd.RX.Saturated(jam)
 		eff := rd.RX.EffectiveInterference(jam)
-		dec := rd.DecodableRN16(link, modAmp, jam)
+		dec := rd.DecodableRN16(gain, modAmp, jam)
 		res.AddRow(
 			engine.Str(row.name),
 			engine.Bool(sat),

@@ -9,6 +9,7 @@ import (
 	"ivn/internal/em"
 	"ivn/internal/engine"
 	"ivn/internal/gen2"
+	"ivn/internal/link"
 	"ivn/internal/pool"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
@@ -196,7 +197,7 @@ func runAblationHopping(cfg Config) (*engine.Result, error) {
 		for i := range chans {
 			chans[i] = ch.Coefficient(center)
 		}
-		return baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+		return baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, link.ScanDuration, link.ScanCoarse, link.ScanSamples)
 	}
 
 	fixed, err := measure(915e6)
@@ -252,14 +253,14 @@ func runAblationPhaseNoise(cfg Config) (*engine.Result, error) {
 			if err != nil {
 				return false, err
 			}
-			chans := DownlinkCoeffs(p, 915e6)
+			chans := link.DownlinkCoeffs(p, 915e6)
 			bcfg := core.DefaultConfig()
 			bcfg.Antennas = 8
 			bf, err := core.New(bcfg, r.Split("cib"))
 			if err != nil {
 				return false, err
 			}
-			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+			peak, err := baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, link.ScanDuration, link.ScanCoarse, link.ScanSamples)
 			if err != nil {
 				return false, err
 			}
@@ -281,7 +282,7 @@ func runAblationPhaseNoise(cfg Config) (*engine.Result, error) {
 			}
 			tagG := model.AntennaAmplitudeGain()
 			lg := reader.RoundTripGain(rd.TxAmplitude, p.ReaderDown.Coefficient(rd.TxFreq), p.ReaderUp.Coefficient(rd.TxFreq)) * complex(tagG*tagG, 0)
-			leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
+			leak := p.CIBLeakPerWatt * 8 * link.ChainAmplitude() * link.ChainAmplitude()
 			jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
 			if dr, err := rd.DecodeUplink(bs, lg, jam, len(replyMsg.Bits), r.Split("ul")); err == nil && dr.Bits.Equal(replyMsg.Bits) {
 				return true, nil

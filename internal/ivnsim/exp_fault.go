@@ -8,9 +8,11 @@ import (
 	"ivn/internal/engine"
 	"ivn/internal/fault"
 	"ivn/internal/gen2"
+	"ivn/internal/link"
 	"ivn/internal/reader"
 	"ivn/internal/rng"
 	"ivn/internal/scenario"
+	"ivn/internal/session"
 	"ivn/internal/tag"
 )
 
@@ -89,7 +91,7 @@ type faultTrialResult struct {
 // power state: a tag whose rail is down (envelope peak faded this round)
 // is dark regardless of the injector's brownout draw.
 type roundChannel struct {
-	inj  gen2.ChannelFault
+	inj  session.ChannelFault
 	dark []bool
 }
 
@@ -110,14 +112,15 @@ func (rc *roundChannel) CorruptUplink(cmd int, bits gen2.Bits) (gen2.Bits, bool)
 // phases, and the same fault schedule.
 func runFaultTrial(scale float64, recovery bool, r *rng.Rand) (faultTrialResult, error) {
 	res := faultTrialResult{total: faultTags}
-	g := scenario.DefaultGeometry()
 	p, err := scenario.NewSwine(scenario.Subcutaneous).Realize(faultAntennas, r.Split("placement"))
 	if err != nil {
 		return res, err
 	}
-	chans := DownlinkCoeffs(p, g.CIBFreq)
+	g := p.Geometry()
+	chans := link.DownlinkCoeffs(p, g.CIBFreq)
 	ccfg := core.DefaultConfig()
 	ccfg.Antennas = faultAntennas
+	ccfg.CenterFreq = g.CIBFreq
 	bf, err := core.New(ccfg, r.Split("cib"))
 	if err != nil {
 		return res, err
@@ -138,11 +141,11 @@ func runFaultTrial(scale float64, recovery bool, r *rng.Rand) (faultTrialResult,
 		logics[i] = tg.Logic
 	}
 
-	ic := gen2.NewInventoryController(gen2.S0)
+	ic := session.NewInventoryController(gen2.S0)
 	rc := &roundChannel{inj: inj, dark: make([]bool, faultTags)}
 	ic.Fault = rc
 	if recovery {
-		ic.Recovery = gen2.DefaultRecovery()
+		ic.Recovery = session.DefaultRecovery()
 	}
 
 	seen := map[string]bool{}
@@ -151,7 +154,7 @@ func runFaultTrial(scale float64, recovery bool, r *rng.Rand) (faultTrialResult,
 		// Physics: this round's carrier set after antenna dropout / PLL
 		// re-lock faults, then the envelope peak each sensor harvests.
 		carriers := bf.Array.PerturbedCarriers(inj.CarrierFault(round))
-		peak, err := baseline.PeakReceivedPowerRefined(carriers, chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+		peak, err := baseline.PeakReceivedPowerRefined(carriers, chans, link.ScanDuration, link.ScanCoarse, link.ScanSamples)
 		if err != nil {
 			return res, err
 		}

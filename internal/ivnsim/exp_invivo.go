@@ -7,6 +7,7 @@ import (
 
 	"ivn/internal/engine"
 	"ivn/internal/gen2"
+	"ivn/internal/link"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
 	"ivn/internal/rng"
@@ -58,8 +59,14 @@ func runInVivo(cfg Config) (*engine.Result, error) {
 		Plan: func(c invivoCase) (uint64, string) {
 			return cfg.Seed, fmt.Sprintf("invivo-%d", c.index)
 		},
-		Measure: func(c invivoCase, _ int, r *rng.Rand) (CommTrial, error) {
-			return RunCommTrial(c.sc, 8, c.model, CommOptions{Waveform: true}, r)
+		Measure: func(c invivoCase, i int, r *rng.Rand) (CommTrial, error) {
+			opts := CommOptions{Waveform: true}
+			if cfg.Trace != nil {
+				tr, commit := cfg.Trace.Span(fmt.Sprintf("invivo-%d/%04d", c.index, i))
+				defer commit() // defers run at Measure return, after the trial
+				opts.Trace = tr
+			}
+			return RunCommTrial(c.sc, 8, c.model, opts, r)
 		},
 		Row: func(c invivoCase, sessions []CommTrial) ([]engine.Cell, error) {
 			powered, decoded := 0, 0
@@ -137,10 +144,10 @@ func runFig15(cfg Config, id string, sc *scenario.Swine, model tag.Model) (*engi
 		down := p.ReaderDown.Coefficient(rd.TxFreq)
 		up := p.ReaderUp.Coefficient(rd.TxFreq)
 		tagG := model.AntennaAmplitudeGain()
-		link := reader.RoundTripGain(rd.TxAmplitude, down, up) * complex(tagG*tagG, 0)
-		leak := p.CIBLeakPerWatt * 8 * chainAmplitude() * chainAmplitude()
+		gain := reader.RoundTripGain(rd.TxAmplitude, down, up) * complex(tagG*tagG, 0)
+		leak := p.CIBLeakPerWatt * 8 * link.ChainAmplitude() * link.ChainAmplitude()
 		jam := []radio.ToneAt{{Freq: 915e6, Power: leak}}
-		dr, err := rd.DecodeUplink(bs, link, jam, len(reply.Bits), r2.Split("uplink"))
+		dr, err := rd.DecodeUplink(bs, gain, jam, len(reply.Bits), r2.Split("uplink"))
 		if err != nil {
 			continue
 		}
@@ -154,7 +161,7 @@ func runFig15(cfg Config, id string, sc *scenario.Swine, model tag.Model) (*engi
 		for hb := 0; hb < halfBits; hb++ {
 			var mean float64
 			for k := 0; k < sp; k++ {
-				mean += bs[hb*sp+k]*absC(link) + sigma*dispR.NormFloat64()
+				mean += bs[hb*sp+k]*absC(gain) + sigma*dispR.NormFloat64()
 			}
 			mean /= float64(sp)
 			res.AddRow(engine.Int(hb), engine.Number("%.4f", mean*1e6))

@@ -6,6 +6,7 @@ import (
 	"ivn/internal/circuit"
 	"ivn/internal/em"
 	"ivn/internal/engine"
+	"ivn/internal/link"
 	"ivn/internal/tag"
 )
 
@@ -103,7 +104,7 @@ func runFig4(cfg Config) (*engine.Result, error) {
 		{"(b) shallow tissue", em.Path{AirDistance: 0.5, Layers: []em.Layer{{Medium: em.Muscle, Thickness: 0.05}}}},
 		{"(c) deep tissue", em.Path{AirDistance: 0.5, Layers: []em.Layer{{Medium: em.Muscle, Thickness: 0.13}}}},
 	}
-	txAmp := chainAmplitude() * 2.2387 // 7 dBi antenna amplitude gain
+	txAmp := link.ChainAmplitude() * 2.2387 // 7 dBi antenna amplitude gain
 	rect := model.Rectifier()
 	var angles []float64
 	for _, c := range cases {

@@ -218,7 +218,7 @@ func runFig12(cfg Config) (*engine.Result, error) {
 		engine.Col("power ratio", ""), engine.Col("CDF", ""))
 	trials := cfg.trials(400, 60)
 	sc := scenario.NewTank(0.5, em.Water, 0.10)
-	samples, err := RunGainTrials(sc, 10, trials, cfg.Seed)
+	samples, err := RunGainTrialsTraced(sc, 10, trials, cfg.Seed, cfg.Trace, "fig12")
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ivn/internal/engine"
+	"ivn/internal/session"
 )
 
 // Config tunes an experiment run.
@@ -19,6 +20,10 @@ type Config struct {
 	// FaultScales overrides the fault-matrix intensity sweep when
 	// non-empty (multiples of the default fault config; 0 = fault-free).
 	FaultScales []float64
+	// Trace, when non-nil, collects the typed event streams of every
+	// traced trial, one span per trial (e.g. "fig12/0007"). Nil is free;
+	// the serialized log is byte-identical at any GOMAXPROCS.
+	Trace *session.TraceLog
 }
 
 // trials resolves the effective trial count.

@@ -8,6 +8,7 @@ import (
 	"ivn/internal/core"
 	"ivn/internal/em"
 	"ivn/internal/gen2"
+	"ivn/internal/link"
 	"ivn/internal/radio"
 	"ivn/internal/rng"
 	"ivn/internal/scenario"
@@ -43,7 +44,7 @@ func TestWaveformLevelDownlink(t *testing.T) {
 	}
 
 	// Per-antenna channel coefficients at the CIB carrier.
-	chans := DownlinkCoeffs(p, bf.CenterFreq)
+	chans := link.DownlinkCoeffs(p, bf.CenterFreq)
 
 	// The beamformer knows its own beat schedule (that is the point of
 	// the §3.6 integer-offset design: the peak recurs every T seconds) and
@@ -179,7 +180,7 @@ func TestWaveformDownlinkAcrossPhaseDraws(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		chans := DownlinkCoeffs(p, bf.CenterFreq)
+		chans := link.DownlinkCoeffs(p, bf.CenterFreq)
 		carriers := carriersAtPeak(tx.Carriers, chans, bf.CenterFreq)
 		n := len(tx.Envelope) + 2000
 		carrierSum, err := radio.ReceivedBaseband(carriers, chans, bf.CenterFreq, tx.SampleRate, n)

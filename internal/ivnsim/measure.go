@@ -8,38 +8,13 @@ import (
 	"ivn/internal/core"
 	"ivn/internal/engine"
 	"ivn/internal/gen2"
-	"ivn/internal/radio"
+	"ivn/internal/link"
 	"ivn/internal/reader"
 	"ivn/internal/rng"
 	"ivn/internal/scenario"
+	"ivn/internal/session"
 	"ivn/internal/tag"
 )
-
-// Measurement parameters shared by the experiments.
-const (
-	// envelopeScanSamples resolves the 1 s CIB envelope period; beat
-	// features at ≤200 Hz offsets span milliseconds, so 8192 points
-	// over-resolve them comfortably.
-	envelopeScanSamples = 8192
-	// envelopeScanCoarse is the coarse stage of the coarse-to-fine peak
-	// scan: 2048 points over the 1 s period is still ≥10× the beat
-	// bandwidth of a flatness-constrained plan, so the fine-grid argmax
-	// always falls inside the refined neighborhoods and the result equals
-	// the full envelopeScanSamples scan.
-	envelopeScanCoarse = 2048
-	// scanDuration is one CIB period (the paper captures 2 s, i.e. two
-	// periods of the same deterministic envelope).
-	scanDuration = 1.0
-)
-
-// DownlinkCoeffs evaluates each downlink channel at freq.
-func DownlinkCoeffs(p *scenario.Placement, freq float64) []complex128 {
-	out := make([]complex128, len(p.Downlink))
-	for i, c := range p.Downlink {
-		out[i] = c.Coefficient(freq)
-	}
-	return out
-}
 
 // GainSample is one trial's peak received powers (isotropic watts at the
 // sensor position) under each transmission scheme.
@@ -55,13 +30,6 @@ type GainSample struct {
 	MRT float64
 }
 
-// chainAmplitude is each transmit chain's emitted amplitude: the default
-// PA driven to its 30 dBm (1 W) operating point.
-func chainAmplitude() float64 {
-	pa := radio.DefaultPA()
-	return pa.Amplify(pa.OperatingDrive())
-}
-
 // MeasureGains realizes one placement of sc with n antennas and measures
 // the four schemes against identical channels.
 func MeasureGains(sc scenario.Scenario, n int, r *rng.Rand) (GainSample, error) {
@@ -69,31 +37,37 @@ func MeasureGains(sc scenario.Scenario, n int, r *rng.Rand) (GainSample, error) 
 	if err != nil {
 		return GainSample{}, err
 	}
-	return measureGainsAt(p, n, r)
+	return measureGainsAt(p, n, nil, r)
 }
 
-func measureGainsAt(p *scenario.Placement, n int, r *rng.Rand) (GainSample, error) {
-	g := scenario.DefaultGeometry()
-	chans := DownlinkCoeffs(p, g.CIBFreq)
-	amp := chainAmplitude()
+func measureGainsAt(p *scenario.Placement, n int, tr *session.Trace, r *rng.Rand) (GainSample, error) {
+	g := p.Geometry()
+	chans := link.DownlinkCoeffs(p, g.CIBFreq)
+	amp := link.ChainAmplitude()
 
 	var out GainSample
 
 	// CIB: offset carriers with fresh random PLL phases.
 	cfg := core.DefaultConfig()
 	cfg.Antennas = n
+	cfg.CenterFreq = g.CIBFreq
 	bf, err := core.New(cfg, r.Split("cib"))
 	if err != nil {
 		return out, err
 	}
-	out.CIB, err = baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
+	out.CIB, err = link.PeakDownlink(bf, chans)
 	if err != nil {
 		return out, err
+	}
+	if tr != nil {
+		// Gain trials realize the CIB downlink without a full Link (no
+		// reader leg); report it with the same event the link layer emits.
+		tr.Emit(session.Event{Kind: session.EvLinkRealized, Value: 10*math.Log10(out.CIB) + 30})
 	}
 
 	// Single antenna: chain 0 alone.
 	single := baseline.SingleAntenna(g.CIBFreq, amp)
-	out.Single, err = baseline.PeakReceivedPower(single, chans[:1], scanDuration, 1)
+	out.Single, err = baseline.PeakReceivedPower(single, chans[:1], link.ScanDuration, 1)
 	if err != nil {
 		return out, err
 	}
@@ -103,7 +77,7 @@ func measureGainsAt(p *scenario.Placement, n int, r *rng.Rand) (GainSample, erro
 	if err != nil {
 		return out, err
 	}
-	out.Blind, err = baseline.PeakReceivedPower(blind, chans, scanDuration, 1)
+	out.Blind, err = baseline.PeakReceivedPower(blind, chans, link.ScanDuration, 1)
 	if err != nil {
 		return out, err
 	}
@@ -113,7 +87,7 @@ func measureGainsAt(p *scenario.Placement, n int, r *rng.Rand) (GainSample, erro
 	if err != nil {
 		return out, err
 	}
-	out.MRT, err = baseline.PeakReceivedPower(mrt, chans, scanDuration, 1)
+	out.MRT, err = baseline.PeakReceivedPower(mrt, chans, link.ScanDuration, 1)
 	if err != nil {
 		return out, err
 	}
@@ -124,11 +98,27 @@ func measureGainsAt(p *scenario.Placement, n int, r *rng.Rand) (GainSample, erro
 // bounded scheduler and returns the samples in trial order (deterministic
 // regardless of scheduling).
 func RunGainTrials(sc scenario.Scenario, n, trials int, seed uint64) ([]GainSample, error) {
-	return engine.Trials(seed, "gain-trial", trials, func(_ int, r *rng.Rand) (GainSample, error) {
-		return MeasureGains(sc, n, r)
-	})
+	return RunGainTrialsTraced(sc, n, trials, seed, nil, "")
 }
 
+// RunGainTrialsTraced is RunGainTrials with per-trial trace spans: trial i
+// records under "<prefix>/NNNN". A nil log (the untraced form) draws the
+// same streams and returns identical samples.
+func RunGainTrialsTraced(sc scenario.Scenario, n, trials int, seed uint64, tlog *session.TraceLog, prefix string) ([]GainSample, error) {
+	return engine.Trials(seed, "gain-trial", trials, func(i int, r *rng.Rand) (GainSample, error) {
+		var tr *session.Trace
+		if tlog != nil {
+			var commit func()
+			tr, commit = tlog.Span(fmt.Sprintf("%s/%04d", prefix, i))
+			defer commit()
+		}
+		p, err := sc.Realize(n, r)
+		if err != nil {
+			return GainSample{}, err
+		}
+		return measureGainsAt(p, n, tr, r)
+	})
+}
 
 // CommTrial is one end-to-end communication attempt: power-up via CIB,
 // then RN16 decode via the out-of-band reader.
@@ -149,7 +139,21 @@ type CommOptions struct {
 	// Waveform switches from the fast link-budget uplink check to full
 	// waveform synthesis and FM0 correlation decoding.
 	Waveform bool
+	// Trace, when non-nil, observes the trial as a typed event stream on
+	// the simulated air clock. Nil is free.
+	Trace *session.Trace
+	// DecodeFault corrupts waveform captures (reader seam of the fault
+	// layer); with Retries it exercises the bounded capture-retry path.
+	// Leave both zero for the historical single-capture decode (the
+	// retry path draws its noise from a different deterministic stream).
+	DecodeFault reader.DecodeFault
+	// Retries is the extra capture budget when DecodeFault fires.
+	Retries int
 }
+
+// faultAware reports whether the trial must route decodes through the
+// capture-retry path.
+func (o CommOptions) faultAware() bool { return o.DecodeFault != nil || o.Retries > 0 }
 
 // RunCommTrial realizes a placement and attempts a full power-up +
 // inventory exchange with the given tag model.
@@ -162,28 +166,21 @@ func RunCommTrial(sc scenario.Scenario, n int, model tag.Model, opts CommOptions
 }
 
 func runCommAt(p *scenario.Placement, n int, model tag.Model, opts CommOptions, r *rng.Rand) (CommTrial, error) {
-	g := scenario.DefaultGeometry()
 	var res CommTrial
 
-	// Downlink power delivery.
-	chans := DownlinkCoeffs(p, g.CIBFreq)
-	cfg := core.DefaultConfig()
-	cfg.Antennas = n
-	bf, err := core.New(cfg, r.Split("cib"))
+	// Downlink power delivery at the placement's own geometry.
+	lk, err := link.ForTrial(p, n, opts.Trace, r)
 	if err != nil {
 		return res, err
 	}
-	res.PeakPower, err = baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
-	if err != nil {
-		return res, err
-	}
+	res.PeakPower = lk.PeakPower()
 
 	tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
 	if err != nil {
 		return res, err
 	}
-	tg.UpdatePower(res.PeakPower)
-	res.Powered = tg.Powered()
+	x := session.Exchange{Link: lk, Trace: opts.Trace}
+	res.Powered = x.PowerUp(tg, res.PeakPower)
 	if !res.Powered {
 		return res, nil
 	}
@@ -191,42 +188,34 @@ func runCommAt(p *scenario.Placement, n int, model tag.Model, opts CommOptions, 
 	// Inventory: the synchronized Query arrives intact by construction
 	// (the flatness constraint is enforced at TransmitCommand); drive the
 	// state machine to an RN16 reply.
-	query := &gen2.Query{Q: 0, Session: gen2.S0}
-	if _, err := bf.TransmitCommand(query, true); err != nil {
+	reply, err := x.Query(tg, &gen2.Query{Q: 0, Session: gen2.S0})
+	if err != nil {
 		return res, fmt.Errorf("ivnsim: downlink: %w", err)
 	}
-	reply := tg.HandleCommand(query)
 	if reply.Kind != gen2.ReplyRN16 {
 		return res, nil
 	}
 
 	// Uplink through the out-of-band reader; subject motion dephases the
 	// averaged periods.
-	rd := reader.New()
-	rd.PhaseDriftPerPeriod = p.UplinkPhaseDriftPerPeriod
-	down := p.ReaderDown.Coefficient(rd.TxFreq)
-	up := p.ReaderUp.Coefficient(rd.TxFreq)
-	// The tag's antenna gain applies twice: receiving the reader carrier
-	// and re-radiating the modulated reflection.
-	tagG := model.AntennaAmplitudeGain()
-	link := reader.RoundTripGain(rd.TxAmplitude, down, up) * complex(tagG*tagG, 0)
-	leak := p.CIBLeakPerWatt * float64(n) * chainAmplitude() * chainAmplitude()
-	jam := []radio.ToneAt{{Freq: g.CIBFreq, Power: leak}}
-
 	if opts.Waveform {
-		bs, err := tg.BackscatterWaveform(reply, rd.SamplesPerHalfBit)
+		var dec session.Decode
+		var ok bool
+		if opts.faultAware() {
+			dec, ok, err = lk.DecodeWithRetry(tg, reply, 0, opts.Retries, opts.DecodeFault, "uplink", r)
+		} else {
+			dec, ok, err = lk.Decode(tg, reply, "uplink", r)
+		}
 		if err != nil {
 			return res, err
 		}
-		dr, err := rd.DecodeUplink(bs, link, jam, len(reply.Bits), r.Split("uplink"))
-		if err == nil && dr.Bits.Equal(reply.Bits) {
+		if ok {
 			res.Decoded = true
-			res.Correlation = dr.Correlation
+			res.Correlation = dec.Correlation
 		}
 		return res, nil
 	}
-	modAmp := reader.ModulationAmplitude(model.BackscatterGain, model.BackscatterDepth)
-	res.Decoded = rd.DecodableRN16(link, modAmp, jam)
+	res.Decoded = lk.DecodableRN16(model)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"testing"
 )
@@ -232,5 +233,53 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestBuildConstraintFiltering pins the loader's //go:build handling: a
+// file gated on a non-default tag (race) must be excluded even when its
+// declarations would collide with the default-tag twin — the exact shape
+// of the repo's race_test.go / norace_test.go pair.
+func TestBuildConstraintFiltering(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/tags\n")
+	write("a.go", "package tags\n\nconst mode = \"default\"\n")
+	write("a_race.go", "//go:build race\n\npackage tags\n\nconst mode = \"race\"\n")
+	write("a_other.go", "//go:build someothertag\n\npackage tags\n\nconst other = 1\n")
+
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDir(dir, "example.com/tags")
+	if err != nil {
+		t.Fatalf("tagged twin not excluded: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("want 1 package with 1 file, got %d packages (%d files)", len(pkgs), len(pkgs[0].Files))
+	}
+}
+
+// TestDefaultBuildTag covers the tag universe the loader evaluates
+// //go:build lines against.
+func TestDefaultBuildTag(t *testing.T) {
+	for _, tag := range []string{runtime.GOOS, runtime.GOARCH, runtime.Compiler, "go1", "go1.22"} {
+		if !defaultBuildTag(tag) {
+			t.Errorf("default tag %q not satisfied", tag)
+		}
+	}
+	for _, tag := range []string{"race", "integration", "windows_amd64_cgo"} {
+		if tag == runtime.GOOS || tag == runtime.GOARCH {
+			continue
+		}
+		if defaultBuildTag(tag) {
+			t.Errorf("non-default tag %q satisfied", tag)
+		}
 	}
 }

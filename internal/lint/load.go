@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -38,8 +40,10 @@ type Package struct {
 // Loader parses and type-checks packages of the enclosing module without
 // any external tooling: module-local import paths resolve to directories
 // under the module root, and standard-library paths type-check from
-// $GOROOT source via go/importer's source importer. Build tags are not
-// interpreted (the simulator has none).
+// $GOROOT source via go/importer's source importer. //go:build lines are
+// evaluated against the default tag set (GOOS, GOARCH, compiler), so
+// files gated on non-default tags like `race` are excluded exactly as
+// `go build` would exclude them.
 type Loader struct {
 	// Fset is shared by every package the loader touches.
 	Fset *token.FileSet
@@ -125,6 +129,9 @@ func (l *Loader) importLocal(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildConstraintSatisfied(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
@@ -146,6 +153,44 @@ func (l *Loader) dirFor(path string) string {
 
 func (l *Loader) parseFile(path string) (*ast.File, error) {
 	return parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+}
+
+// buildConstraintSatisfied reports whether the file's //go:build line (if
+// any) holds under the default tag set. Only comment groups before the
+// package clause can carry constraints; the first //go:build line wins,
+// matching cmd/go. An unparsable expression counts as satisfied so the
+// type-checker surfaces the real problem.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+	}
+	return true
+}
+
+// defaultBuildTag is the tag universe of an ordinary `go build`: the
+// host platform, the gc compiler, and every release tag up to the
+// toolchain's version. Anything else — race, integration, custom tags —
+// is off by default.
+func defaultBuildTag(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == runtime.Compiler {
+		return true
+	}
+	if tag == "unix" && (runtime.GOOS == "linux" || runtime.GOOS == "darwin") {
+		return true
+	}
+	return strings.HasPrefix(tag, "go1")
 }
 
 // goFilesIn lists the .go files directly inside dir, sorted.
@@ -183,6 +228,9 @@ func (l *Loader) LoadDir(dir, importPath string) ([]*Package, error) {
 		f, err := l.parseFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, err
+		}
+		if !buildConstraintSatisfied(f) {
+			continue
 		}
 		if strings.HasSuffix(name, "_test.go") {
 			isTest[f] = true

@@ -1,0 +1,41 @@
+// Observer-shaped fixtures: trace events must be stamped from the
+// simulated air clock, never the wall clock — a time.Now timestamp makes
+// every trace file differ between identical runs.
+package determinism
+
+import "time"
+
+// traceEvent mirrors the shape of a session-layer trace event.
+type traceEvent struct {
+	T    float64
+	Kind string
+}
+
+// simClock mirrors the session trace clock: advanced by frame durations.
+type simClock struct{ now float64 }
+
+func (c *simClock) advance(dt float64) { c.now += dt }
+
+// stampFromWallClock is the forbidden pattern: an event timestamped from
+// the host's clock.
+func stampFromWallClock() traceEvent {
+	return traceEvent{
+		T:    float64(time.Now().UnixNano()) / 1e9, // want "time.Now is nondeterministic"
+		Kind: "command-sent",
+	}
+}
+
+// stampFromSimClock is the sanctioned pattern: the clock derives from
+// simulated durations, so identical seeds give identical streams.
+func stampFromSimClock(c *simClock, frameDuration float64) traceEvent {
+	c.advance(frameDuration)
+	return traceEvent{T: c.now, Kind: "command-sent"}
+}
+
+// observerLatency shows the escape hatch for wall-clock use that feeds
+// diagnostics only, never an event stream.
+func observerLatency() time.Duration {
+	//ivn:allow determinism fixture: wall-clock feeds a profiling counter, never an event timestamp
+	start := time.Now()
+	return time.Since(start)
+}

@@ -33,6 +33,22 @@ type Placement struct {
 	// the reader link accumulates per 1 s averaging period from subject
 	// motion (breathing); zero for static benches.
 	UplinkPhaseDriftPerPeriod float64
+	// Geom is the geometry that realized this placement, so downstream
+	// consumers evaluate their chains at the scenario's actual carriers
+	// instead of assuming the defaults. Read it through Geometry(), which
+	// falls back to DefaultGeometry for hand-built placements.
+	Geom Geometry
+}
+
+// Geometry returns the geometry that realized p. A zero Geom (a
+// placement built by hand rather than by Scenario.Realize) falls back to
+// DefaultGeometry, which matches the historical assumption call sites
+// hard-coded.
+func (p *Placement) Geometry() Geometry {
+	if p.Geom.CIBFreq == 0 {
+		return DefaultGeometry()
+	}
+	return p.Geom
 }
 
 // Scenario generates placements.
@@ -104,7 +120,7 @@ func (g Geometry) realize(base em.Path, nAntennas int, r *rng.Rand) (*Placement,
 		return c
 	}
 
-	p := &Placement{Orientation: orientation}
+	p := &Placement{Orientation: orientation, Geom: g}
 	for i := 0; i < nAntennas; i++ {
 		jitter := r.UniformRange(-g.AntennaSpread, g.AntennaSpread)
 		path := base.WithAirDistance(maxf(0.05, base.AirDistance+jitter))

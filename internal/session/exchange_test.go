@@ -1,0 +1,351 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ivn/internal/gen2"
+	"ivn/internal/rng"
+	"ivn/internal/tag"
+)
+
+// scriptedLink is a physics-free session.Link: commands always arrive,
+// and decode outcomes are scripted per label. The zero value decodes
+// every capture perfectly (it hands back the reply's own bits).
+type scriptedLink struct {
+	// sent records command type names in transmit order.
+	sent []string
+	// noisy labels fail their decode (ok=false, no error).
+	noisy map[string]bool
+	// broken labels fail hard (waveform error).
+	broken map[string]bool
+	// transmitErr, when set, fails every Transmit.
+	transmitErr error
+}
+
+func (l *scriptedLink) Transmit(cmd gen2.Command, preamble bool) error {
+	if l.transmitErr != nil {
+		return l.transmitErr
+	}
+	l.sent = append(l.sent, cmd.Type().String())
+	return nil
+}
+
+func (l *scriptedLink) TransmitSelect(sel *gen2.Select, q *gen2.Query) error {
+	if l.transmitErr != nil {
+		return l.transmitErr
+	}
+	l.sent = append(l.sent, "Select+Query")
+	return nil
+}
+
+func (l *scriptedLink) Decode(tg *tag.Tag, reply gen2.Reply, label string, r *rng.Rand) (Decode, bool, error) {
+	if l.broken[label] {
+		return Decode{}, false, fmt.Errorf("scripted waveform failure (%s)", label)
+	}
+	if l.noisy[label] {
+		return Decode{}, false, nil
+	}
+	return Decode{Bits: reply.Bits, Correlation: 1}, true, nil
+}
+
+// poweredTag builds a tag with its rail up, so protocol behavior — not
+// harvesting physics — decides every outcome.
+func poweredTag(t *testing.T, epc []byte, seed uint64) *tag.Tag {
+	t.Helper()
+	tg, err := tag.New(tag.StandardTag(), epc, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg.UpdatePower(tg.Model.MinPeakPower() * 4)
+	return tg
+}
+
+func TestExchangeFlows(t *testing.T) {
+	epc := []byte{0xE2, 0x00, 0xAB, 0xCD}
+	query := func() *gen2.Query { return &gen2.Query{Q: 0, Session: gen2.S0} }
+	cases := []struct {
+		name string
+		link scriptedLink
+		run  func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand)
+	}{
+		{
+			name: "query-ack happy path reads the EPC",
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				sg, err := x.Singulate(tg, query(), "rn16", r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sg.Replied || !sg.Decoded {
+					t.Fatalf("singulation %+v, want replied+decoded", sg)
+				}
+				got, ok, err := x.AckEPC(tg, sg.RN16, "epc", r)
+				if err != nil || !ok {
+					t.Fatalf("AckEPC ok=%v err=%v", ok, err)
+				}
+				if string(got) != string(epc) {
+					t.Fatalf("EPC %x, want %x", got, epc)
+				}
+				want := []string{"Query", "ACK"}
+				if fmt.Sprint(lk.sent) != fmt.Sprint(want) {
+					t.Fatalf("commands %v, want %v", lk.sent, want)
+				}
+			},
+		},
+		{
+			name: "noisy rn16 is replied but not decoded",
+			link: scriptedLink{noisy: map[string]bool{"rn16": true}},
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				sg, err := x.Singulate(tg, query(), "rn16", r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sg.Replied || sg.Decoded {
+					t.Fatalf("singulation %+v, want replied, undecoded", sg)
+				}
+			},
+		},
+		{
+			name: "unpowered tag leaves the slot empty",
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				dark, err := tag.New(tag.StandardTag(), epc, rng.New(99))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sg, err := x.Singulate(dark, query(), "rn16", r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sg.Replied {
+					t.Fatalf("unpowered tag replied: %+v", sg)
+				}
+			},
+		},
+		{
+			name: "ACK with a mismatched RN16 returns the tag to arbitration",
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				sg, err := x.Singulate(tg, query(), "rn16", r)
+				if err != nil || !sg.Decoded {
+					t.Fatalf("singulate: %+v, %v", sg, err)
+				}
+				_, ok, err := x.AckEPC(tg, sg.RN16^0xFFFF, "epc", r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Fatal("mismatched ACK read an EPC")
+				}
+			},
+		},
+		{
+			name: "noisy epc capture is a soft failure",
+			link: scriptedLink{noisy: map[string]bool{"epc": true}},
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				sg, err := x.Singulate(tg, query(), "rn16", r)
+				if err != nil || !sg.Decoded {
+					t.Fatalf("singulate: %+v, %v", sg, err)
+				}
+				_, ok, err := x.AckEPC(tg, sg.RN16, "epc", r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					t.Fatal("noisy EPC capture decoded")
+				}
+			},
+		},
+		{
+			name: "broken waveform is a hard error",
+			link: scriptedLink{broken: map[string]bool{"rn16": true}},
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				if _, err := x.Singulate(tg, query(), "rn16", r); err == nil {
+					t.Fatal("broken waveform did not error")
+				}
+			},
+		},
+		{
+			name: "transmit failure propagates",
+			link: scriptedLink{transmitErr: errors.New("scripted downlink outage")},
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				if _, err := x.Singulate(tg, query(), "rn16", r); err == nil {
+					t.Fatal("transmit failure did not error")
+				}
+			},
+		},
+		{
+			name: "reqrn-access flow reads tag memory through the handle",
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				sg, err := x.Singulate(tg, query(), "rn16", r)
+				if err != nil || !sg.Decoded {
+					t.Fatalf("singulate: %+v, %v", sg, err)
+				}
+				if _, ok, err := x.AckEPC(tg, sg.RN16, "epc", r); err != nil || !ok {
+					t.Fatalf("AckEPC ok=%v err=%v", ok, err)
+				}
+				handle, ok, err := x.ReqRNHandle(tg, sg.RN16, "handle", r)
+				if err != nil || !ok {
+					t.Fatalf("ReqRNHandle ok=%v err=%v", ok, err)
+				}
+				bits, ok, err := x.Access(tg,
+					[]gen2.Command{&gen2.Read{Bank: gen2.BankEPC, WordPtr: 0, WordCount: 1, Handle: handle}},
+					gen2.ReplyRead, r)
+				if err != nil || !ok {
+					t.Fatalf("Access ok=%v err=%v", ok, err)
+				}
+				if len(bits) == 0 {
+					t.Fatal("Access returned no bits")
+				}
+				want := []string{"Query", "ACK", "ReqRN", "Read"}
+				if fmt.Sprint(lk.sent) != fmt.Sprint(want) {
+					t.Fatalf("commands %v, want %v", lk.sent, want)
+				}
+			},
+		},
+		{
+			name: "select+query singulates only the matching tag",
+			run: func(t *testing.T, x *Exchange, lk *scriptedLink, tg *tag.Tag, r *rng.Rand) {
+				other := poweredTag(t, []byte{0xE2, 0x00, 0x11, 0x22}, 7)
+				sel := &gen2.Select{Target: 4, MemBank: 1, Mask: gen2.BitsFromBytes(epc)}
+				q := &gen2.Query{Q: 0, Sel: 3, Session: gen2.S0}
+				replies, responders, err := x.Select([]*tag.Tag{tg, other}, sel, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(replies) != 1 || len(responders) != 1 || responders[0] != tg {
+					t.Fatalf("select matched %d tags", len(replies))
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lk := tc.link
+			x := &Exchange{Link: &lk}
+			tg := poweredTag(t, epc, 5)
+			tc.run(t, x, &lk, tg, rng.New(6))
+		})
+	}
+}
+
+// TestExchangeGoldenTrace pins the exact event sequence of one scripted
+// single-tag exchange: power-up, slot resolution, EPC read.
+func TestExchangeGoldenTrace(t *testing.T) {
+	epc := []byte{0xE2, 0x00, 0xAB, 0xCD}
+	rec := &Recorder{}
+	lk := &scriptedLink{}
+	x := &Exchange{Link: lk, Trace: NewTrace(rec)}
+	tg := poweredTag(t, epc, 5)
+	r := rng.New(6)
+
+	if !x.PowerUp(tg, tg.Model.MinPeakPower()*4) {
+		t.Fatal("tag did not power up")
+	}
+	sg, err := x.Singulate(tg, &gen2.Query{Q: 0, Session: gen2.S0}, "rn16", r)
+	if err != nil || !sg.Decoded {
+		t.Fatalf("singulate: %+v, %v", sg, err)
+	}
+	if _, ok, err := x.AckEPC(tg, sg.RN16, "epc", r); err != nil || !ok {
+		t.Fatalf("AckEPC ok=%v err=%v", ok, err)
+	}
+
+	want := []Event{
+		{Kind: EvPowerUp, OK: true},
+		{Kind: EvSlotResolved, Outcome: "single"},
+		{Kind: EvEPCRead, EPC: "e200abcd"},
+	}
+	if len(rec.Events) != len(want) {
+		t.Fatalf("got %d events %+v, want %d", len(rec.Events), rec.Events, len(want))
+	}
+	for i, w := range want {
+		g := rec.Events[i]
+		if g.Kind != w.Kind || g.Outcome != w.Outcome || g.OK != w.OK || g.EPC != w.EPC {
+			t.Fatalf("event %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// eventSig compresses an event to its non-timing coordinates for sequence
+// comparison.
+func eventSig(e Event) string {
+	return fmt.Sprintf("%s|%s|%s|%v|%d|%s", e.Kind, e.Cmd, e.Outcome, e.OK, e.Attempt, e.EPC)
+}
+
+// TestInventoryGoldenTrace pins the exact event stream of one seeded
+// single-tag inventory round through the controller: the Query opens the
+// only slot, the ACK reads the EPC, and the straggler sweep drains.
+func TestInventoryGoldenTrace(t *testing.T) {
+	tags := makePopulation(t, 1, 1)
+	rec := &Recorder{}
+	ic := NewInventoryController(gen2.S0)
+	ic.InitialQ = 0
+	ic.Trace = NewTrace(rec)
+	if _, err := ic.RunRound(tags, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		"command-sent|Query||false|0|",
+		"slot-resolved||single|false|0|",
+		"command-sent|ACK||false|0|",
+		"epc-read|||false|0|" + fmt.Sprintf("%x", tags[0].EPC()),
+		"command-sent|Query||false|0|",
+		"slot-resolved||empty|false|0|",
+		"command-sent|QueryRep||false|0|",
+		"slot-resolved||empty|false|0|",
+	}
+	var got []string
+	for _, e := range rec.Events {
+		got = append(got, eventSig(e))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("event stream:\n got %v\nwant %v", got, want)
+	}
+	// Timestamps derive from PIE frame durations: strictly positive and
+	// monotone non-decreasing.
+	last := 0.0
+	for i, e := range rec.Events {
+		if e.T < last {
+			t.Fatalf("event %d clock moved backwards: %v -> %v", i, last, e.T)
+		}
+		last = e.T
+	}
+	if !(last > 0) {
+		t.Fatalf("final sim time %v, want > 0", last)
+	}
+}
+
+// TestAdaptiveTraceDeterministic runs a multi-tag inventory under the
+// floating-Q recovery policy twice with the same seed and requires the
+// identical event stream both times, including at least one QueryAdjust.
+func TestAdaptiveTraceDeterministic(t *testing.T) {
+	run := func() []string {
+		tags := makePopulation(t, 12, 21)
+		rec := &Recorder{}
+		ic := NewInventoryController(gen2.S0)
+		ic.InitialQ = 2
+		ic.Recovery = DefaultRecovery()
+		ic.Trace = NewTrace(rec)
+		if _, err := ic.RunRound(tags, rng.New(3)); err != nil {
+			t.Fatal(err)
+		}
+		var sigs []string
+		for _, e := range rec.Events {
+			sigs = append(sigs, fmt.Sprintf("%s@%.9f", eventSig(e), e.T))
+		}
+		return sigs
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("adaptive inventory trace differs between identical runs")
+	}
+	adjusts := 0
+	for _, s := range a {
+		if len(s) >= 24 && s[:24] == "command-sent|QueryAdjust" {
+			adjusts++
+		}
+	}
+	if adjusts == 0 {
+		t.Fatalf("no QueryAdjust in %d events — floating-Q never moved", len(a))
+	}
+}

@@ -1,10 +1,11 @@
-package gen2
+package session
 
 import (
 	"errors"
 	"fmt"
 	"math"
 
+	"ivn/internal/gen2"
 	"ivn/internal/rng"
 )
 
@@ -26,7 +27,7 @@ type ChannelFault interface {
 	// CorruptUplink optionally corrupts a singulated reply's payload
 	// bits, returning the corrupted copy and true. The input slice must
 	// not be mutated.
-	CorruptUplink(cmd int, bits Bits) (Bits, bool)
+	CorruptUplink(cmd int, bits gen2.Bits) (gen2.Bits, bool)
 }
 
 // ErrInventoryIncomplete is returned (wrapped) by InventoryAll when the
@@ -34,7 +35,7 @@ type ChannelFault interface {
 // accompanies the error, so callers can both use what was read and detect
 // that the population was not drained — silent partial success hid
 // persistent-collision livelocks before this sentinel existed.
-var ErrInventoryIncomplete = errors.New("gen2: inventory incomplete")
+var ErrInventoryIncomplete = errors.New("session: inventory incomplete")
 
 // RecoveryPolicy enables the reader-side recovery stack: the Gen2 Annex-D
 // style floating-Q adaptation (QueryAdjust mid-sweep), a bounded re-ACK
@@ -90,10 +91,11 @@ func (p *RecoveryPolicy) qStep() float64 {
 // commands, browned-out tags, corrupted uplinks); with a non-nil Recovery
 // it fights back (floating-Q adaptation, re-ACK, re-query backoff). Both
 // nil reproduces the historical clean-channel controller command for
-// command.
+// command. A non-nil Trace receives the typed event stream of every
+// round, timestamped by the commands' PIE frame durations.
 type InventoryController struct {
 	// Session is the inventory session to run rounds in.
-	Session Session
+	Session gen2.Session
 	// InitialQ seeds the slot-count exponent (0-15).
 	InitialQ byte
 	// MaxCommands bounds a round (guards against livelock).
@@ -102,16 +104,20 @@ type InventoryController struct {
 	Fault ChannelFault
 	// Recovery enables the recovery stack; nil = no recovery.
 	Recovery *RecoveryPolicy
+	// Trace observes the rounds; nil is free.
+	Trace *Trace
 
 	// cmdClock numbers every command this controller has ever issued, so
 	// a ChannelFault sees globally unique decision coordinates across the
 	// rounds of an InventoryAll (fresh controllers start at zero; reuse a
 	// controller only within one deterministic run).
 	cmdClock int
+	// pie times traced commands; defaulted lazily, never used untraced.
+	pie gen2.PIEParams
 }
 
 // NewInventoryController returns a controller with spec-typical defaults.
-func NewInventoryController(session Session) *InventoryController {
+func NewInventoryController(session gen2.Session) *InventoryController {
 	return &InventoryController{
 		Session:     session,
 		InitialQ:    4,
@@ -187,15 +193,16 @@ func (s RoundStats) Efficiency() float64 {
 // on every broadcast: command truncation, per-tag power, uplink
 // corruption.
 type medium struct {
-	tags  []*TagLogic
+	tags  []*gen2.TagLogic
 	fault ChannelFault
 	clock *int
 	lit   []bool // last observed power state per tag (fault != nil only)
 	stats *RoundStats
+	trace *Trace
 }
 
 // broadcast sends a command to every powered tag and classifies replies.
-func (m *medium) broadcast(c Command) (SlotOutcome, Reply, *TagLogic) {
+func (m *medium) broadcast(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
 	if m.fault == nil {
 		return m.broadcastClean(c)
 	}
@@ -203,58 +210,67 @@ func (m *medium) broadcast(c Command) (SlotOutcome, Reply, *TagLogic) {
 	*m.clock++
 	if m.fault.CommandTruncated(cmd) {
 		m.stats.Truncated++
-		return SlotEmpty, Reply{Kind: ReplyNone}, nil
+		if m.trace != nil {
+			m.trace.Emit(Event{Kind: EvFaultFired, Outcome: "truncated", Cmd: c.Type().String()})
+		}
+		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, nil
 	}
-	var got []Reply
-	var responders []*TagLogic
+	var got []gen2.Reply
+	var responders []*gen2.TagLogic
 	for i, t := range m.tags {
 		if !m.fault.TagPowered(cmd, i) {
 			if m.lit[i] {
 				t.PowerReset()
 				m.stats.Brownouts++
+				if m.trace != nil {
+					m.trace.Emit(Event{Kind: EvFaultFired, Outcome: "brownout", EPC: fmt.Sprintf("%x", t.EPC())})
+				}
 			}
 			m.lit[i] = false
 			continue
 		}
 		m.lit[i] = true
-		if r := t.HandleCommand(c); r.Kind != ReplyNone {
+		if r := t.HandleCommand(c); r.Kind != gen2.ReplyNone {
 			got = append(got, r)
 			responders = append(responders, t)
 		}
 	}
 	switch len(got) {
 	case 0:
-		return SlotEmpty, Reply{Kind: ReplyNone}, nil
+		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, nil
 	case 1:
 		reply := got[0]
 		if bits, corrupted := m.fault.CorruptUplink(cmd, reply.Bits); corrupted {
 			m.stats.Corrupted++
 			reply.Bits = bits
+			if m.trace != nil {
+				m.trace.Emit(Event{Kind: EvFaultFired, Outcome: "corrupted"})
+			}
 		}
 		return SlotSingle, reply, responders[0]
 	default:
-		return SlotCollision, Reply{Kind: ReplyNone}, nil
+		return SlotCollision, gen2.Reply{Kind: gen2.ReplyNone}, nil
 	}
 }
 
 // broadcastClean is the historical fault-free path, kept separate so the
 // clean channel pays a single nil check and no per-tag bookkeeping.
-func (m *medium) broadcastClean(c Command) (SlotOutcome, Reply, *TagLogic) {
-	var got []Reply
-	var responders []*TagLogic
+func (m *medium) broadcastClean(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
+	var got []gen2.Reply
+	var responders []*gen2.TagLogic
 	for _, t := range m.tags {
-		if r := t.HandleCommand(c); r.Kind != ReplyNone {
+		if r := t.HandleCommand(c); r.Kind != gen2.ReplyNone {
 			got = append(got, r)
 			responders = append(responders, t)
 		}
 	}
 	switch len(got) {
 	case 0:
-		return SlotEmpty, Reply{Kind: ReplyNone}, nil
+		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, nil
 	case 1:
 		return SlotSingle, got[0], responders[0]
 	default:
-		return SlotCollision, Reply{Kind: ReplyNone}, nil
+		return SlotCollision, gen2.Reply{Kind: gen2.ReplyNone}, nil
 	}
 }
 
@@ -265,20 +281,20 @@ func (m *medium) broadcastClean(c Command) (SlotOutcome, Reply, *TagLogic) {
 // With Recovery set, the Annex-D floating-Q algorithm additionally adjusts
 // Q mid-sweep via QueryAdjust. The round ends when a sweep drains (no
 // replies) or MaxCommands is hit.
-func (ic *InventoryController) RunRound(tags []*TagLogic, r *rng.Rand) (*RoundStats, error) {
+func (ic *InventoryController) RunRound(tags []*gen2.TagLogic, r *rng.Rand) (*RoundStats, error) {
 	return ic.runRound(tags, ic.InitialQ&0xF, r)
 }
 
-func (ic *InventoryController) runRound(tags []*TagLogic, q byte, r *rng.Rand) (*RoundStats, error) {
+func (ic *InventoryController) runRound(tags []*gen2.TagLogic, q byte, r *rng.Rand) (*RoundStats, error) {
 	if len(tags) == 0 {
-		return nil, fmt.Errorf("gen2: no tags to inventory")
+		return nil, fmt.Errorf("session: no tags to inventory")
 	}
 	maxCmds := ic.MaxCommands
 	if maxCmds <= 0 {
 		maxCmds = 4096
 	}
 	stats := &RoundStats{}
-	m := &medium{tags: tags, fault: ic.Fault, clock: &ic.cmdClock, stats: stats}
+	m := &medium{tags: tags, fault: ic.Fault, clock: &ic.cmdClock, stats: stats, trace: ic.Trace}
 	if ic.Fault != nil {
 		m.lit = make([]bool, len(tags))
 		for i := range m.lit {
@@ -292,12 +308,34 @@ func (ic *InventoryController) runRound(tags []*TagLogic, q byte, r *rng.Rand) (
 	return ic.runFixed(m, stats, q, maxCmds)
 }
 
-// issueFunc issues one command, charging the round's command budget.
-func (ic *InventoryController) issuer(m *medium, stats *RoundStats) func(Command) (SlotOutcome, Reply, *TagLogic) {
-	return func(c Command) (SlotOutcome, Reply, *TagLogic) {
+// issuer issues one command, charging the round's command budget and
+// advancing the trace clock past the command's on-air time.
+func (ic *InventoryController) issuer(m *medium, stats *RoundStats) func(gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
+	return func(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
 		stats.Commands++
+		if ic.Trace != nil {
+			ic.traceCommand(c)
+		}
 		return m.broadcast(c)
 	}
+}
+
+// traceCommand advances the sim clock by the command's PIE frame
+// duration and emits the command-sent event. Only reached when tracing.
+func (ic *InventoryController) traceCommand(c gen2.Command) {
+	if ic.pie.SampleRate == 0 {
+		// Frame durations depend only on the symbol timing, not the
+		// envelope sample rate; any positive rate validates.
+		ic.pie = gen2.DefaultPIE(1)
+	}
+	bits := c.AppendBits(nil)
+	ic.Trace.Advance(ic.pie.FrameDuration(bits, c.Type() == gen2.CmdQuery))
+	ic.Trace.Emit(Event{Kind: EvCommandSent, Cmd: c.Type().String()})
+}
+
+// traceSlot emits the slot-resolution event. Only reached when tracing.
+func (ic *InventoryController) traceSlot(outcome SlotOutcome) {
+	ic.Trace.Emit(Event{Kind: EvSlotResolved, Outcome: outcome.String()})
 }
 
 // runFixed is the historical sweep structure: fixed Q per sweep, Schoute
@@ -307,11 +345,14 @@ func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, ma
 	issue := ic.issuer(m, stats)
 	for stats.Commands < maxCmds {
 		// One sweep: Query opens slot 0; QueryReps advance.
-		outcome, reply, _ := issue(&Query{Session: ic.Session, Q: q})
+		outcome, reply, _ := issue(&gen2.Query{Session: ic.Session, Q: q})
 		sweepSingles, sweepCollisions := 0, 0
 		slots := 1 << uint(q)
 		for slot := 0; slot < slots && stats.Commands < maxCmds; slot++ {
 			stats.Slots++
+			if ic.Trace != nil {
+				ic.traceSlot(outcome)
+			}
 			switch outcome {
 			case SlotSingle:
 				stats.Singles++
@@ -326,7 +367,7 @@ func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, ma
 				stats.Empties++
 			}
 			if slot < slots-1 {
-				outcome, reply, _ = issue(&QueryRep{Session: ic.Session})
+				outcome, reply, _ = issue(&gen2.QueryRep{Session: ic.Session})
 			}
 		}
 		if sweepSingles == 0 && sweepCollisions == 0 {
@@ -361,12 +402,15 @@ func (ic *InventoryController) runAdaptive(m *medium, stats *RoundStats, q byte,
 	c := ic.Recovery.qStep()
 	qfp := float64(q)
 	for stats.Commands < maxCmds {
-		outcome, reply, _ := issue(&Query{Session: ic.Session, Q: q})
+		outcome, reply, _ := issue(&gen2.Query{Session: ic.Session, Q: q})
 		sweepSingles, sweepCollisions := 0, 0
 		slots := 1 << uint(q)
 		slot := 0
 		for slot < slots && stats.Commands < maxCmds {
 			stats.Slots++
+			if ic.Trace != nil {
+				ic.traceSlot(outcome)
+			}
 			switch outcome {
 			case SlotSingle:
 				stats.Singles++
@@ -391,17 +435,17 @@ func (ic *InventoryController) runAdaptive(m *medium, stats *RoundStats, q byte,
 				// tag into the new slot space (C < 1, so the rounded value
 				// moves by at most one — exactly the ±1 a QueryAdjust
 				// applies tag-side).
-				upDn := QUp
+				upDn := gen2.QUp
 				if nq < q {
-					upDn = QDown
+					upDn = gen2.QDown
 				}
 				q = nq
 				slots = 1 << uint(q)
 				slot = 0
-				outcome, reply, _ = issue(&QueryAdjust{Session: ic.Session, UpDn: upDn})
+				outcome, reply, _ = issue(&gen2.QueryAdjust{Session: ic.Session, UpDn: upDn})
 				continue
 			}
-			outcome, reply, _ = issue(&QueryRep{Session: ic.Session})
+			outcome, reply, _ = issue(&gen2.QueryRep{Session: ic.Session})
 		}
 		if sweepSingles == 0 && sweepCollisions == 0 {
 			break // drained
@@ -416,11 +460,11 @@ func (ic *InventoryController) runAdaptive(m *medium, stats *RoundStats, q byte,
 // recovery policy's bounded re-ACK on decode failure. On the clean
 // channel an undecodable RN16 is a protocol invariant violation and
 // surfaces as an error; under fault injection it is a lost slot.
-func (ic *InventoryController) singulate(stats *RoundStats, issue func(Command) (SlotOutcome, Reply, *TagLogic), reply Reply) error {
-	var rn RN16Reply
+func (ic *InventoryController) singulate(stats *RoundStats, issue func(gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic), reply gen2.Reply) error {
+	var rn gen2.RN16Reply
 	if err := rn.DecodeFromBits(reply.Bits); err != nil {
 		if ic.Fault == nil {
-			return fmt.Errorf("gen2: bad RN16 reply: %w", err)
+			return fmt.Errorf("session: bad RN16 reply: %w", err)
 		}
 		// Corruption shortened the reply: the reader cannot form an ACK,
 		// so the slot is lost. (A bit-flipped but length-preserving RN16
@@ -428,13 +472,19 @@ func (ic *InventoryController) singulate(stats *RoundStats, issue func(Command) 
 		// tag back to arbitration, which is the same loss one exchange
 		// later.)
 		stats.LostSlots++
+		if ic.Trace != nil {
+			ic.Trace.Emit(Event{Kind: EvEPCStranded, Outcome: "bad-rn16"})
+		}
 		return nil
 	}
-	ackOutcome, epcReply, _ := issue(&ACK{RN16: rn.RN16})
-	if ackOutcome == SlotSingle && epcReply.Kind == ReplyEPC {
-		var er EPCReply
+	ackOutcome, epcReply, _ := issue(&gen2.ACK{RN16: rn.RN16})
+	if ackOutcome == SlotSingle && epcReply.Kind == gen2.ReplyEPC {
+		var er gen2.EPCReply
 		if err := er.DecodeFromBits(epcReply.Bits); err == nil {
 			stats.EPCs = append(stats.EPCs, er.EPC)
+			if ic.Trace != nil {
+				ic.Trace.Emit(Event{Kind: EvEPCRead, EPC: fmt.Sprintf("%x", er.EPC)})
+			}
 			return nil
 		}
 	}
@@ -446,19 +496,28 @@ func (ic *InventoryController) singulate(stats *RoundStats, issue func(Command) 
 	if rec := ic.Recovery; rec != nil {
 		for attempt := 0; attempt < rec.MaxACKRetries; attempt++ {
 			stats.ACKRetries++
-			outcome, rep, _ := issue(&ACK{RN16: rn.RN16})
-			if outcome != SlotSingle || rep.Kind != ReplyEPC {
+			if ic.Trace != nil {
+				ic.Trace.Emit(Event{Kind: EvRetryTaken, Cmd: "ACK", Attempt: attempt + 1})
+			}
+			outcome, rep, _ := issue(&gen2.ACK{RN16: rn.RN16})
+			if outcome != SlotSingle || rep.Kind != gen2.ReplyEPC {
 				continue
 			}
-			var er EPCReply
+			var er gen2.EPCReply
 			if err := er.DecodeFromBits(rep.Bits); err == nil {
 				stats.EPCs = append(stats.EPCs, er.EPC)
 				stats.Recovered++
+				if ic.Trace != nil {
+					ic.Trace.Emit(Event{Kind: EvEPCRecovered, EPC: fmt.Sprintf("%x", er.EPC), Attempt: attempt + 1})
+				}
 				return nil
 			}
 		}
 	}
 	stats.LostSlots++
+	if ic.Trace != nil {
+		ic.Trace.Emit(Event{Kind: EvEPCStranded, Outcome: "epc-lost"})
+	}
 	return nil
 }
 
@@ -471,9 +530,9 @@ func (ic *InventoryController) singulate(stats *RoundStats, issue func(Command) 
 // doubled slot count (Q+1), de-correlating persistent collisions; after
 // MaxRequeries consecutive fruitless rounds the controller gives up early
 // rather than spending the remaining budget on a livelocked population.
-func (ic *InventoryController) InventoryAll(tags []*TagLogic, maxRounds int, r *rng.Rand) ([][]byte, error) {
+func (ic *InventoryController) InventoryAll(tags []*gen2.TagLogic, maxRounds int, r *rng.Rand) ([][]byte, error) {
 	if maxRounds < 1 {
-		return nil, fmt.Errorf("gen2: maxRounds %d < 1", maxRounds)
+		return nil, fmt.Errorf("session: maxRounds %d < 1", maxRounds)
 	}
 	seen := map[string]bool{}
 	var out [][]byte
@@ -502,6 +561,9 @@ func (ic *InventoryController) InventoryAll(tags []*TagLogic, maxRounds int, r *
 				if q < 15 {
 					q++ // backoff: double the slot space for the re-query
 				}
+				if ic.Trace != nil {
+					ic.Trace.Emit(Event{Kind: EvRetryTaken, Cmd: "Query", Attempt: noProgress})
+				}
 			} else {
 				noProgress = 0
 				q = baseQ
@@ -509,7 +571,7 @@ func (ic *InventoryController) InventoryAll(tags []*TagLogic, maxRounds int, r *
 		}
 	}
 	if len(seen) < len(tags) {
-		return out, fmt.Errorf("gen2: read %d of %d tags: %w", len(seen), len(tags), ErrInventoryIncomplete)
+		return out, fmt.Errorf("session: read %d of %d tags: %w", len(seen), len(tags), ErrInventoryIncomplete)
 	}
 	return out, nil
 }

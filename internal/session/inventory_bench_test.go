@@ -1,9 +1,10 @@
-package gen2
+package session
 
 import (
 	"fmt"
 	"testing"
 
+	"ivn/internal/gen2"
 	"ivn/internal/rng"
 )
 
@@ -12,9 +13,9 @@ import (
 // against the nil fast path.
 type cleanChannel struct{}
 
-func (cleanChannel) CommandTruncated(int) bool                { return false }
-func (cleanChannel) TagPowered(int, int) bool                 { return true }
-func (cleanChannel) CorruptUplink(_ int, b Bits) (Bits, bool) { return b, false }
+func (cleanChannel) CommandTruncated(int) bool                          { return false }
+func (cleanChannel) TagPowered(int, int) bool                           { return true }
+func (cleanChannel) CorruptUplink(_ int, b gen2.Bits) (gen2.Bits, bool) { return b, false }
 
 // BenchmarkInventoryRound pins the per-round cost of the inventory hot
 // path. The clean variant is the seed's legacy path (Fault == nil) and
@@ -22,15 +23,15 @@ func (cleanChannel) CorruptUplink(_ int, b Bits) (Bits, bool) { return b, false 
 // injection seam and the recovery stack.
 func BenchmarkInventoryRound(b *testing.B) {
 	bench := func(b *testing.B, fault ChannelFault, rec *RecoveryPolicy) {
-		tags := make([]*TagLogic, 6)
+		tags := make([]*gen2.TagLogic, 6)
 		for i := range tags {
-			tg, err := NewTagLogic([]byte{0xBE, byte(i), 0x0C, 0x04}, rng.New(uint64(900+i)))
+			tg, err := gen2.NewTagLogic([]byte{0xBE, byte(i), 0x0C, 0x04}, rng.New(uint64(900+i)))
 			if err != nil {
 				b.Fatal(err)
 			}
 			tags[i] = tg
 		}
-		ic := NewInventoryController(S0)
+		ic := NewInventoryController(gen2.S0)
 		ic.Fault = fault
 		ic.Recovery = rec
 		r := rng.New(5)

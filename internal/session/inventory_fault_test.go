@@ -1,4 +1,4 @@
-package gen2
+package session
 
 import (
 	"errors"
@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"ivn/internal/gen2"
 	"ivn/internal/rng"
 )
 
@@ -15,12 +16,12 @@ import (
 // any of them. This is the pathological input the InventoryAll exhaustion
 // bugfix guards: before the sentinel, a livelocked population returned a
 // silently empty (i.e. "successful") inventory.
-func adversarialPopulation(t *testing.T, n int) []*TagLogic {
+func adversarialPopulation(t *testing.T, n int) []*gen2.TagLogic {
 	t.Helper()
-	tags := make([]*TagLogic, n)
+	tags := make([]*gen2.TagLogic, n)
 	for i := range tags {
 		epc := []byte{0xAD, byte(i >> 8), byte(i), 0x02}
-		tag, err := NewTagLogic(epc, rng.New(777)) // identical streams
+		tag, err := gen2.NewTagLogic(epc, rng.New(777)) // identical streams
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +34,7 @@ func adversarialPopulation(t *testing.T, n int) []*TagLogic {
 type stubFault struct {
 	truncate func(cmd int) bool
 	powered  func(cmd, tagIndex int) bool
-	corrupt  func(cmd int, bits Bits) (Bits, bool)
+	corrupt  func(cmd int, bits gen2.Bits) (gen2.Bits, bool)
 }
 
 func (s *stubFault) CommandTruncated(cmd int) bool {
@@ -50,7 +51,7 @@ func (s *stubFault) TagPowered(cmd, tagIndex int) bool {
 	return s.powered(cmd, tagIndex)
 }
 
-func (s *stubFault) CorruptUplink(cmd int, bits Bits) (Bits, bool) {
+func (s *stubFault) CorruptUplink(cmd int, bits gen2.Bits) (gen2.Bits, bool) {
 	if s.corrupt == nil {
 		return bits, false
 	}
@@ -63,7 +64,7 @@ func (s *stubFault) CorruptUplink(cmd int, bits Bits) (Bits, bool) {
 // silently short list, and not a spin past the round budget.
 func TestInventoryAllExhaustionSentinel(t *testing.T) {
 	tags := adversarialPopulation(t, 4)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 2
 	epcs, err := ic.InventoryAll(tags, 5, rng.New(1))
 	if err == nil {
@@ -99,7 +100,7 @@ func TestInventoryAllExhaustionSentinel(t *testing.T) {
 // too — and the re-query budget must cut the work short rather than spin.
 func TestInventoryAllExhaustionWithRecovery(t *testing.T) {
 	tags := adversarialPopulation(t, 4)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 2
 	ic.Recovery = DefaultRecovery()
 	epcs, err := ic.InventoryAll(tags, 100, rng.New(1))
@@ -122,7 +123,7 @@ func TestInventoryAllExhaustionWithRecovery(t *testing.T) {
 // InventoryAll level, not within the round.
 func TestCommandTruncationIsObservedAsSilence(t *testing.T) {
 	tags := makePopulation(t, 5, 31)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.Fault = &stubFault{truncate: func(cmd int) bool { return cmd == 0 }}
 	stats, err := ic.RunRound(tags, rng.New(32))
 	if err != nil {
@@ -135,7 +136,7 @@ func TestCommandTruncationIsObservedAsSilence(t *testing.T) {
 		t.Fatalf("truncated Query still read %d tags", len(stats.EPCs))
 	}
 	for _, tg := range tags {
-		if tg.State() != StateReady {
+		if tg.State() != gen2.StateReady {
 			t.Fatalf("tag left in %v", tg.State())
 		}
 	}
@@ -155,7 +156,7 @@ func TestCommandTruncationIsObservedAsSilence(t *testing.T) {
 // flag, and the transition is counted.
 func TestBrownoutResetsTagState(t *testing.T) {
 	tags := makePopulation(t, 3, 41)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	dark := false
 	ic.Fault = &stubFault{powered: func(cmd, tagIndex int) bool {
 		return !(dark && tagIndex == 0)
@@ -168,7 +169,7 @@ func TestBrownoutResetsTagState(t *testing.T) {
 	if len(stats.EPCs) != 3 {
 		t.Fatalf("clean round read %d/3", len(stats.EPCs))
 	}
-	if !tags[0].Inventoried(S0) {
+	if !tags[0].Inventoried(gen2.S0) {
 		t.Fatal("tag 0 not inventoried after clean round")
 	}
 	// Round 2: tag 0 browns out. Its first dark observation must reset its
@@ -181,10 +182,10 @@ func TestBrownoutResetsTagState(t *testing.T) {
 	if stats.Brownouts != 1 {
 		t.Fatalf("Brownouts = %d, want 1", stats.Brownouts)
 	}
-	if tags[0].Inventoried(S0) {
+	if tags[0].Inventoried(gen2.S0) {
 		t.Fatal("brownout did not reset the S0 inventoried flag")
 	}
-	if tags[0].State() != StateReady {
+	if tags[0].State() != gen2.StateReady {
 		t.Fatalf("browned-out tag in %v, want Ready", tags[0].State())
 	}
 }
@@ -193,12 +194,12 @@ func TestBrownoutResetsTagState(t *testing.T) {
 // EPC reply is longer than an RN16's 16 bits), breaking its CRC.
 func corruptEPCOnce() *stubFault {
 	done := false
-	return &stubFault{corrupt: func(cmd int, bits Bits) (Bits, bool) {
+	return &stubFault{corrupt: func(cmd int, bits gen2.Bits) (gen2.Bits, bool) {
 		if done || len(bits) <= 16 {
 			return bits, false
 		}
 		done = true
-		out := append(Bits(nil), bits...)
+		out := append(gen2.Bits(nil), bits...)
 		out[0] ^= 1
 		return out, true
 	}}
@@ -211,7 +212,7 @@ func corruptEPCOnce() *stubFault {
 // answers again within the round budget.
 func TestEPCCorruptionLosesTagWithoutRecovery(t *testing.T) {
 	tags := makePopulation(t, 1, 51)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 0
 	ic.Fault = corruptEPCOnce()
 	stats, err := ic.RunRound(tags, rng.New(52))
@@ -228,7 +229,7 @@ func TestEPCCorruptionLosesTagWithoutRecovery(t *testing.T) {
 		t.Fatalf("corrupted EPC still read: %x", stats.EPCs)
 	}
 	// The tag is stranded: it considers itself inventoried.
-	if !tags[0].Inventoried(S0) {
+	if !tags[0].Inventoried(gen2.S0) {
 		t.Fatal("tag did not flip its flag — stranding mechanism changed?")
 	}
 }
@@ -238,7 +239,7 @@ func TestEPCCorruptionLosesTagWithoutRecovery(t *testing.T) {
 // handshake RN16, and the tag (in Acknowledged) re-backscatters its EPC.
 func TestEPCCorruptionRecoveredByReACK(t *testing.T) {
 	tags := makePopulation(t, 1, 51)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 0
 	ic.Fault = corruptEPCOnce()
 	ic.Recovery = DefaultRecovery()
@@ -262,13 +263,13 @@ func TestEPCCorruptionRecoveredByReACK(t *testing.T) {
 // counted lost slot, not a fatal protocol error.
 func TestTruncatedRN16IsLostSlotUnderFault(t *testing.T) {
 	tags := makePopulation(t, 1, 61)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 0
-	ic.Fault = &stubFault{corrupt: func(cmd int, bits Bits) (Bits, bool) {
+	ic.Fault = &stubFault{corrupt: func(cmd int, bits gen2.Bits) (gen2.Bits, bool) {
 		if len(bits) != 16 {
 			return bits, false
 		}
-		return append(Bits(nil), bits[:12]...), true
+		return append(gen2.Bits(nil), bits[:12]...), true
 	}}
 	stats, err := ic.RunRound(tags, rng.New(62))
 	if err != nil {
@@ -285,7 +286,7 @@ func TestTruncatedRN16IsLostSlotUnderFault(t *testing.T) {
 func TestRecoveryMatchesCleanChannelWhenFaultFree(t *testing.T) {
 	const n = 30
 	tags := makePopulation(t, n, 5)
-	ic := NewInventoryController(S1)
+	ic := NewInventoryController(gen2.S1)
 	ic.Recovery = DefaultRecovery()
 	epcs, err := ic.InventoryAll(tags, 10, rng.New(6))
 	if err != nil {
@@ -301,7 +302,7 @@ func TestRecoveryMatchesCleanChannelWhenFaultFree(t *testing.T) {
 // as FinalQ moving off the initial value by a non-integer amount).
 func TestAdaptiveRoundAdjustsQ(t *testing.T) {
 	tags := makePopulation(t, 2, 71)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 6
 	ic.Recovery = DefaultRecovery()
 	stats, err := ic.RunRound(tags, rng.New(72))
@@ -322,7 +323,7 @@ func TestAdaptiveRoundAdjustsQ(t *testing.T) {
 func TestFaultPathDeterministic(t *testing.T) {
 	run := func() string {
 		tags := makePopulation(t, 8, 81)
-		ic := NewInventoryController(S0)
+		ic := NewInventoryController(gen2.S0)
 		ic.Fault = &stubFault{
 			truncate: func(cmd int) bool { return cmd%17 == 3 },
 			powered:  func(cmd, tagIndex int) bool { return (cmd/8+tagIndex)%11 != 0 },
@@ -349,7 +350,7 @@ func TestFaultPathDeterministic(t *testing.T) {
 // fault schedule every round.
 func TestCmdClockPersistsAcrossRounds(t *testing.T) {
 	tags := makePopulation(t, 2, 91)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	var cmds []int
 	ic.Fault = &stubFault{truncate: func(cmd int) bool {
 		cmds = append(cmds, cmd)

@@ -1,19 +1,20 @@
-package gen2
+package session
 
 import (
 	"fmt"
 	"testing"
 
+	"ivn/internal/gen2"
 	"ivn/internal/rng"
 )
 
-func makePopulation(t *testing.T, n int, seed uint64) []*TagLogic {
+func makePopulation(t *testing.T, n int, seed uint64) []*gen2.TagLogic {
 	t.Helper()
 	r := rng.New(seed)
-	tags := make([]*TagLogic, n)
+	tags := make([]*gen2.TagLogic, n)
 	for i := range tags {
 		epc := []byte{0xE2, byte(i >> 8), byte(i), 0x01}
-		tag, err := NewTagLogic(epc, r.Split(fmt.Sprintf("tag-%d", i)))
+		tag, err := gen2.NewTagLogic(epc, r.Split(fmt.Sprintf("tag-%d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -24,7 +25,7 @@ func makePopulation(t *testing.T, n int, seed uint64) []*TagLogic {
 
 func TestRunRoundSingleTag(t *testing.T) {
 	tags := makePopulation(t, 1, 1)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 0
 	stats, err := ic.RunRound(tags, rng.New(2))
 	if err != nil {
@@ -41,7 +42,7 @@ func TestRunRoundSingleTag(t *testing.T) {
 func TestRunRoundManyTags(t *testing.T) {
 	const n = 20
 	tags := makePopulation(t, n, 3)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	stats, err := ic.RunRound(tags, rng.New(4))
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +66,7 @@ func TestRunRoundManyTags(t *testing.T) {
 func TestInventoryAllReadsEveryone(t *testing.T) {
 	const n = 30
 	tags := makePopulation(t, n, 5)
-	ic := NewInventoryController(S1)
+	ic := NewInventoryController(gen2.S1)
 	epcs, err := ic.InventoryAll(tags, 10, rng.New(6))
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +87,7 @@ func TestQAdaptsUpUnderCollisions(t *testing.T) {
 	// Starting with Q=0 against 16 tags forces collisions; the controller
 	// must grow Q rather than livelock.
 	tags := makePopulation(t, 16, 7)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 0
 	stats, err := ic.RunRound(tags, rng.New(8))
 	if err != nil {
@@ -107,7 +108,7 @@ func TestQAdaptsDownWhenOversized(t *testing.T) {
 	// Q=10 (1024 slots) against 2 tags: mostly empties; Q must shrink and
 	// the round must still finish inside the command budget.
 	tags := makePopulation(t, 2, 9)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 10
 	stats, err := ic.RunRound(tags, rng.New(10))
 	if err != nil {
@@ -125,7 +126,7 @@ func TestRoundEfficiencyReasonable(t *testing.T) {
 	// Slotted ALOHA peaks at 1/e ≈ 0.37 singles/slot; an adaptive reader
 	// should stay within the right order of magnitude.
 	tags := makePopulation(t, 24, 11)
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	ic.InitialQ = 5 // near log2(24)
 	stats, err := ic.RunRound(tags, rng.New(12))
 	if err != nil {
@@ -137,7 +138,7 @@ func TestRoundEfficiencyReasonable(t *testing.T) {
 }
 
 func TestRunRoundValidation(t *testing.T) {
-	ic := NewInventoryController(S0)
+	ic := NewInventoryController(gen2.S0)
 	if _, err := ic.RunRound(nil, rng.New(1)); err == nil {
 		t.Fatal("empty population accepted")
 	}
@@ -162,7 +163,7 @@ func TestSlotOutcomeStrings(t *testing.T) {
 func TestRunRoundDeterministic(t *testing.T) {
 	run := func() int {
 		tags := makePopulation(t, 10, 21)
-		ic := NewInventoryController(S0)
+		ic := NewInventoryController(gen2.S0)
 		stats, err := ic.RunRound(tags, rng.New(22))
 		if err != nil {
 			t.Fatal(err)

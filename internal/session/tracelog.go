@@ -1,0 +1,102 @@
+package session
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceLog collects the event streams of many exchanges, keyed by a
+// caller-chosen span name (e.g. "fig12/0007"). Spans may be recorded
+// concurrently — the experiment scheduler runs trials on a worker pool —
+// but the serialized form depends only on the span keys and each span's
+// own deterministic stream, so trace files are byte-identical at any
+// GOMAXPROCS.
+//
+// A nil *TraceLog is the disabled form: Span returns a nil trace and a
+// no-op commit, so call sites thread the log unconditionally.
+type TraceLog struct {
+	mu    sync.Mutex
+	spans map[string][]Event
+}
+
+// NewTraceLog returns an empty log.
+func NewTraceLog() *TraceLog {
+	return &TraceLog{spans: map[string][]Event{}}
+}
+
+// nopCommit avoids allocating a closure per Span call on a nil log.
+var nopCommit = func() {}
+
+// Span starts recording one exchange under key. The returned commit
+// function publishes the recorded events into the log; events observed
+// after commit are lost. On a nil log both returns are inert.
+func (l *TraceLog) Span(key string) (*Trace, func()) {
+	if l == nil {
+		return nil, nopCommit
+	}
+	rec := &Recorder{}
+	return NewTrace(rec), func() { l.add(key, rec.Events) }
+}
+
+// add appends events under key (concatenating on repeated commits).
+func (l *TraceLog) add(key string, events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.spans[key] = append(l.spans[key], events...)
+}
+
+// Keys returns the recorded span keys in sorted order.
+func (l *TraceLog) Keys() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.spans))
+	for k := range l.spans {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Events returns the stream recorded under key.
+func (l *TraceLog) Events(key string) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spans[key]
+}
+
+// lineEvent is the JSON-lines wire form: the span key plus the flat
+// event fields.
+type lineEvent struct {
+	Span string `json:"span"`
+	Event
+}
+
+// WriteJSONL serializes the log as JSON lines — one event per line,
+// spans in sorted-key order, events in observation order within a span.
+func (l *TraceLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, key := range l.Keys() {
+		for _, e := range l.Events(key) {
+			if err := enc.Encode(lineEvent{Span: key, Event: e}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -9,50 +9,37 @@
 // space periodically sweeps through near-coherent alignments — delivering
 // an ≈N× peak amplitude without any channel knowledge.
 //
-// A System bundles a CIB beamformer with the out-of-band reader.
-// Scenarios (water tank, open air, swine torso) come from
-// ivn/internal/scenario; tag models from ivn/internal/tag. The typical
-// flow is three lines:
+// A System bundles a CIB beamformer with the out-of-band reader; each
+// exchange realizes an ivn/internal/link Link for the drawn placement and
+// drives it through the ivn/internal/session state machine. Scenarios
+// (water tank, open air, swine torso) come from ivn/internal/scenario;
+// tag models from ivn/internal/tag. The typical flow is three lines:
 //
 //	sys, _ := ivn.New(ivn.Config{Antennas: 8, Seed: 1})
 //	session, _ := sys.Inventory(scenario.NewTank(0.5, em.Water, 0.11), tag.MiniatureTag())
 //	fmt.Println(session)
 //
 // Every randomized component derives from Config.Seed, so runs are fully
-// reproducible.
+// reproducible. Set System.Observer to watch any exchange as a typed
+// event stream stamped with simulated air time.
 package ivn
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"ivn/internal/baseline"
 	"ivn/internal/core"
 	"ivn/internal/gen2"
+	"ivn/internal/link"
 	"ivn/internal/radio"
 	"ivn/internal/reader"
 	"ivn/internal/rng"
 	"ivn/internal/scenario"
+	"ivn/internal/session"
 	"ivn/internal/stats"
 	"ivn/internal/tag"
 )
-
-// Envelope scan resolution: one 1 s CIB period sampled on the half-open
-// grid t ∈ [0, 1). The coarse-to-fine peak scan locates beat maxima on
-// the coarse grid and refines to full resolution only around the top
-// cells; both grids over-resolve the ≤200 Hz beat features of the paper's
-// plan, so the refined result equals the full-resolution scan.
-const (
-	envelopeScanSamples = 8192
-	envelopeScanCoarse  = 2048
-	scanDuration        = 1.0
-)
-
-// peakDownlink scans one CIB envelope period for its power peak.
-func peakDownlink(bf *core.Beamformer, chans []complex128) (float64, error) {
-	return baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, scanDuration, envelopeScanCoarse, envelopeScanSamples)
-}
 
 // Config assembles a System.
 type Config struct {
@@ -80,7 +67,17 @@ type System struct {
 	Beamformer *core.Beamformer
 	Reader     *reader.Reader
 
+	// Observer, when non-nil, receives every exchange's typed event
+	// stream (commands sent, slots resolved, decodes, EPC outcomes)
+	// stamped with simulated air time. Nil — the default — costs
+	// nothing: no events are built and no clock is kept.
+	Observer session.Observer
+
 	root *rng.Rand
+	// lk is scratch storage for the per-exchange physical link; reused
+	// across sequential exchanges so the hot path allocates nothing for
+	// it (a System is single-goroutine by contract).
+	lk link.Link
 }
 
 // New builds a System.
@@ -122,6 +119,20 @@ func New(cfg Config) (*System, error) {
 // FrequencyPlan returns the active Δf set in Hz.
 func (s *System) FrequencyPlan() []float64 {
 	return append([]float64(nil), s.Beamformer.Offsets...)
+}
+
+// realizeLink realizes sc into a placement and binds this System's
+// chains to it, returning the link and a trace wired to s.Observer.
+func (s *System) realizeLink(sc scenario.Scenario, r *rng.Rand) (*link.Link, *session.Trace, error) {
+	p, err := sc.Realize(s.Beamformer.N(), r)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := session.NewTrace(s.Observer)
+	if err := link.RealizeInto(&s.lk, s.Beamformer, s.Reader, p, tr); err != nil {
+		return nil, nil, err
+	}
+	return &s.lk, tr, nil
 }
 
 // Session is the outcome of one full inventory exchange.
@@ -166,87 +177,43 @@ func (s *System) Inventory(sc scenario.Scenario, model tag.Model) (*Session, err
 }
 
 func (s *System) inventoryEPC(sc scenario.Scenario, model tag.Model, epc []byte, r *rng.Rand) (*Session, error) {
-	n := s.Beamformer.N()
-	p, err := sc.Realize(n, r)
+	lk, tr, err := s.realizeLink(sc, r)
 	if err != nil {
 		return nil, err
 	}
-	// Downlink power delivery.
-	chans := make([]complex128, len(p.Downlink))
-	for i, c := range p.Downlink {
-		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
-	}
-	peak, err := peakDownlink(s.Beamformer, chans)
-	if err != nil {
-		return nil, err
-	}
-	out := &Session{PeakPowerDBm: 10*math.Log10(peak) + 30}
+	out := &Session{PeakPowerDBm: lk.PeakPowerDBm()}
 
 	tg, err := tag.New(model, epc, r.Split("tag"))
 	if err != nil {
 		return nil, err
 	}
-	tg.UpdatePower(peak)
-	out.Powered = tg.Powered()
+	x := session.Exchange{Link: lk, Trace: tr}
+	out.Powered = x.PowerUp(tg, lk.PeakPower())
 	if !out.Powered {
 		return out, nil
 	}
 
-	// Query (flatness-checked) → RN16.
-	query := &gen2.Query{Q: 0, Session: gen2.S0}
-	if _, err := s.Beamformer.TransmitCommand(query, true); err != nil {
-		return nil, err
-	}
-	reply := tg.HandleCommand(query)
-	if reply.Kind != gen2.ReplyRN16 {
-		return out, nil
-	}
-
-	// Uplink: out-of-band decode with self-jamming accounted for.
-	tagG := model.AntennaAmplitudeGain()
-	link := reader.RoundTripGain(s.Reader.TxAmplitude,
-		p.ReaderDown.Coefficient(s.Reader.TxFreq),
-		p.ReaderUp.Coefficient(s.Reader.TxFreq)) * complex(tagG*tagG, 0)
-	leak := p.CIBLeakPerWatt * s.Beamformer.Array.TotalRadiatedPower()
-	jam := []radio.ToneAt{{Freq: s.Beamformer.CenterFreq, Power: leak}}
-	bs, err := tg.BackscatterWaveform(reply, s.Reader.SamplesPerHalfBit)
+	// Query (flatness-checked) → RN16 through the out-of-band reader.
+	sr, err := x.Singulate(tg, &gen2.Query{Q: 0, Session: gen2.S0}, "rn16", r)
 	if err != nil {
 		return nil, err
 	}
-	dr, err := s.Reader.DecodeUplink(bs, link, jam, len(reply.Bits), r.Split("rn16"))
-	if err != nil || !dr.Bits.Equal(reply.Bits) {
+	if !sr.Decoded {
 		return out, nil
 	}
 	out.Decoded = true
-	out.Correlation = dr.Correlation
-	var rn gen2.RN16Reply
-	if err := rn.DecodeFromBits(dr.Bits); err != nil {
-		return nil, err
-	}
-	out.RN16 = rn.RN16
+	out.Correlation = sr.Correlation
+	out.RN16 = sr.RN16
 
 	// ACK → EPC.
-	ack := &gen2.ACK{RN16: rn.RN16}
-	if _, err := s.Beamformer.TransmitCommand(ack, false); err != nil {
-		return nil, err
-	}
-	epcReply := tg.HandleCommand(ack)
-	if epcReply.Kind != gen2.ReplyEPC {
-		return out, nil
-	}
-	bsEPC, err := tg.BackscatterWaveform(epcReply, s.Reader.SamplesPerHalfBit)
+	epcBytes, ok, err := x.AckEPC(tg, sr.RN16, "epc", r)
 	if err != nil {
 		return nil, err
 	}
-	drEPC, err := s.Reader.DecodeUplink(bsEPC, link, jam, len(epcReply.Bits), r.Split("epc"))
-	if err != nil || !drEPC.Bits.Equal(epcReply.Bits) {
+	if !ok {
 		return out, nil
 	}
-	var er gen2.EPCReply
-	if err := er.DecodeFromBits(drEPC.Bits); err != nil {
-		return out, nil
-	}
-	out.EPC = er.EPC
+	out.EPC = epcBytes
 	return out, nil
 }
 
@@ -260,20 +227,12 @@ func (s *System) InventorySelect(sc scenario.Scenario, sensors map[string]tag.Mo
 		return nil, fmt.Errorf("ivn: no sensors")
 	}
 	r := s.root.Split("inventory-select")
-	n := s.Beamformer.N()
-	p, err := sc.Realize(n, r)
+	lk, tr, err := s.realizeLink(sc, r)
 	if err != nil {
 		return nil, err
 	}
-	chans := make([]complex128, len(p.Downlink))
-	for i, c := range p.Downlink {
-		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
-	}
-	peak, err := peakDownlink(s.Beamformer, chans)
-	if err != nil {
-		return nil, err
-	}
-	out := &Session{PeakPowerDBm: 10*math.Log10(peak) + 30}
+	out := &Session{PeakPowerDBm: lk.PeakPowerDBm()}
+	x := session.Exchange{Link: lk, Trace: tr}
 
 	// Build every tag, power them all from the shared field. The map is
 	// iterated in sorted-EPC order: r.Split advances the parent stream, so
@@ -285,7 +244,7 @@ func (s *System) InventorySelect(sc scenario.Scenario, sensors map[string]tag.Mo
 		if err != nil {
 			return nil, err
 		}
-		tg.UpdatePower(peak)
+		x.PowerUp(tg, lk.PeakPower())
 		tags = append(tags, tg)
 	}
 
@@ -293,17 +252,9 @@ func (s *System) InventorySelect(sc scenario.Scenario, sensors map[string]tag.Mo
 	// combined command duration is flatness-checked by the beamformer.
 	sel := &gen2.Select{Target: 4, Action: 0, MemBank: 1, Pointer: 0, Mask: gen2.BitsFromBytes(targetEPC)}
 	q := &gen2.Query{Q: 0, Sel: 3, Session: gen2.S0}
-	if _, _, err := s.Beamformer.TransmitSelectThenQuery(sel, q); err != nil {
+	replies, responders, err := x.Select(tags, sel, q)
+	if err != nil {
 		return nil, err
-	}
-	var replies []gen2.Reply
-	var responder *tag.Tag
-	for _, tg := range tags {
-		tg.HandleCommand(sel)
-		if rep := tg.HandleCommand(q); rep.Kind == gen2.ReplyRN16 {
-			replies = append(replies, rep)
-			responder = tg
-		}
 	}
 	switch len(replies) {
 	case 0:
@@ -315,29 +266,17 @@ func (s *System) InventorySelect(sc scenario.Scenario, sensors map[string]tag.Mo
 		return nil, fmt.Errorf("ivn: select matched %d sensors; collision", len(replies))
 	}
 	out.Powered = true
-	reply := replies[0]
-	model := responder.Model
-	tagG := model.AntennaAmplitudeGain()
-	link := reader.RoundTripGain(s.Reader.TxAmplitude,
-		p.ReaderDown.Coefficient(s.Reader.TxFreq),
-		p.ReaderUp.Coefficient(s.Reader.TxFreq)) * complex(tagG*tagG, 0)
-	leak := p.CIBLeakPerWatt * s.Beamformer.Array.TotalRadiatedPower()
-	jam := []radio.ToneAt{{Freq: s.Beamformer.CenterFreq, Power: leak}}
-	bs, err := responder.BackscatterWaveform(reply, s.Reader.SamplesPerHalfBit)
+	responder := responders[0]
+	sg, err := x.DecodeRN16(responder, replies[0], "rn16", r)
 	if err != nil {
 		return nil, err
 	}
-	dr, err := s.Reader.DecodeUplink(bs, link, jam, len(reply.Bits), r.Split("rn16"))
-	if err != nil || !dr.Bits.Equal(reply.Bits) {
+	if !sg.Decoded {
 		return out, nil
 	}
 	out.Decoded = true
-	out.Correlation = dr.Correlation
-	var rn gen2.RN16Reply
-	if err := rn.DecodeFromBits(dr.Bits); err != nil {
-		return nil, err
-	}
-	out.RN16 = rn.RN16
+	out.Correlation = sg.Correlation
+	out.RN16 = sg.RN16
 	out.EPC = responder.Logic.EPC()
 	return out, nil
 }
@@ -349,25 +288,6 @@ type AccessResult struct {
 	Words []uint16
 	// Written reports a confirmed WriteWord.
 	Written bool
-}
-
-// link bundles the realized uplink parameters of one placement.
-type link struct {
-	gain complex128
-	jam  []radio.ToneAt
-}
-
-// uplinkDecode pushes one tag reply through the out-of-band reader.
-func (s *System) uplinkDecode(tg *tag.Tag, reply gen2.Reply, l link, r *rng.Rand, label string) (gen2.Bits, bool) {
-	bs, err := tg.BackscatterWaveform(reply, s.Reader.SamplesPerHalfBit)
-	if err != nil {
-		return nil, false
-	}
-	dr, err := s.Reader.DecodeUplink(bs, l.gain, l.jam, len(reply.Bits), r.Split(label))
-	if err != nil || !dr.Bits.Equal(reply.Bits) {
-		return nil, false
-	}
-	return dr.Bits, true
 }
 
 // access runs the full handshake to the Open state and then one access
@@ -385,20 +305,11 @@ func (s *System) access(sc scenario.Scenario, model tag.Model, mk func(handle ui
 // non-silent replies that decode over the uplink.
 func (s *System) accessWith(sc scenario.Scenario, model tag.Model, provision func(*gen2.TagLogic), mk func(handle uint16) []gen2.Command, wantKind gen2.ReplyKind) (*AccessResult, gen2.Bits, error) {
 	r := s.root.Split("access")
-	n := s.Beamformer.N()
-	p, err := sc.Realize(n, r)
+	lk, tr, err := s.realizeLink(sc, r)
 	if err != nil {
 		return nil, nil, err
 	}
-	chans := make([]complex128, len(p.Downlink))
-	for i, c := range p.Downlink {
-		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
-	}
-	peak, err := peakDownlink(s.Beamformer, chans)
-	if err != nil {
-		return nil, nil, err
-	}
-	out := &AccessResult{Session: Session{PeakPowerDBm: 10*math.Log10(peak) + 30}}
+	out := &AccessResult{Session: Session{PeakPowerDBm: lk.PeakPowerDBm()}}
 
 	tg, err := tag.New(model, []byte{0xE2, 0x00, 0x68, 0x10, 0x00, 0x01}, r.Split("tag"))
 	if err != nil {
@@ -407,96 +318,49 @@ func (s *System) accessWith(sc scenario.Scenario, model tag.Model, provision fun
 	if provision != nil {
 		provision(tg.Logic)
 	}
-	tg.UpdatePower(peak)
-	out.Powered = tg.Powered()
+	x := session.Exchange{Link: lk, Trace: tr}
+	out.Powered = x.PowerUp(tg, lk.PeakPower())
 	if !out.Powered {
 		return out, nil, nil
 	}
-	tagG := model.AntennaAmplitudeGain()
-	l := link{
-		gain: reader.RoundTripGain(s.Reader.TxAmplitude,
-			p.ReaderDown.Coefficient(s.Reader.TxFreq),
-			p.ReaderUp.Coefficient(s.Reader.TxFreq)) * complex(tagG*tagG, 0),
-		jam: []radio.ToneAt{{Freq: s.Beamformer.CenterFreq, Power: p.CIBLeakPerWatt * s.Beamformer.Array.TotalRadiatedPower()}},
-	}
 
 	// Query → RN16.
-	query := &gen2.Query{Q: 0}
-	if _, err := s.Beamformer.TransmitCommand(query, true); err != nil {
+	sr, err := x.Singulate(tg, &gen2.Query{Q: 0}, "rn16", r)
+	if err != nil {
 		return nil, nil, err
 	}
-	reply := tg.HandleCommand(query)
-	if reply.Kind != gen2.ReplyRN16 {
-		return out, nil, nil
-	}
-	bits, ok := s.uplinkDecode(tg, reply, l, r, "rn16")
-	if !ok {
+	if !sr.Decoded {
 		return out, nil, nil
 	}
 	out.Decoded = true
-	var rn gen2.RN16Reply
-	if err := rn.DecodeFromBits(bits); err != nil {
-		return nil, nil, err
-	}
-	out.RN16 = rn.RN16
+	out.Correlation = sr.Correlation
+	out.RN16 = sr.RN16
 
 	// ACK → EPC (the reply also confirms the handshake took).
-	ack := &gen2.ACK{RN16: rn.RN16}
-	if _, err := s.Beamformer.TransmitCommand(ack, false); err != nil {
+	if _, ok, err := x.AckEPC(tg, sr.RN16, "epc", r); err != nil {
 		return nil, nil, err
-	}
-	epcReply := tg.HandleCommand(ack)
-	if epcReply.Kind != gen2.ReplyEPC {
-		return out, nil, nil
-	}
-	if _, ok := s.uplinkDecode(tg, epcReply, l, r, "epc"); !ok {
+	} else if !ok {
 		return out, nil, nil
 	}
 	out.EPC = tg.Logic.EPC()
 
 	// ReqRN → handle.
-	req := &gen2.ReqRN{RN16: rn.RN16}
-	if _, err := s.Beamformer.TransmitCommand(req, false); err != nil {
-		return nil, nil, err
-	}
-	hReply := tg.HandleCommand(req)
-	if hReply.Kind != gen2.ReplyHandle {
-		return out, nil, nil
-	}
-	hBits, ok := s.uplinkDecode(tg, hReply, l, r, "handle")
-	if !ok {
-		return out, nil, nil
-	}
-	hv, err := hBits.Uint(0, 16)
+	handle, ok, err := x.ReqRNHandle(tg, sr.RN16, "handle", r)
 	if err != nil {
 		return nil, nil, err
 	}
-	handle := uint16(hv)
+	if !ok {
+		return out, nil, nil
+	}
 
 	// The access command sequence; every step must be transmitted,
 	// answered, and uplink-decoded.
-	cmds := mk(handle)
-	var lastBits gen2.Bits
-	for ci, cmd := range cmds {
-		if _, err := s.Beamformer.TransmitCommand(cmd, false); err != nil {
-			return nil, nil, err
-		}
-		aReply := tg.HandleCommand(cmd)
-		wanted := gen2.ReplyKind(0)
-		if ci == len(cmds)-1 {
-			wanted = wantKind
-		}
-		if ci == len(cmds)-1 && aReply.Kind != wanted {
-			return out, nil, nil
-		}
-		if aReply.Kind == gen2.ReplyNone {
-			return out, nil, nil
-		}
-		bits, ok := s.uplinkDecode(tg, aReply, l, r, fmt.Sprintf("access-%d", ci))
-		if !ok {
-			return out, nil, nil
-		}
-		lastBits = bits
+	lastBits, ok, err := x.Access(tg, mk(handle), wantKind, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return out, nil, nil
 	}
 	return out, lastBits, nil
 }
@@ -551,15 +415,12 @@ func (s *System) WriteWord(sc scenario.Scenario, model tag.Model, ptr byte, valu
 // the authorization layer on top of the threshold effect's physical
 // fail-safe.
 func (s *System) WriteWordSecured(sc scenario.Scenario, model tag.Model, provision func(*gen2.TagLogic), password uint32, ptr byte, value uint16) (*AccessResult, error) {
-	var accessHandle uint16
 	res, bits, err := s.accessWith(sc, model, provision, func(h uint16) []gen2.Command {
-		accessHandle = h
 		return []gen2.Command{
 			&gen2.Access{Password: password, Handle: h},
 			&gen2.Write{Bank: gen2.BankUser, WordPtr: ptr, Data: value, Handle: h},
 		}
 	}, gen2.ReplyWrite)
-	_ = accessHandle
 	if err != nil {
 		return nil, err
 	}
@@ -584,21 +445,11 @@ func (s *System) InventoryPopulation(sc scenario.Scenario, sensors map[string]ta
 		return nil, fmt.Errorf("ivn: no sensors")
 	}
 	r := s.root.Split("inventory-population")
-	n := s.Beamformer.N()
-	p, err := sc.Realize(n, r)
+	lk, tr, err := s.realizeLink(sc, r)
 	if err != nil {
 		return nil, err
 	}
-	chans := make([]complex128, len(p.Downlink))
-	for i, c := range p.Downlink {
-		chans[i] = c.Coefficient(s.Beamformer.CenterFreq)
-	}
-	peak, err := peakDownlink(s.Beamformer, chans)
-	if err != nil {
-		return nil, err
-	}
-	leak := p.CIBLeakPerWatt * s.Beamformer.Array.TotalRadiatedPower()
-	jam := []radio.ToneAt{{Freq: s.Beamformer.CenterFreq, Power: leak}}
+	peak := lk.PeakPower()
 
 	// Sorted-EPC iteration: r.Split advances the parent stream and
 	// `reachable` feeds the singulation order the caller sees, so map
@@ -614,12 +465,7 @@ func (s *System) InventoryPopulation(sc scenario.Scenario, sensors map[string]ta
 		if !tg.Powered() {
 			continue
 		}
-		tagG := model.AntennaAmplitudeGain()
-		link := reader.RoundTripGain(s.Reader.TxAmplitude,
-			p.ReaderDown.Coefficient(s.Reader.TxFreq),
-			p.ReaderUp.Coefficient(s.Reader.TxFreq)) * complex(tagG*tagG, 0)
-		modAmp := reader.ModulationAmplitude(model.BackscatterGain, model.BackscatterDepth)
-		if !s.Reader.DecodableRN16(link, modAmp, jam) {
+		if !lk.DecodableRN16(model) {
 			continue
 		}
 		reachable = append(reachable, tg.Logic)
@@ -627,7 +473,8 @@ func (s *System) InventoryPopulation(sc scenario.Scenario, sensors map[string]ta
 	if len(reachable) == 0 {
 		return nil, nil
 	}
-	ic := gen2.NewInventoryController(gen2.S0)
+	ic := session.NewInventoryController(gen2.S0)
+	ic.Trace = tr
 	return ic.InventoryAll(reachable, maxRounds, r.Split("rounds"))
 }
 
@@ -666,17 +513,14 @@ func (s *System) SurveyGain(sc scenario.Scenario, trials int) (stats.Summary, er
 		if err != nil {
 			return stats.Summary{}, err
 		}
-		chans := make([]complex128, len(p.Downlink))
-		for j, c := range p.Downlink {
-			chans[j] = c.Coefficient(s.Beamformer.CenterFreq)
-		}
+		chans := link.DownlinkCoeffs(p, s.Beamformer.CenterFreq)
 		s.Beamformer.Relock(r.Split("pll"))
-		peak, err := peakDownlink(s.Beamformer, chans)
+		peak, err := link.PeakDownlink(s.Beamformer, chans)
 		if err != nil {
 			return stats.Summary{}, err
 		}
 		amp := s.Beamformer.Carriers()[0].Amplitude
-		single, err := baseline.PeakReceivedPower(baseline.SingleAntenna(s.Beamformer.CenterFreq, amp), chans[:1], scanDuration, 1)
+		single, err := baseline.PeakReceivedPower(baseline.SingleAntenna(s.Beamformer.CenterFreq, amp), chans[:1], link.ScanDuration, 1)
 		if err != nil {
 			return stats.Summary{}, err
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package ivn
+
+// raceEnabled reports whether the race detector instrumented this build;
+// instrumentation adds allocations, so exact alloc budgets don't hold.
+const raceEnabled = true

@@ -15,6 +15,11 @@
 #                              jsonsmoke parser: every experiment must emit
 #                              a structurally complete typed result with
 #                              numeric cell payloads
+# 8. trace smoke             — `ivnsim -run fig12 -trace` at two worker
+#                              counts: the JSONL event streams must be
+#                              byte-identical and pass the tracesmoke
+#                              validator (well-formed events, monotone
+#                              per-span sim clock)
 #
 # Stages run fail-fast: the first failing stage stops the script with a
 # FAIL banner naming the stage, so CI logs point at the culprit directly.
@@ -45,7 +50,7 @@ stage "go test" go test ./...
 
 stage "go test -race (parallel trial paths)" \
   go test -race . ./internal/engine/ ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ \
-  ./internal/dsp/ ./internal/fault/ ./internal/gen2/
+  ./internal/dsp/ ./internal/fault/ ./internal/gen2/ ./internal/session/ ./internal/link/
 
 stage "faultmatrix smoke" \
   go run ./cmd/ivnsim -run faultmatrix -quick -seed 2
@@ -54,5 +59,16 @@ json_smoke() {
   go run ./cmd/ivnsim -run all -quick -seed 2 -json | go run ./scripts/jsonsmoke
 }
 stage "json smoke" json_smoke
+
+trace_smoke() {
+  local dir
+  dir="$(mktemp -d)" || return 1
+  trap 'rm -rf "$dir"' RETURN
+  go run ./cmd/ivnsim -run fig12 -quick -seed 2 -parallel 1 -trace "$dir/trace-p1.jsonl" >/dev/null || return 1
+  go run ./cmd/ivnsim -run fig12 -quick -seed 2 -parallel 4 -trace "$dir/trace-p4.jsonl" >/dev/null || return 1
+  cmp "$dir/trace-p1.jsonl" "$dir/trace-p4.jsonl" || { echo "trace files differ across -parallel" >&2; return 1; }
+  go run ./scripts/tracesmoke < "$dir/trace-p1.jsonl"
+}
+stage "trace smoke" trace_smoke
 
 echo "verify: OK"
