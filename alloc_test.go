@@ -1,8 +1,10 @@
 package ivn
 
 import (
+	"runtime"
 	"testing"
 
+	"ivn/internal/ivnsim"
 	"ivn/internal/session"
 )
 
@@ -31,6 +33,59 @@ func TestInventoryExchangeAllocBudget(t *testing.T) {
 	})
 	if allocs > 135 {
 		t.Fatalf("Inventory allocates %.0f times per exchange with a nil observer, budget 135", allocs)
+	}
+}
+
+// runExperimentQuick executes one CI-scale experiment run (the benchmark
+// configuration) for the alloc budgets below.
+func runExperimentQuick(t *testing.T, id string) {
+	t.Helper()
+	e, err := ivnsim.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(ivnsim.Config{Seed: 1, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig9AllocBudget pins the batched gain-trial path: per-point Prepare
+// plus per-worker kits leave only the engine/statistics scaffolding on
+// the heap. The quick Fig9 run (10 points × 30 trials) sat at ≈23,700
+// allocations before batching; the budget leaves headroom over the ≈330
+// it needs now while still failing loudly if a per-trial allocation
+// sneaks back in (300 trials × only 7 allocs each would blow it).
+func TestFig9AllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; budget holds without -race")
+	}
+	runExperimentQuick(t, "fig9") // warm pools and lazy state
+	allocs := testing.AllocsPerRun(3, func() { runExperimentQuick(t, "fig9") })
+	if allocs > 2400 {
+		t.Fatalf("quick fig9 allocates %.0f times per run, budget 2400", allocs)
+	}
+}
+
+// TestFig13BytesBudget pins the batched range-search path by bytes: the
+// duration-only command path plus comm kits keep a quick Fig13(c) run
+// within single-digit megabytes where it previously synthesized ≈15 MB of
+// envelopes and channel state per run. Bytes are measured via the
+// allocator's TotalAlloc counter (AllocsPerRun only counts objects).
+func TestFig13BytesBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation; budget holds without -race")
+	}
+	runExperimentQuick(t, "fig13c") // warm pools and lazy state
+	const runs = 3
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		runExperimentQuick(t, "fig13c")
+	}
+	runtime.ReadMemStats(&after)
+	perRun := float64(after.TotalAlloc-before.TotalAlloc) / runs
+	if perRun > 3e6 {
+		t.Fatalf("quick fig13c allocates %.1f MB per run, budget 3 MB", perRun/1e6)
 	}
 }
 

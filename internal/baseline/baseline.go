@@ -40,11 +40,19 @@ func BlindArray(n int, freq, perAntennaAmplitude float64, r *rng.Rand) ([]radio.
 	if n < 1 {
 		return nil, fmt.Errorf("baseline: n=%d", n)
 	}
-	out := make([]radio.Carrier, n)
-	for i := range out {
-		out[i] = radio.Carrier{Freq: freq, Phase: r.Phase(), Amplitude: perAntennaAmplitude}
+	return BlindArrayInto(make([]radio.Carrier, 0, n), n, freq, perAntennaAmplitude, r)
+}
+
+// BlindArrayInto appends the blind-array carrier set to dst and returns
+// it, drawing the same phase sequence as BlindArray.
+func BlindArrayInto(dst []radio.Carrier, n int, freq, perAntennaAmplitude float64, r *rng.Rand) ([]radio.Carrier, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: n=%d", n)
 	}
-	return out, nil
+	for i := 0; i < n; i++ {
+		dst = append(dst, radio.Carrier{Freq: freq, Phase: r.Phase(), Amplitude: perAntennaAmplitude})
+	}
+	return dst, nil
 }
 
 // OracleMRT returns n same-frequency carriers whose phases pre-rotate
@@ -52,18 +60,23 @@ func BlindArray(n int, freq, perAntennaAmplitude float64, r *rng.Rand) ([]radio.
 // knowledge of the channel coefficients. All phasors then add coherently
 // at the sensor: the unreachable ideal for battery-free devices.
 func OracleMRT(freq, perAntennaAmplitude float64, chans []complex128) ([]radio.Carrier, error) {
+	return OracleMRTInto(make([]radio.Carrier, 0, len(chans)), freq, perAntennaAmplitude, chans)
+}
+
+// OracleMRTInto appends the maximum-ratio carrier set to dst and returns
+// it.
+func OracleMRTInto(dst []radio.Carrier, freq, perAntennaAmplitude float64, chans []complex128) ([]radio.Carrier, error) {
 	if len(chans) == 0 {
 		return nil, fmt.Errorf("baseline: no channels")
 	}
-	out := make([]radio.Carrier, len(chans))
-	for i, h := range chans {
-		out[i] = radio.Carrier{
+	for _, h := range chans {
+		dst = append(dst, radio.Carrier{
 			Freq:      freq,
 			Phase:     -cmplx.Phase(h),
 			Amplitude: perAntennaAmplitude,
-		}
+		})
 	}
-	return out, nil
+	return dst, nil
 }
 
 // PhasedArray returns carriers precoded to steer a free-space beam toward

@@ -20,6 +20,11 @@ type Beamformer struct {
 	Array *radio.Array
 	// PIE is the downlink line coding shared by all chains.
 	PIE gen2.PIEParams
+
+	// bits is serialization scratch for the air-time paths; reusing it
+	// makes CommandAirTime allocation-free but not concurrency-safe on a
+	// shared Beamformer (each trial owns its own, so this never bites).
+	bits gen2.Bits
 }
 
 // Config assembles a Beamformer.
@@ -115,6 +120,11 @@ func (b *Beamformer) Relock(r *rng.Rand) { b.Array.Lock(r) }
 // Carriers returns the emitted tone set for CW (power-delivery) intervals.
 func (b *Beamformer) Carriers() []radio.Carrier { return b.Array.Carriers() }
 
+// AppendCarriers appends the emitted tone set to dst and returns it.
+func (b *Beamformer) AppendCarriers(dst []radio.Carrier) []radio.Carrier {
+	return b.Array.AppendCarriers(dst)
+}
+
 // EqualPowerCarriers returns the tone set with per-chain amplitude scaled
 // by 1/√N so total radiated power matches a single chain — the paper's
 // note that CIB still yields an N× peak-power gain under a fixed power
@@ -172,6 +182,58 @@ func (b *Beamformer) TransmitCommand(cmd gen2.Command, preamble bool) (*Transmis
 		Duration:   dur,
 		Command:    bits,
 	}, nil
+}
+
+// CommandAirTime returns cmd's on-air duration after running exactly the
+// validation gauntlet of TransmitCommand — flatness over the command's
+// duration, then the PIE and bit checks EncodeFrame would apply — without
+// synthesizing the amplitude envelope. The envelope is dead weight for
+// consumers that only advance time and evaluate decodability analytically
+// (the session/link exchange path); skipping it removes the dominant
+// per-trial byte cost of the Fig13 experiments. Serialization scratch is
+// reused across calls, so this allocates nothing in steady state.
+func (b *Beamformer) CommandAirTime(cmd gen2.Command, preamble bool) (float64, error) {
+	b.bits = cmd.AppendBits(b.bits[:0])
+	dur := b.PIE.FrameDuration(b.bits, preamble)
+	ok, err := SatisfiesFlatness(b.Offsets, DefaultFlatnessAlpha, dur)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("core: offset plan RMS %.1f Hz violates flatness for a %.0f µs command",
+			RMSOffset(b.Offsets), dur*1e6)
+	}
+	if err := b.PIE.Validate(); err != nil {
+		return 0, err
+	}
+	if err := b.bits.Validate(); err != nil {
+		return 0, err
+	}
+	return dur, nil
+}
+
+// SelectQueryAirTime is CommandAirTime for the §3.7 Select+Query compound:
+// the flatness constraint is checked against the combined duration (as in
+// TransmitSelectThenQuery) and then each command is vetted individually.
+func (b *Beamformer) SelectQueryAirTime(sel *gen2.Select, q *gen2.Query) (selDur, qDur float64, err error) {
+	b.bits = sel.AppendBits(b.bits[:0])
+	total := b.PIE.FrameDuration(b.bits, false)
+	b.bits = q.AppendBits(b.bits[:0])
+	total += b.PIE.FrameDuration(b.bits, true)
+	ok, err := SatisfiesFlatness(b.Offsets, DefaultFlatnessAlpha, total)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("core: offset plan violates flatness over the %.0f µs Select+Query compound", total*1e6)
+	}
+	if selDur, err = b.CommandAirTime(sel, false); err != nil {
+		return 0, 0, err
+	}
+	if qDur, err = b.CommandAirTime(q, true); err != nil {
+		return 0, 0, err
+	}
+	return selDur, qDur, nil
 }
 
 // TransmitSelectThenQuery builds the §3.7 multi-sensor compound: a Select

@@ -25,8 +25,69 @@ func NormalizedCrossCorrelation(x, template []float64) []float64 {
 
 // normalizedCrossCorrelationInto writes the direct-path correlation into
 // out (which must have length len(x)−len(template)+1) and returns it,
-// letting callers that only reduce the series use pooled scratch.
+// letting callers that only reduce the series use pooled scratch. The
+// per-lag inner product runs through the 4-wide unrolled kernel; the
+// simple loop is retained as normalizedCrossCorrelationRef and the two
+// are pinned bit-identical (TestCorrelationUnrollBitExact).
 func normalizedCrossCorrelationInto(out, x, template []float64) []float64 {
+	m := len(template)
+	tMean := Mean(template)
+	var tNorm float64
+	for _, v := range template {
+		d := v - tMean
+		tNorm += d * d
+	}
+	tNorm = math.Sqrt(tNorm)
+
+	for lag := range out {
+		seg := x[lag : lag+m]
+		segMean := Mean(seg)
+		dot, xNorm := centeredDotAndEnergy(seg, template, segMean, tMean)
+		den := math.Sqrt(xNorm) * tNorm
+		if den == 0 {
+			out[lag] = 0
+		} else {
+			out[lag] = dot / den
+		}
+	}
+	return out
+}
+
+// centeredDotAndEnergy returns Σ(seg[k]−segMean)(t[k]−tMean) and
+// Σ(seg[k]−segMean)², unrolled four elements per iteration. The
+// accumulators stay scalar and every add lands in the same order as the
+// one-element loop, so the unroll is bit-identical to the reference — it
+// buys reduced loop overhead and bounds-check elision, not reassociation.
+func centeredDotAndEnergy(seg, template []float64, segMean, tMean float64) (dot, xNorm float64) {
+	m := len(template)
+	seg = seg[:m]
+	k := 0
+	for ; k+4 <= m; k += 4 {
+		dx := seg[k] - segMean
+		dot += dx * (template[k] - tMean)
+		xNorm += dx * dx
+		dx = seg[k+1] - segMean
+		dot += dx * (template[k+1] - tMean)
+		xNorm += dx * dx
+		dx = seg[k+2] - segMean
+		dot += dx * (template[k+2] - tMean)
+		xNorm += dx * dx
+		dx = seg[k+3] - segMean
+		dot += dx * (template[k+3] - tMean)
+		xNorm += dx * dx
+	}
+	for ; k < m; k++ {
+		dx := seg[k] - segMean
+		dot += dx * (template[k] - tMean)
+		xNorm += dx * dx
+	}
+	return dot, xNorm
+}
+
+// normalizedCrossCorrelationRef is the pre-unroll reference
+// implementation, retained so the specialized kernel stays testable
+// against the original arithmetic.
+func normalizedCrossCorrelationRef(out, x, template []float64) []float64 {
 	m := len(template)
 	tMean := Mean(template)
 	var tNorm float64

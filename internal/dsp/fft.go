@@ -148,3 +148,56 @@ func GoertzelReal(x []float64, f float64) complex128 {
 	}
 	return complex(s1*cw-s2, s1*sw)
 }
+
+// GoertzelBank evaluates the DFT of x at every frequency in freqs and
+// writes the bin values into out (which must have length ≥ len(freqs)).
+// A single Goertzel recurrence is a serial dependency chain — each step
+// waits on the previous multiply — so evaluating bins one at a time
+// leaves the FPU idle. The bank instead advances four bins per pass over
+// x: the four recurrences are independent, overlapping their multiply
+// latencies, and x is streamed once per group of four instead of once
+// per bin. Each bin's recurrence is the exact operation sequence of
+// GoertzelReal, so the results are bit-identical to calling it per bin
+// (TestGoertzelBankBitExact).
+func GoertzelBank(x []float64, freqs []float64, out []complex128) []complex128 {
+	out = out[:len(freqs)]
+	i := 0
+	for ; i+4 <= len(freqs); i += 4 {
+		goertzelReal4(x, freqs[i:i+4:i+4], out[i:i+4:i+4])
+	}
+	for ; i < len(freqs); i++ {
+		out[i] = GoertzelReal(x, freqs[i])
+	}
+	return out
+}
+
+// goertzelReal4 runs four independent Goertzel recurrences in one pass
+// over x.
+func goertzelReal4(x []float64, freqs []float64, out []complex128) {
+	_ = freqs[3]
+	_ = out[3]
+	w0 := 2 * math.Pi * freqs[0]
+	sw0, cw0 := math.Sincos(w0)
+	w1 := 2 * math.Pi * freqs[1]
+	sw1, cw1 := math.Sincos(w1)
+	w2 := 2 * math.Pi * freqs[2]
+	sw2, cw2 := math.Sincos(w2)
+	w3 := 2 * math.Pi * freqs[3]
+	sw3, cw3 := math.Sincos(w3)
+	k0, k1, k2, k3 := 2*cw0, 2*cw1, 2*cw2, 2*cw3
+	var a1, a2, b1, b2, c1, c2, d1, d2 float64
+	for _, v := range x {
+		t0 := v + k0*a1 - a2
+		a2, a1 = a1, t0
+		t1 := v + k1*b1 - b2
+		b2, b1 = b1, t1
+		t2 := v + k2*c1 - c2
+		c2, c1 = c1, t2
+		t3 := v + k3*d1 - d2
+		d2, d1 = d1, t3
+	}
+	out[0] = complex(a1*cw0-a2, a1*sw0)
+	out[1] = complex(b1*cw1-b2, b1*sw1)
+	out[2] = complex(c1*cw2-c2, c1*sw2)
+	out[3] = complex(d1*cw3-d2, d1*sw3)
+}

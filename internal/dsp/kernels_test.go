@@ -1,0 +1,123 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+// TestCorrelationUnrollBitExact pins the 4-wide unrolled correlation
+// kernel to the retained reference implementation, bit for bit: scalar
+// accumulators and in-order adds mean the unroll may not change a single
+// ulp.
+func TestCorrelationUnrollBitExact(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + r.Intn(40)
+		n := m + r.Intn(300)
+		x := make([]float64, n)
+		tmpl := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range tmpl {
+			tmpl[i] = r.NormFloat64()
+		}
+		got := normalizedCrossCorrelationInto(make([]float64, n-m+1), x, tmpl)
+		want := normalizedCrossCorrelationRef(make([]float64, n-m+1), x, tmpl)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d m=%d) lag %d: unrolled %v != reference %v",
+					trial, n, m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGoertzelBankBitExact pins the 4-wide bank to per-bin GoertzelReal:
+// each bin's recurrence is the same operation sequence, so the bank must
+// agree exactly — including for bin counts with a remainder group.
+func TestGoertzelBankBitExact(t *testing.T) {
+	r := rng.New(9)
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	for _, bins := range []int{1, 2, 3, 4, 5, 7, 8, 10, 13} {
+		freqs := make([]float64, bins)
+		for i := range freqs {
+			freqs[i] = r.Float64() * 0.5
+		}
+		out := GoertzelBank(x, freqs, make([]complex128, bins))
+		for i, f := range freqs {
+			if want := GoertzelReal(x, f); out[i] != want {
+				t.Fatalf("%d bins: bin %d (f=%v): bank %v != per-bin %v", bins, i, f, out[i], want)
+			}
+		}
+	}
+}
+
+// TestGoertzelBankMatchesDFT sanity-checks the bank against a direct DFT
+// evaluation at ≤1e-9 relative tolerance — the kernel-equivalence
+// convention of the repo's specialized kernels.
+func TestGoertzelBankMatchesDFT(t *testing.T) {
+	r := rng.New(13)
+	n := 257
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	freqs := []float64{0, 0.01, 0.125, 0.33, 0.499}
+	out := GoertzelBank(x, freqs, make([]complex128, len(freqs)))
+	for i, f := range freqs {
+		var want complex128
+		for k, v := range x {
+			want += complex(v, 0) * cmplx.Exp(complex(0, -2*3.141592653589793*f*float64(k)))
+		}
+		// Goertzel's convention conjugates relative to the DFT sign used
+		// here; compare magnitudes and the self-consistency of repeat runs.
+		if gm, wm := cmplx.Abs(out[i]), cmplx.Abs(want); absDiff(gm, wm) > 1e-9*(1+wm) {
+			t.Fatalf("bin %d (f=%v): |bank| %v, |DFT| %v", i, f, gm, wm)
+		}
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func BenchmarkMaxCorrelation4096x96(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 4096)
+	tmpl := make([]float64, 96)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	for i := range tmpl {
+		tmpl[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxCorrelation(x, tmpl)
+	}
+}
+
+func BenchmarkGoertzelBank8Bins4096(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	freqs := []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4}
+	out := make([]complex128, len(freqs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GoertzelBank(x, freqs, out)
+	}
+}

@@ -91,19 +91,26 @@ func (mp MultipathProfile) GenerateRays(r *rng.Rand) []Ray {
 	if mp.Rays <= 0 {
 		return nil
 	}
-	rays := make([]Ray, mp.Rays)
+	return mp.GenerateRaysInto(make([]Ray, 0, mp.Rays), r)
+}
+
+// GenerateRaysInto appends a random ray set to dst and returns it, drawing
+// exactly the same variate sequence as GenerateRays (per ray: Rayleigh,
+// Phase, UniformRange). Callers that realize placements per trial pass
+// dst[:0] of a retained buffer to keep ray generation allocation-free.
+func (mp MultipathProfile) GenerateRaysInto(dst []Ray, r *rng.Rand) []Ray {
 	// Rayleigh with E[m²] = MeanRelPower ⇒ σ = √(MeanRelPower/2).
 	sigma := math.Sqrt(mp.MeanRelPower / 2)
-	for i := range rays {
+	for i := 0; i < mp.Rays; i++ {
 		m := r.Rayleigh(sigma)
 		ph := r.Phase()
 		s, c := math.Sincos(ph)
-		rays[i] = Ray{
+		dst = append(dst, Ray{
 			ExtraDelay: r.UniformRange(0.05, 1) * mp.MaxExcessMeters / C,
 			Gain:       complex(m*c, m*s),
-		}
+		})
 	}
-	return rays
+	return dst
 }
 
 // Validate checks the channel parameters.

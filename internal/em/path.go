@@ -151,6 +151,39 @@ func (p Path) WithAirDistance(r float64) Path {
 	return q
 }
 
+// WithAirDistanceShared returns a copy of p with the air segment replaced
+// that aliases p's layer stack instead of copying it. Callers must treat
+// the stack as immutable for as long as either path is live; the
+// per-trial realization paths use this to avoid a layer copy per channel.
+func (p Path) WithAirDistanceShared(r float64) Path {
+	p.AirDistance = r
+	return p
+}
+
+// SetDepth adjusts a layer stack in place so its total thickness equals d
+// and returns the (possibly shortened) slice — the allocation-free
+// counterpart of Path.WithDepth, with identical truncate/extend
+// semantics.
+func SetDepth(layers []Layer, d float64) []Layer {
+	out := layers[:0]
+	remaining := d
+	for _, l := range layers {
+		if remaining <= 0 {
+			break
+		}
+		t := l.Thickness
+		if t > remaining {
+			t = remaining
+		}
+		out = append(out, Layer{Medium: l.Medium, Thickness: t})
+		remaining -= t
+	}
+	if remaining > 0 && len(out) > 0 {
+		out[len(out)-1].Thickness += remaining
+	}
+	return out
+}
+
 // WithDepth returns a copy of p whose final layer thickness is adjusted so
 // the total tissue depth equals d. A path with no layers is returned
 // unchanged. d shallower than the preceding layers truncates the stack.

@@ -46,28 +46,44 @@ func ForEach(n int, fn func(i int) error) error {
 // from an atomic counter, keeping goroutine count bounded by the cap
 // rather than by n.
 func forEachIndexed(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
 	workers := MaxParallel()
 	if workers > n {
 		workers = n
+	}
+	return forEachWorkerN(n, workers, func(_, i int) error { return fn(i) })
+}
+
+// forEachWorkerN is forEachIndexed with the claiming worker's identity
+// exposed: fn(worker, i) with worker in [0, workers). Any one worker id
+// runs on a single goroutine, so per-worker state (scratch buffers,
+// reusable rng children) needs no locking. Index assignment to workers is
+// scheduling-dependent — callers must not let results depend on which
+// worker ran an index, only on the index itself.
+func forEachWorkerN(n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

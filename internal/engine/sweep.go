@@ -29,6 +29,85 @@ func Trials[S any](seed uint64, label string, n int, measure func(trial int, r *
 	return samples, nil
 }
 
+// Scratches is the engine's per-worker trial state for the batched
+// evaluation paths: one scratch object and one reusable rng child per
+// scheduler worker. Each slot is only ever touched by the single
+// goroutine owning that worker id, so no locking is involved; slots are
+// created lazily on first use and persist across points (and across
+// separate ForEachScratch calls with the same Scratches), which is where
+// the allocation savings come from. A Scratches must not be shared
+// between concurrently running sweeps.
+type Scratches struct {
+	mk    func() any
+	buf   []any
+	rands []rng.Rand
+}
+
+// NewScratches builds a scratch set whose slots are created by mk (nil mk
+// yields nil scratch values, for callers that only want the per-worker
+// rng children).
+func NewScratches(mk func() any) *Scratches { return &Scratches{mk: mk} }
+
+// ensure grows the slot slices to cover `workers` entries. Called
+// sequentially before workers launch.
+func (s *Scratches) ensure(workers int) {
+	for len(s.buf) < workers {
+		s.buf = append(s.buf, nil)
+	}
+	for len(s.rands) < workers {
+		s.rands = append(s.rands, rng.Rand{})
+	}
+}
+
+// ForEachScratch runs fn(0..n-1) on the bounded worker pool, handing each
+// invocation its worker's persistent scratch object and rng child slot.
+// The rng child arrives in whatever state the worker's previous trial
+// left it — callers reseed it per index (e.g. via SplitIndexedInto) so
+// results stay a pure function of the index, never of worker assignment.
+// Error selection matches ForEach: the lowest-indexed failure wins.
+func ForEachScratch(n int, s *Scratches, fn func(i int, scratch any, r *rng.Rand) error) error {
+	workers := MaxParallel()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.ensure(workers)
+	return forEachWorkerN(n, workers, func(w, i int) error {
+		if s.buf[w] == nil && s.mk != nil {
+			s.buf[w] = s.mk()
+		}
+		return fn(i, s.buf[w], &s.rands[w])
+	})
+}
+
+// TrialsScratch is Trials over per-worker scratch state: each trial's
+// stream is still derived with SplitIndexed(label, i) from a parent
+// seeded with seed — written into the worker's reusable child, so the
+// derivation allocates nothing — and measure additionally receives the
+// worker's persistent scratch object. Samples are identical to Trials
+// for any measure that ignores the scratch, at any GOMAXPROCS.
+func TrialsScratch[S any](seed uint64, label string, n int, s *Scratches, measure func(trial int, scratch any, r *rng.Rand) (S, error)) ([]S, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("engine: %d trials", n)
+	}
+	parent := rng.New(seed)
+	samples := make([]S, n)
+	err := ForEachScratch(n, s, func(i int, scratch any, r *rng.Rand) error {
+		// SplitIndexedInto only reads the parent state — concurrent
+		// derivation from the shared parent is race-free.
+		parent.SplitIndexedInto(r, label, i)
+		var e error
+		samples[i], e = measure(i, scratch, r)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
 // Sweep is a declarative per-point trial schedule: for each sweep point
 // (an antenna count, a depth, a fault scale, a scenario) the engine runs
 // Trials independent measurements on deterministic streams and reduces
@@ -37,6 +116,12 @@ func Trials[S any](seed uint64, label string, n int, measure func(trial int, r *
 // Points execute sequentially (trials within a point are what
 // parallelize), so Row closures may accumulate cross-point state such as
 // a worst-case statistic for a trailing note.
+//
+// Exactly one of Measure and MeasureScratch must be set. MeasureScratch
+// selects the batched path: Prepare (optional) builds a point's invariant
+// context once, shared read-only by every trial of that point, and each
+// scheduler worker carries a persistent scratch object (NewScratch)
+// reused across trials and points.
 type Sweep[P, S any] struct {
 	// Trials is the per-point trial count.
 	Trials int
@@ -49,16 +134,52 @@ type Sweep[P, S any] struct {
 	Measure func(p P, trial int, r *rng.Rand) (S, error)
 	// Row reduces a point's samples (in trial order) to one table row.
 	Row func(p P, samples []S) ([]Cell, error)
+
+	// Prepare builds the point's trial-invariant context once per point,
+	// before any trial runs. The returned value is handed to every
+	// MeasureScratch call of that point and MUST be treated as read-only
+	// there: trials run concurrently and share it. Nil Prepare passes a
+	// nil context.
+	Prepare func(p P) (any, error)
+	// NewScratch creates one worker's reusable scratch object (may be nil
+	// when MeasureScratch needs only the pooled rng children).
+	NewScratch func() any
+	// MeasureScratch runs one trial on the batched path: ctx is the
+	// point's shared Prepare result, scratch the worker's persistent
+	// object. The sample must be a pure function of (p, ctx, trial, r) —
+	// never of which worker ran it.
+	MeasureScratch func(p P, ctx, scratch any, trial int, r *rng.Rand) (S, error)
 }
 
 // Run executes the sweep over points and returns one row per point.
 func (s Sweep[P, S]) Run(points []P) ([][]Cell, error) {
+	if (s.Measure == nil) == (s.MeasureScratch == nil) {
+		return nil, fmt.Errorf("engine: sweep must set exactly one of Measure and MeasureScratch")
+	}
+	var scratches *Scratches
+	if s.MeasureScratch != nil {
+		scratches = NewScratches(s.NewScratch)
+	}
 	rows := make([][]Cell, 0, len(points))
 	for _, p := range points {
 		seed, label := s.Plan(p)
-		samples, err := Trials(seed, label, s.Trials, func(trial int, r *rng.Rand) (S, error) {
-			return s.Measure(p, trial, r)
-		})
+		var samples []S
+		var err error
+		if s.Measure != nil {
+			samples, err = Trials(seed, label, s.Trials, func(trial int, r *rng.Rand) (S, error) {
+				return s.Measure(p, trial, r)
+			})
+		} else {
+			var ctx any
+			if s.Prepare != nil {
+				if ctx, err = s.Prepare(p); err != nil {
+					return nil, err
+				}
+			}
+			samples, err = TrialsScratch(seed, label, s.Trials, scratches, func(trial int, scratch any, r *rng.Rand) (S, error) {
+				return s.MeasureScratch(p, ctx, scratch, trial, r)
+			})
+		}
 		if err != nil {
 			return nil, err
 		}

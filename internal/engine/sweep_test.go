@@ -122,3 +122,110 @@ func TestSweepErrorsPropagate(t *testing.T) {
 		t.Fatalf("got %v, want boom", err)
 	}
 }
+
+func TestTrialsScratchMatchesTrials(t *testing.T) {
+	measure := func(_ int, r *rng.Rand) (float64, error) {
+		return r.Float64(), nil
+	}
+	want, err := Trials(19, "batched", 64, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same streams regardless of worker count or scratch reuse.
+	for _, workers := range []int{1, 4} {
+		prev := MaxParallel()
+		SetMaxParallel(workers)
+		s := NewScratches(func() any { return new(int) })
+		got, err := TrialsScratch(19, "batched", 64, s, func(_ int, scratch any, r *rng.Rand) (float64, error) {
+			*(scratch.(*int))++ // mutate worker state: must not affect samples
+			return r.Float64(), nil
+		})
+		SetMaxParallel(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: TrialsScratch diverged from Trials", workers)
+		}
+	}
+}
+
+func TestScratchesPersistAcrossCalls(t *testing.T) {
+	created := 0
+	s := NewScratches(func() any { created++; return new(int) })
+	for call := 0; call < 3; call++ {
+		if _, err := TrialsScratch(1, "x", 32, s, func(int, any, *rng.Rand) (int, error) {
+			return 0, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if max := MaxParallel(); created > max {
+		t.Fatalf("created %d scratches for %d workers: slots not reused", created, max)
+	}
+}
+
+func TestSweepPreparedSharedContext(t *testing.T) {
+	// The batched path: Prepare runs once per point, its result is shared
+	// read-only by all trials, and the samples match what the unbatched
+	// Measure formulation yields on the same plan. Run under -race this
+	// also proves the sharing is race-free.
+	type ctx struct{ scale float64 }
+	prepares := 0
+	batched := Sweep[int, float64]{
+		Trials:     32,
+		Plan:       func(n int) (uint64, string) { return uint64(n), "pt" },
+		Prepare:    func(n int) (any, error) { prepares++; return &ctx{scale: float64(n)}, nil },
+		NewScratch: func() any { return make([]float64, 8) },
+		MeasureScratch: func(n int, c, scratch any, trial int, r *rng.Rand) (float64, error) {
+			buf := scratch.([]float64)
+			buf[0] = r.Float64() // scribble on worker scratch
+			return buf[0] * c.(*ctx).scale, nil
+		},
+		Row: func(n int, samples []float64) ([]Cell, error) {
+			sum := 0.0
+			for _, v := range samples {
+				sum += v
+			}
+			return []Cell{Number("%.12g", sum)}, nil
+		},
+	}
+	plain := batched
+	plain.Prepare, plain.NewScratch, plain.MeasureScratch = nil, nil, nil
+	plain.Measure = func(n, trial int, r *rng.Rand) (float64, error) {
+		return r.Float64() * float64(n), nil
+	}
+	got, err := batched.Run([]int{2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Run([]int{2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("batched sweep diverged from the plain formulation")
+	}
+	if prepares != 3 {
+		t.Fatalf("Prepare ran %d times, want once per point", prepares)
+	}
+}
+
+func TestSweepRejectsAmbiguousMeasure(t *testing.T) {
+	row := func(n int, samples []int) ([]Cell, error) { return []Cell{Int(n)}, nil }
+	plan := func(n int) (uint64, string) { return 0, "p" }
+	neither := Sweep[int, int]{Trials: 1, Plan: plan, Row: row}
+	if _, err := neither.Run([]int{1}); err == nil {
+		t.Fatal("sweep with neither Measure nor MeasureScratch accepted")
+	}
+	both := Sweep[int, int]{
+		Trials:         1,
+		Plan:           plan,
+		Row:            row,
+		Measure:        func(int, int, *rng.Rand) (int, error) { return 0, nil },
+		MeasureScratch: func(int, any, any, int, *rng.Rand) (int, error) { return 0, nil },
+	}
+	if _, err := both.Run([]int{1}); err == nil {
+		t.Fatal("sweep with both Measure and MeasureScratch accepted")
+	}
+}

@@ -2,6 +2,7 @@ package gen2
 
 import (
 	"fmt"
+	"sync"
 
 	"ivn/internal/dsp"
 )
@@ -106,6 +107,34 @@ func FM0PreambleTemplate(samplesPerHalfBit int) []float64 {
 	return out
 }
 
+// preambleTemplateCache memoizes the prepared decode templates per
+// resolution: every trial of an experiment decodes against the same
+// preamble, so the template pair is built once per SamplesPerHalfBit and
+// shared read-only across all (possibly parallel) decoders. Values
+// stored here must never be mutated — they alias into every concurrent
+// correlation.
+var preambleTemplateCache sync.Map // int → [2][]float64
+
+// preambleTemplates returns the cached (template, inverted-template)
+// pair for a resolution, building and memoizing it on first use. The
+// returned slices are shared and read-only.
+func preambleTemplates(samplesPerHalfBit int) (tmpl, inv []float64) {
+	if v, ok := preambleTemplateCache.Load(samplesPerHalfBit); ok {
+		pair := v.([2][]float64)
+		return pair[0], pair[1]
+	}
+	tmpl = FM0PreambleTemplate(samplesPerHalfBit)
+	inv = make([]float64, len(tmpl))
+	for i, v := range tmpl {
+		inv[i] = -v
+	}
+	// Concurrent first users may race to build; LoadOrStore keeps one
+	// winner so every caller aliases the same immutable pair.
+	v, _ := preambleTemplateCache.LoadOrStore(samplesPerHalfBit, [2][]float64{tmpl, inv})
+	pair := v.([2][]float64)
+	return pair[0], pair[1]
+}
+
 // FM0Decoder recovers payload bits from a (possibly noisy) level waveform.
 type FM0Decoder struct {
 	SamplesPerHalfBit int
@@ -169,16 +198,12 @@ func (d FM0Decoder) DecodeFrame(samples []float64, nbits int) (*FrameResult, err
 	if th == 0 {
 		th = 0.8
 	}
-	tmpl := FM0PreambleTemplate(sp)
+	tmpl, inv := preambleTemplates(sp)
 	best, lag := dsp.MaxCorrelation(samples, tmpl)
 	if lag < 0 {
 		return nil, fmt.Errorf("%w: capture shorter than preamble", ErrShortFrame)
 	}
 	// Inverted polarity: correlate against the negated template.
-	inv := make([]float64, len(tmpl))
-	for i, v := range tmpl {
-		inv[i] = -v
-	}
 	bestInv, lagInv := dsp.MaxCorrelation(samples, inv)
 	if bestInv > best {
 		best, lag = bestInv, lagInv

@@ -107,7 +107,9 @@ func (p PIEParams) EncodeFrame(bits Bits, preamble bool) ([]float64, error) {
 	}
 	lo := 1 - p.ModulationDepth
 	pw := p.samples(p.PW)
-	var env []float64
+	// Size the envelope up front: FrameDuration is the exact on-air time,
+	// so rate·duration bounds the sample count (± rounding per segment).
+	env := make([]float64, 0, p.samples(p.FrameDuration(bits, preamble))+8)
 	// Delimiter: low.
 	env = appendLevel(env, p.samples(p.Delimiter), lo)
 	// Data-0 reference symbol.

@@ -72,8 +72,12 @@ func runFig9(cfg Config) (*engine.Result, error) {
 		Plan: func(n int) (uint64, string) {
 			return cfg.Seed + uint64(n), "gain-trial"
 		},
-		Measure: func(n, _ int, r *rng.Rand) (GainSample, error) {
-			return MeasureGains(sc, n, r)
+		// Batched path: the tank scenario is trial-invariant, and the
+		// per-worker gain kits absorb the per-trial allocation floor.
+		Prepare:    func(int) (any, error) { return sc, nil },
+		NewScratch: newGainKit,
+		MeasureScratch: func(n int, ctx, scratch any, _ int, r *rng.Rand) (GainSample, error) {
+			return measureGainsScratch(scratch.(*gainKit), ctx.(scenario.Scenario), n, nil, r)
 		},
 		Row: func(n int, samples []GainSample) ([]engine.Cell, error) {
 			s, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
@@ -99,8 +103,12 @@ func runFig10a(cfg Config) (*engine.Result, error) {
 		Plan: func(d float64) (uint64, string) {
 			return cfg.Seed + uint64(d*1000), "gain-trial"
 		},
-		Measure: func(d float64, _ int, r *rng.Rand) (GainSample, error) {
-			return MeasureGains(base.WithDepth(d), 10, r)
+		// The depth-adjusted tank is built once per point (not per trial)
+		// and shared read-only across the point's parallel trials.
+		Prepare:    func(d float64) (any, error) { return base.WithDepth(d), nil },
+		NewScratch: newGainKit,
+		MeasureScratch: func(_ float64, ctx, scratch any, _ int, r *rng.Rand) (GainSample, error) {
+			return measureGainsScratch(scratch.(*gainKit), ctx.(scenario.Scenario), 10, nil, r)
 		},
 		Row: func(d float64, samples []GainSample) ([]engine.Cell, error) {
 			s, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
@@ -131,10 +139,16 @@ func runFig10b(cfg Config) (*engine.Result, error) {
 		Plan: func(th float64) (uint64, string) {
 			return cfg.Seed + uint64(th*100), "gain-trial"
 		},
-		Measure: func(th float64, _ int, r *rng.Rand) (GainSample, error) {
+		// The oriented tank is built once per point (not per trial) and
+		// shared read-only across the point's parallel trials.
+		Prepare: func(th float64) (any, error) {
 			sc := scenario.NewTank(0.5, em.Water, 0.10)
 			sc.FixedOrientation = th
-			return MeasureGains(sc, 10, r)
+			return sc, nil
+		},
+		NewScratch: newGainKit,
+		MeasureScratch: func(_ float64, ctx, scratch any, _ int, r *rng.Rand) (GainSample, error) {
+			return measureGainsScratch(scratch.(*gainKit), ctx.(scenario.Scenario), 10, nil, r)
 		},
 		Row: func(th float64, samples []GainSample) ([]engine.Cell, error) {
 			s, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })
@@ -168,8 +182,10 @@ func runFig11(cfg Config) (*engine.Result, error) {
 		Plan: func(p mediumPoint) (uint64, string) {
 			return cfg.Seed + uint64(1000*(p.index+1)), "gain-trial"
 		},
-		Measure: func(p mediumPoint, _ int, r *rng.Rand) (GainSample, error) {
-			return MeasureGains(p.sc, 10, r)
+		Prepare:    func(p mediumPoint) (any, error) { return p.sc, nil },
+		NewScratch: newGainKit,
+		MeasureScratch: func(_ mediumPoint, ctx, scratch any, _ int, r *rng.Rand) (GainSample, error) {
+			return measureGainsScratch(scratch.(*gainKit), ctx.(scenario.Scenario), 10, nil, r)
 		},
 		Row: func(p mediumPoint, samples []GainSample) ([]engine.Cell, error) {
 			cib, err := gainStats(samples, func(g GainSample) float64 { return g.CIB / g.Single })

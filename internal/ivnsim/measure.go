@@ -103,20 +103,18 @@ func RunGainTrials(sc scenario.Scenario, n, trials int, seed uint64) ([]GainSamp
 
 // RunGainTrialsTraced is RunGainTrials with per-trial trace spans: trial i
 // records under "<prefix>/NNNN". A nil log (the untraced form) draws the
-// same streams and returns identical samples.
+// same streams and returns identical samples. Trials run on the batched
+// scratch path: per-worker gain kits absorb the per-trial allocations.
 func RunGainTrialsTraced(sc scenario.Scenario, n, trials int, seed uint64, tlog *session.TraceLog, prefix string) ([]GainSample, error) {
-	return engine.Trials(seed, "gain-trial", trials, func(i int, r *rng.Rand) (GainSample, error) {
+	s := engine.NewScratches(newGainKit)
+	return engine.TrialsScratch(seed, "gain-trial", trials, s, func(i int, scratch any, r *rng.Rand) (GainSample, error) {
 		var tr *session.Trace
 		if tlog != nil {
 			var commit func()
 			tr, commit = tlog.Span(fmt.Sprintf("%s/%04d", prefix, i))
 			defer commit()
 		}
-		p, err := sc.Realize(n, r)
-		if err != nil {
-			return GainSample{}, err
-		}
-		return measureGainsAt(p, n, tr, r)
+		return measureGainsScratch(scratch.(*gainKit), sc, n, tr, r)
 	})
 }
 
@@ -155,6 +153,10 @@ type CommOptions struct {
 // capture-retry path.
 func (o CommOptions) faultAware() bool { return o.DecodeFault != nil || o.Retries > 0 }
 
+// defaultEPC is the EPC programmed into every simulated tag. Shared
+// safely across trials: gen2.NewTagLogic copies the bytes it is given.
+var defaultEPC = []byte{0xE2, 0x00, 0x12, 0x34}
+
 // RunCommTrial realizes a placement and attempts a full power-up +
 // inventory exchange with the given tag model.
 func RunCommTrial(sc scenario.Scenario, n int, model tag.Model, opts CommOptions, r *rng.Rand) (CommTrial, error) {
@@ -166,16 +168,23 @@ func RunCommTrial(sc scenario.Scenario, n int, model tag.Model, opts CommOptions
 }
 
 func runCommAt(p *scenario.Placement, n int, model tag.Model, opts CommOptions, r *rng.Rand) (CommTrial, error) {
-	var res CommTrial
-
 	// Downlink power delivery at the placement's own geometry.
 	lk, err := link.ForTrial(p, n, opts.Trace, r)
 	if err != nil {
-		return res, err
+		return CommTrial{}, err
 	}
+	return commExchangeAt(lk, r.Split("tag"), model, opts, r)
+}
+
+// commExchangeAt runs the power-up + inventory exchange over an already
+// realized link. tagRand seeds the tag's RN16 stream; it must stay valid
+// for the whole exchange (gen2.TagLogic keeps the pointer and draws
+// later), which is why the scratch path hands in a persistent kit field.
+func commExchangeAt(lk *link.Link, tagRand *rng.Rand, model tag.Model, opts CommOptions, r *rng.Rand) (CommTrial, error) {
+	var res CommTrial
 	res.PeakPower = lk.PeakPower()
 
-	tg, err := tag.New(model, []byte{0xE2, 0x00, 0x12, 0x34}, r.Split("tag"))
+	tg, err := tag.New(model, defaultEPC, tagRand)
 	if err != nil {
 		return res, err
 	}
@@ -232,16 +241,22 @@ func MaxOperatingDistance(mk func(d float64) scenario.Scenario, n int, model tag
 		return 0, fmt.Errorf("ivnsim: bad success spec %d/%d", successNeeded, trialsPerPoint)
 	}
 	parent := rng.New(seed)
+	// Per-worker comm kits and the outcome buffer persist across the whole
+	// bisection — every probe reuses them.
+	scratches := engine.NewScratches(newCommKit)
+	good := make([]bool, trialsPerPoint)
 	ok := func(d float64) (bool, error) {
 		// Trials at one distance are independent; run them on the worker
-		// pool. SplitIndexed derives each child stream purely from the
+		// pool. SplitIndexedInto derives each child stream purely from the
 		// parent state + label + index, so concurrent derivation is safe
-		// and the per-trial outcomes are identical at any GOMAXPROCS.
+		// and the per-trial outcomes are identical at any GOMAXPROCS. The
+		// scenario is trial-invariant: build it once per probe and share it
+		// read-only across the parallel trials.
+		sc := mk(d)
 		label := fmt.Sprintf("range-%.6g", d)
-		good := make([]bool, trialsPerPoint)
-		err := engine.ForEach(trialsPerPoint, func(i int) error {
-			r := parent.SplitIndexed(label, i)
-			tr, err := RunCommTrial(mk(d), n, model, CommOptions{}, r)
+		err := engine.ForEachScratch(trialsPerPoint, scratches, func(i int, scratch any, r *rng.Rand) error {
+			parent.SplitIndexedInto(r, label, i)
+			tr, err := runCommScratch(scratch.(*commKit), sc, n, model, CommOptions{}, r)
 			if err != nil {
 				return err
 			}

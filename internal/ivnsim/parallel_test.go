@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"ivn/internal/engine"
 )
 
 // The scheduler's own unit tests live with it in internal/engine; this
@@ -16,6 +18,38 @@ func renderedTable(tab *Table) string {
 		return "render error: " + err.Error()
 	}
 	return sb.String()
+}
+
+// TestTablesIdenticalAcrossWorkerCap is the same contract along the other
+// concurrency axis: the engine's -parallel worker cap. It specifically
+// guards the batched scratch paths — with one worker a single kit serves
+// every trial of a sweep; with four workers trials land on different kits
+// in scheduling-dependent order — so any leakage of worker state into
+// results shows up as a table diff. Fig9 covers the batched gain sweep,
+// fig13c the batched range search.
+func TestTablesIdenticalAcrossWorkerCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	defer engine.SetMaxParallel(0)
+	ids := []string{"fig9", "fig13c"}
+	cfg := Config{Seed: 42, Quick: true}
+	for _, id := range ids {
+		engine.SetMaxParallel(1)
+		tabOne, err := mustRun(t, id, cfg)
+		if err != nil {
+			t.Fatalf("%s at -parallel 1: %v", id, err)
+		}
+		one := renderedTable(tabOne)
+		engine.SetMaxParallel(4)
+		tabFour, err := mustRun(t, id, cfg)
+		if err != nil {
+			t.Fatalf("%s at -parallel 4: %v", id, err)
+		}
+		if four := renderedTable(tabFour); four != one {
+			t.Errorf("%s: table differs between -parallel 1 and 4:\nserial:\n%s\nparallel:\n%s", id, one, four)
+		}
+	}
 }
 
 func TestTablesIdenticalAcrossGOMAXPROCS(t *testing.T) {

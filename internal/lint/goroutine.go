@@ -9,15 +9,17 @@ import (
 
 // GoroutineHygiene confines concurrency to the sanctioned runners. PR 1
 // parallelized the trial loops through one bounded worker pool
-// (forEachIndexed) precisely so that determinism, error propagation, and
-// backpressure live in a single audited function; a raw `go` statement
-// anywhere else reintroduces unbounded, unobserved concurrency.
+// (forEachIndexed, whose launch loop now lives in forEachWorkerN)
+// precisely so that determinism, error propagation, and backpressure live
+// in a single audited function; a raw `go` statement anywhere else
+// reintroduces unbounded, unobserved concurrency.
 //
 // Checks:
 //
 //   - a go statement outside a sanctioned runner function (by name:
-//     forEachIndexed) is reported — route the work through the runner, or
-//     annotate a deliberate exception;
+//     forEachWorkerN, the pool's one launch site; forEachIndexed and
+//     ForEachScratch delegate to it) is reported — route the work through
+//     the runner, or annotate a deliberate exception;
 //   - sync.WaitGroup.Add called *inside* a spawned goroutine races with
 //     the corresponding Wait (Wait can return before the Add executes);
 //     Add must happen on the spawning side. This is checked everywhere,
@@ -33,6 +35,7 @@ var GoroutineHygiene = &Analyzer{
 // a convenience.
 var sanctionedRunners = map[string]bool{
 	"forEachIndexed": true,
+	"forEachWorkerN": true,
 }
 
 func runGoroutineHygiene(pass *Pass) {

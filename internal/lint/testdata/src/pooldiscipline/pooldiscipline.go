@@ -203,6 +203,70 @@ func measureClosureDeferred(n int, skip bool) []float64 {
 	return out
 }
 
+// prepareOnceShared is the sanctioned batched-sweep shape: the point's
+// invariant context is staged in pooled scratch once, borrowed read-only
+// by every trial callback the runner schedules, and released only after
+// the runner has drained all trials. Passing a held buffer to an
+// ordinary call is a borrow — neither a release nor an escape — so the
+// analyzer accepts the whole prepare → share → Put sequence. No
+// findings.
+func prepareOnceShared(points, trialsPerPoint int) []float64 {
+	out := make([]float64, points)
+	for p := 0; p < points; p++ {
+		ctx := pool.Float64(64) // the point's Prepare result
+		ctx[0] = float64(p)
+		runner(trialsPerPoint, func(i int) {
+			out[p] += consume(ctx) // trials borrow the shared context
+		})
+		pool.PutFloat64(ctx)
+	}
+	return out
+}
+
+// prepareOnceEscapes breaks the contract on the share side: the prepared
+// context itself leaves through the sweep's result, so the pool can hand
+// its backing array to the next point's Prepare while the caller still
+// reads this one.
+func prepareOnceEscapes(trialsPerPoint int) []float64 {
+	ctx := pool.Float64(64)
+	runner(trialsPerPoint, func(i int) {
+		ctx[0] += float64(i)
+	})
+	return ctx // want `pooled buffer "ctx" escapes via return`
+}
+
+// prepareOnceReacquired mutates the shared context's identity mid-sweep:
+// re-Preparing into the same name before the Put strands the first
+// point's buffer while trials of that point may still alias it.
+func prepareOnceReacquired(points, trialsPerPoint int) {
+	ctx := pool.Float64(64)
+	for p := 0; p < points; p++ {
+		runner(trialsPerPoint, func(i int) {
+			consume(ctx)
+		})
+		ctx = pool.Float64(64) // want `overwritten by a new acquisition`
+	}
+	pool.PutFloat64(ctx)
+}
+
+// prepareOnceLeaksOnError forgets the release on the sweep's error-shaped
+// exit: the prepared context of the failing point never returns to the
+// pool.
+func prepareOnceLeaksOnError(points, trialsPerPoint int, bad bool) float64 {
+	var acc float64
+	for p := 0; p < points; p++ {
+		ctx := pool.Float64(64)
+		runner(trialsPerPoint, func(i int) {
+			acc += consume(ctx)
+		})
+		if bad {
+			return 0 // want `pooled buffer "ctx" .* not released at this return`
+		}
+		pool.PutFloat64(ctx)
+	}
+	return acc
+}
+
 // retryBalanced releases on both the success and the retry path: no
 // findings.
 func retryBalanced(attempts int) float64 {

@@ -43,6 +43,15 @@ const renormMask = 2047
 // arrive zeroed (or hold a partial sum to extend). freqs and coeffs must
 // have equal length; SumSeries panics otherwise because a mismatch is
 // always a programming error.
+//
+// Carriers are processed four at a time by an interleaved kernel: the
+// four recurrences are independent, so the CPU overlaps their multiply
+// latencies, and each pass over re/im covers four carriers instead of
+// one. The result is bit-identical to the serial per-carrier loop
+// (sumSeriesSerial, retained as the reference): for every sample k the
+// partial sums accumulate in ascending carrier order with the exact same
+// operations, and each carrier's recurrence and renormalization sequence
+// is unchanged.
 func SumSeries(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, im []float64) {
 	if len(freqs) != len(coeffs) {
 		panic("phasor: freqs/coeffs length mismatch")
@@ -52,15 +61,37 @@ func SumSeries(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, 
 	}
 	re = re[:n]
 	im = im[:n]
+	i := 0
+	for ; i+4 <= len(freqs); i += 4 {
+		sumSeries4(freqs[i:i+4:i+4], coeffs[i:i+4:i+4], t0, dt, n, re, im)
+	}
+	if i < len(freqs) {
+		sumSeriesSerial(freqs[i:], coeffs[i:], t0, dt, n, re, im)
+	}
+}
+
+// startPhasor rotates coeff to its value at t0 and returns the per-step
+// rotation for spacing dt plus the starting magnitude — the shared setup
+// of the serial and interleaved kernels.
+func startPhasor(f float64, coeff complex128, t0, dt float64) (curRe, curIm, rotRe, rotIm, mag float64) {
+	ss, cs := math.Sincos(2 * math.Pi * f * dt)
+	rotRe, rotIm = cs, ss
+	curRe, curIm = real(coeff), imag(coeff)
+	if t0 != 0 {
+		s0, c0 := math.Sincos(2 * math.Pi * f * t0)
+		curRe, curIm = curRe*c0-curIm*s0, curRe*s0+curIm*c0
+	}
+	mag = math.Hypot(curRe, curIm)
+	return
+}
+
+// sumSeriesSerial is the reference per-carrier recurrence loop. SumSeries
+// must remain bit-identical to it (TestSumSeriesInterleavedBitExact).
+func sumSeriesSerial(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, im []float64) {
+	re = re[:n]
+	im = im[:n]
 	for i, f := range freqs {
-		ss, cs := math.Sincos(2 * math.Pi * f * dt)
-		rotRe, rotIm := cs, ss
-		curRe, curIm := real(coeffs[i]), imag(coeffs[i])
-		if t0 != 0 {
-			s0, c0 := math.Sincos(2 * math.Pi * f * t0)
-			curRe, curIm = curRe*c0-curIm*s0, curRe*s0+curIm*c0
-		}
-		mag := math.Hypot(curRe, curIm)
+		curRe, curIm, rotRe, rotIm, mag := startPhasor(f, coeffs[i], t0, dt)
 		for k := 0; k < n; k++ {
 			re[k] += curRe
 			im[k] += curIm
@@ -71,6 +102,65 @@ func SumSeries(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, 
 					curRe *= s
 					curIm *= s
 				}
+			}
+		}
+	}
+}
+
+// sumSeries4 advances four carriers through one pass over re/im. The four
+// recurrence chains are independent (4-way instruction-level parallelism
+// on the latency-bound complex multiplies) and re/im are touched once per
+// sample instead of four times. Additions into re[k]/im[k] run in
+// ascending carrier order, reproducing the serial loop's partial-sum
+// sequence exactly.
+func sumSeries4(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, im []float64) {
+	_ = freqs[3]
+	_ = coeffs[3]
+	c0r, c0i, r0r, r0i, m0 := startPhasor(freqs[0], coeffs[0], t0, dt)
+	c1r, c1i, r1r, r1i, m1 := startPhasor(freqs[1], coeffs[1], t0, dt)
+	c2r, c2i, r2r, r2i, m2 := startPhasor(freqs[2], coeffs[2], t0, dt)
+	c3r, c3i, r3r, r3i, m3 := startPhasor(freqs[3], coeffs[3], t0, dt)
+	re = re[:n]
+	im = im[:n]
+	for k := 0; k < n; k++ {
+		// Sequential adds, carrier order 0..3 — the serial loop's exact
+		// partial-sum chain for sample k.
+		x := re[k]
+		x += c0r
+		x += c1r
+		x += c2r
+		x += c3r
+		re[k] = x
+		y := im[k]
+		y += c0i
+		y += c1i
+		y += c2i
+		y += c3i
+		im[k] = y
+		c0r, c0i = c0r*r0r-c0i*r0i, c0r*r0i+c0i*r0r
+		c1r, c1i = c1r*r1r-c1i*r1i, c1r*r1i+c1i*r1r
+		c2r, c2i = c2r*r2r-c2i*r2i, c2r*r2i+c2i*r2r
+		c3r, c3i = c3r*r3r-c3i*r3i, c3r*r3i+c3i*r3r
+		if k&renormMask == renormMask {
+			if m := math.Hypot(c0r, c0i); m != 0 {
+				s := m0 / m
+				c0r *= s
+				c0i *= s
+			}
+			if m := math.Hypot(c1r, c1i); m != 0 {
+				s := m1 / m
+				c1r *= s
+				c1i *= s
+			}
+			if m := math.Hypot(c2r, c2i); m != 0 {
+				s := m2 / m
+				c2r *= s
+				c2i *= s
+			}
+			if m := math.Hypot(c3r, c3i); m != 0 {
+				s := m3 / m
+				c3r *= s
+				c3i *= s
 			}
 		}
 	}

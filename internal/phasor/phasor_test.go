@@ -214,3 +214,34 @@ func BenchmarkPeakPowerRefined10Carriers(b *testing.B) {
 		PeakPowerRefined(freqs, coeffs, 1.0, 2048, 8192)
 	}
 }
+
+// TestSumSeriesInterleavedBitExact pins the 4-carrier interleaved kernel
+// to the serial reference loop, bit for bit: same ascending-carrier
+// partial sums per sample, same recurrence and renormalization sequence
+// per carrier. Covers group sizes with and without a remainder, both t0
+// forms, and spans crossing the renorm cadence.
+func TestSumSeriesInterleavedBitExact(t *testing.T) {
+	r := rng.New(19)
+	for _, carriers := range []int{1, 2, 3, 4, 5, 7, 8, 9, 10, 13} {
+		for _, samples := range []int{1, 17, 2048, 4099} {
+			freqs, coeffs := randomSet(r, carriers, 200)
+			t0 := 0.0
+			if samples%2 == 1 {
+				t0 = r.Float64()
+			}
+			dt := 1.0 / float64(samples)
+			re := make([]float64, samples)
+			im := make([]float64, samples)
+			SumSeries(freqs, coeffs, t0, dt, samples, re, im)
+			wantRe := make([]float64, samples)
+			wantIm := make([]float64, samples)
+			sumSeriesSerial(freqs, coeffs, t0, dt, samples, wantRe, wantIm)
+			for k := 0; k < samples; k++ {
+				if re[k] != wantRe[k] || im[k] != wantIm[k] {
+					t.Fatalf("%d carriers, %d samples, k=%d: interleaved (%v,%v) != serial (%v,%v)",
+						carriers, samples, k, re[k], im[k], wantRe[k], wantIm[k])
+				}
+			}
+		}
+	}
+}

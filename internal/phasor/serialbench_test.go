@@ -1,0 +1,24 @@
+package phasor
+
+import (
+	"testing"
+
+	"ivn/internal/rng"
+)
+
+// BenchmarkSumSeriesSerial10Carriers8192 benchmarks the retained serial
+// reference so the interleaved kernel's speedup stays measurable.
+func BenchmarkSumSeriesSerial10Carriers8192(b *testing.B) {
+	r := rng.New(1)
+	freqs, coeffs := randomSet(r, 10, 150)
+	re := make([]float64, 8192)
+	im := make([]float64, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range re {
+			re[k], im[k] = 0, 0
+		}
+		sumSeriesSerial(freqs, coeffs, 0, 1.0/8192, 8192, re, im)
+	}
+}

@@ -59,17 +59,48 @@ func (r *Rand) Uint64() uint64 {
 	return result
 }
 
-// Split derives an independent generator from r and a label. The derived
-// stream depends only on r's current state and the label, so the same
-// (parent state, label) pair always yields the same child stream.
-func (r *Rand) Split(label string) *Rand {
-	// FNV-1a over the label, folded into a draw from the parent.
+// fnv1a hashes label bytes with FNV-1a. It is the one label hash shared
+// by every split variant, so a string label and its byte rendering always
+// derive the same child stream.
+func fnv1a(label []byte) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	return New(r.Uint64() ^ h)
+	return h
+}
+
+// fnv1aString is fnv1a over a string without converting it to []byte.
+func fnv1aString(label string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Split derives an independent generator from r and a label. The derived
+// stream depends only on r's current state and the label, so the same
+// (parent state, label) pair always yields the same child stream.
+func (r *Rand) Split(label string) *Rand {
+	// FNV-1a over the label, folded into a draw from the parent.
+	return New(r.Uint64() ^ fnv1aString(label))
+}
+
+// SplitInto is Split into caller-owned storage: dst is reseeded to the
+// exact stream Split(label) would return, with no allocation. The parent
+// advances identically.
+func (r *Rand) SplitInto(dst *Rand, label string) {
+	dst.Reseed(r.Uint64() ^ fnv1aString(label))
+}
+
+// SplitBytesInto is SplitInto with the label given as bytes: identical
+// label bytes yield the identical child stream, so hot paths can build
+// labels in stack scratch (e.g. strconv.AppendInt) instead of fmt.Sprintf.
+func (r *Rand) SplitBytesInto(dst *Rand, label []byte) {
+	dst.Reseed(r.Uint64() ^ fnv1a(label))
 }
 
 // SplitIndexed derives an independent generator for trial index i. It is a
@@ -78,15 +109,22 @@ func (r *Rand) Split(label string) *Rand {
 // function of the parent state and i, so parallel trial workers can derive
 // their streams from a shared snapshot.
 func (r *Rand) SplitIndexed(label string, i int) *Rand {
-	h := uint64(14695981039346656037)
-	for j := 0; j < len(label); j++ {
-		h ^= uint64(label[j])
-		h *= 1099511628211
-	}
+	child := &Rand{} // Reseed in SplitIndexedInto fully initializes it
+	r.SplitIndexedInto(child, label, i)
+	return child
+}
+
+// SplitIndexedInto is SplitIndexed into caller-owned storage: dst is
+// reseeded to the exact stream SplitIndexed(label, i) would return, with
+// no allocation. Like SplitIndexed it never mutates the parent, so
+// parallel workers can derive trial streams into per-worker scratch from
+// a shared snapshot.
+func (r *Rand) SplitIndexedInto(dst *Rand, label string, i int) {
+	h := fnv1aString(label)
 	h ^= uint64(i) + 0x9e3779b97f4a7c15
 	h *= 1099511628211
 	// Mix with state without mutating it.
-	return New(h ^ rotl(r.s[0], 13) ^ r.s[3])
+	dst.Reseed(h ^ rotl(r.s[0], 13) ^ r.s[3])
 }
 
 // Float64 returns a uniform value in [0, 1).

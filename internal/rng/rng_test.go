@@ -309,3 +309,77 @@ func BenchmarkNormFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestSplitIntoMatchesSplit pins the scratch variants to the allocating
+// originals: identical parents and labels must yield bit-identical child
+// streams and identical parent advancement.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	labels := []string{"", "cib", "blind", "tag", "pll-0", "pll-17", "range-0.123456"}
+	for _, label := range labels {
+		a, b := New(42), New(42)
+		want := a.Split(label)
+		var got Rand
+		b.SplitInto(&got, label)
+		for i := 0; i < 64; i++ {
+			if w, g := want.Uint64(), got.Uint64(); w != g {
+				t.Fatalf("SplitInto(%q) diverges at draw %d: %x vs %x", label, i, w, g)
+			}
+		}
+		// Parent advancement must match too.
+		if w, g := a.Uint64(), b.Uint64(); w != g {
+			t.Fatalf("SplitInto(%q) advanced the parent differently: %x vs %x", label, w, g)
+		}
+	}
+}
+
+// TestSplitBytesIntoMatchesSplit checks the byte-label form hashes
+// identically to the string form.
+func TestSplitBytesIntoMatchesSplit(t *testing.T) {
+	for _, label := range []string{"pll-0", "pll-9", "dl-3", "x"} {
+		a, b := New(7), New(7)
+		want := a.Split(label)
+		var got Rand
+		b.SplitBytesInto(&got, []byte(label))
+		for i := 0; i < 32; i++ {
+			if w, g := want.Uint64(), got.Uint64(); w != g {
+				t.Fatalf("SplitBytesInto(%q) diverges at draw %d", label, i)
+			}
+		}
+	}
+}
+
+// TestSplitIndexedIntoMatchesSplitIndexed pins the indexed scratch variant
+// and its non-advancing contract.
+func TestSplitIndexedIntoMatchesSplitIndexed(t *testing.T) {
+	parent := New(11)
+	for i := 0; i < 20; i++ {
+		want := parent.SplitIndexed("gain-trial", i)
+		var got Rand
+		parent.SplitIndexedInto(&got, "gain-trial", i)
+		for d := 0; d < 32; d++ {
+			if w, g := want.Uint64(), got.Uint64(); w != g {
+				t.Fatalf("SplitIndexedInto(i=%d) diverges at draw %d", i, d)
+			}
+		}
+	}
+	// Deriving children must not have advanced the parent.
+	fresh := New(11)
+	if parent.Uint64() != fresh.Uint64() {
+		t.Fatal("SplitIndexedInto advanced the parent")
+	}
+}
+
+// TestSplitVariantsAllocationFree pins the whole point of the Into forms.
+func TestSplitVariantsAllocationFree(t *testing.T) {
+	parent := New(3)
+	var child Rand
+	label := []byte("pll-4")
+	allocs := testing.AllocsPerRun(100, func() {
+		parent.SplitInto(&child, "cib")
+		parent.SplitBytesInto(&child, label)
+		parent.SplitIndexedInto(&child, "gain-trial", 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("split scratch variants allocate %.0f times per round, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"ivn/internal/em"
 	"ivn/internal/rng"
@@ -38,6 +39,11 @@ type Placement struct {
 	// instead of assuming the defaults. Read it through Geometry(), which
 	// falls back to DefaultGeometry for hand-built placements.
 	Geom Geometry
+
+	// layers is scratch for the base path's tissue stack, reused across
+	// RealizeInto calls so realization stays allocation-free. The realized
+	// channels alias it read-only until the placement is realized again.
+	layers []em.Layer
 }
 
 // Geometry returns the geometry that realized p. A zero Geom (a
@@ -57,6 +63,30 @@ type Scenario interface {
 	Name() string
 	// Realize draws a placement with nAntennas downlink channels.
 	Realize(nAntennas int, r *rng.Rand) (*Placement, error)
+}
+
+// PlacementReuser is implemented by scenarios that can realize into a
+// caller-owned Placement, reusing its channel, ray and layer storage.
+// RealizeInto must draw exactly the variate sequence of Realize so the two
+// are interchangeable under a fixed seed.
+type PlacementReuser interface {
+	Scenario
+	RealizeInto(p *Placement, nAntennas int, r *rng.Rand) error
+}
+
+// RealizeInto realizes sc into p, reusing p's storage when the scenario
+// supports it and falling back to a fresh Realize otherwise. Either way
+// the variate stream and resulting placement are identical to Realize.
+func RealizeInto(sc Scenario, p *Placement, nAntennas int, r *rng.Rand) error {
+	if ru, ok := sc.(PlacementReuser); ok {
+		return ru.RealizeInto(p, nAntennas, r)
+	}
+	q, err := sc.Realize(nAntennas, r)
+	if err != nil {
+		return err
+	}
+	*p = *q
+	return nil
 }
 
 // Geometry is the shared parameter block concrete scenarios embed.
@@ -99,11 +129,25 @@ func DefaultGeometry() Geometry {
 // realize builds a placement for a path template: per-antenna air-distance
 // jitter, shared tag orientation, independent multipath.
 func (g Geometry) realize(base em.Path, nAntennas int, r *rng.Rand) (*Placement, error) {
+	p := &Placement{}
+	if err := g.realizeInto(p, base, nAntennas, r); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// realizeInto is realize writing into caller-owned storage: downlink and
+// reader channels (with their ray buffers) are reset and refilled in
+// place, the split labels come from a stack buffer (byte-identical to the
+// historical fmt.Sprintf labels), and the base path's layer stack is
+// aliased read-only by every channel instead of copied per channel. The
+// variate draw sequence matches realize exactly.
+func (g Geometry) realizeInto(p *Placement, base em.Path, nAntennas int, r *rng.Rand) error {
 	if nAntennas < 1 {
-		return nil, fmt.Errorf("scenario: %d antennas", nAntennas)
+		return fmt.Errorf("scenario: %d antennas", nAntennas)
 	}
 	if err := base.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	orientation := g.FixedOrientation
 	if orientation < 0 {
@@ -112,31 +156,54 @@ func (g Geometry) realize(base em.Path, nAntennas int, r *rng.Rand) (*Placement,
 	og := em.DipoleOrientationGain(orientation, g.OrientationFloor)
 	txGain := dbiAmp(g.TxAntennaGainDBi)
 
-	mk := func(path em.Path, rnd *rng.Rand) *em.Channel {
-		c := em.NewChannel(path)
-		c.TxGain = txGain
-		c.OrientationGain = og
-		c.Rays = g.Multipath.GenerateRays(rnd)
-		return c
-	}
+	p.Orientation = orientation
+	p.Geom = g
+	p.UplinkPhaseDriftPerPeriod = 0
 
-	p := &Placement{Orientation: orientation, Geom: g}
+	// Grow the downlink slice through its capacity so channels realized for
+	// earlier (possibly larger) antenna counts stay available for reuse.
+	d := p.Downlink[:cap(p.Downlink)]
+	for len(d) < nAntennas {
+		d = append(d, nil)
+	}
+	p.Downlink = d[:nAntennas]
+
+	var buf [16]byte
+	var child rng.Rand
 	for i := 0; i < nAntennas; i++ {
 		jitter := r.UniformRange(-g.AntennaSpread, g.AntennaSpread)
-		path := base.WithAirDistance(maxf(0.05, base.AirDistance+jitter))
-		p.Downlink = append(p.Downlink, mk(path, r.Split(fmt.Sprintf("dl-%d", i))))
+		path := base.WithAirDistanceShared(maxf(0.05, base.AirDistance+jitter))
+		label := strconv.AppendInt(append(buf[:0], "dl-"...), int64(i), 10)
+		r.SplitBytesInto(&child, label)
+		p.Downlink[i] = fillChannel(p.Downlink[i], path, og, txGain, g.Multipath, &child)
 	}
 	// Reader antennas sit alongside the array; their paths see the same
 	// stack with their own jitter and echoes.
-	rd := base.WithAirDistance(maxf(0.05, base.AirDistance+r.UniformRange(-g.AntennaSpread, g.AntennaSpread)))
-	ru := base.WithAirDistance(maxf(0.05, base.AirDistance+r.UniformRange(-g.AntennaSpread, g.AntennaSpread)))
-	p.ReaderDown = mk(rd, r.Split("reader-down"))
-	p.ReaderUp = mk(ru, r.Split("reader-up"))
+	rd := base.WithAirDistanceShared(maxf(0.05, base.AirDistance+r.UniformRange(-g.AntennaSpread, g.AntennaSpread)))
+	ru := base.WithAirDistanceShared(maxf(0.05, base.AirDistance+r.UniformRange(-g.AntennaSpread, g.AntennaSpread)))
+	r.SplitInto(&child, "reader-down")
+	p.ReaderDown = fillChannel(p.ReaderDown, rd, og, txGain, g.Multipath, &child)
+	r.SplitInto(&child, "reader-up")
+	p.ReaderUp = fillChannel(p.ReaderUp, ru, og, txGain, g.Multipath, &child)
 
 	// Leakage: free-space coupling between co-located 7 dBi panels.
 	leakAmp := txGain * txGain * em.FriisAmplitude(em.Wavelength(g.CIBFreq), g.ReaderStandoff)
 	p.CIBLeakPerWatt = leakAmp * leakAmp
-	return p, nil
+	return nil
+}
+
+// fillChannel resets a (possibly nil) channel to a fresh realization over
+// path, regenerating its ray set into the retained buffer.
+func fillChannel(c *em.Channel, path em.Path, og, txGain float64, mp em.MultipathProfile, rnd *rng.Rand) *em.Channel {
+	if c == nil {
+		c = &em.Channel{}
+	}
+	c.Direct = path
+	c.OrientationGain = og
+	c.TxGain = txGain
+	c.RxGain = 1
+	c.Rays = mp.GenerateRaysInto(c.Rays[:0], rnd)
+	return c
 }
 
 func dbiAmp(dbi float64) float64 {

@@ -38,13 +38,25 @@ func (t *Tank) Name() string {
 
 // Realize implements Scenario.
 func (t *Tank) Realize(nAntennas int, r *rng.Rand) (*Placement, error) {
+	p := &Placement{}
+	if err := t.RealizeInto(p, nAntennas, r); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RealizeInto implements PlacementReuser: the one-layer tissue stack is
+// built in the placement's retained scratch, so repeated realizations
+// allocate nothing.
+func (t *Tank) RealizeInto(p *Placement, nAntennas int, r *rng.Rand) error {
 	base := em.Path{AirDistance: t.AirDistance}
 	if t.Depth > 0 && t.Medium.Name != em.Air.Name {
-		base.Layers = []em.Layer{{Medium: t.Medium, Thickness: t.Depth}}
+		p.layers = append(p.layers[:0], em.Layer{Medium: t.Medium, Thickness: t.Depth})
+		base.Layers = p.layers
 	} else {
 		base.AirDistance += t.Depth
 	}
-	return t.Geometry.realize(base, nAntennas, r)
+	return t.Geometry.realizeInto(p, base, nAntennas, r)
 }
 
 // WithDepth returns a copy at a different depth (for sweeps).
@@ -77,6 +89,11 @@ func (a *Air) Name() string { return fmt.Sprintf("air(%.2gm)", a.Range) }
 // Realize implements Scenario.
 func (a *Air) Realize(nAntennas int, r *rng.Rand) (*Placement, error) {
 	return a.Geometry.realize(em.Path{AirDistance: a.Range}, nAntennas, r)
+}
+
+// RealizeInto implements PlacementReuser.
+func (a *Air) RealizeInto(p *Placement, nAntennas int, r *rng.Rand) error {
+	return a.Geometry.realizeInto(p, em.Path{AirDistance: a.Range}, nAntennas, r)
 }
 
 // WithRange returns a copy at a different range.
@@ -143,35 +160,50 @@ func (s *Swine) Name() string { return fmt.Sprintf("swine(%s)", s.Placement) }
 
 // Stack returns the placement's nominal tissue stack.
 func (s *Swine) Stack() []em.Layer {
+	return s.AppendStack(nil)
+}
+
+// AppendStack appends the placement's nominal tissue stack to dst.
+func (s *Swine) AppendStack(dst []em.Layer) []em.Layer {
 	if s.Placement == Subcutaneous {
-		return []em.Layer{
-			{Medium: em.Skin, Thickness: 0.003},
-			{Medium: em.Fat, Thickness: 0.005},
-		}
+		return append(dst,
+			em.Layer{Medium: em.Skin, Thickness: 0.003},
+			em.Layer{Medium: em.Fat, Thickness: 0.005},
+		)
 	}
 	// Lateral path into an 85 kg Yorkshire swine's stomach: roughly 12 cm
 	// of tissue (the antennas sit "30-80 cm lateral... in line with the
 	// coronal plane", §6.2).
-	return []em.Layer{
-		{Medium: em.Skin, Thickness: 0.003},
-		{Medium: em.Fat, Thickness: 0.025},
-		{Medium: em.Muscle, Thickness: 0.045},
-		{Medium: em.StomachWall, Thickness: 0.005},
-		{Medium: em.GastricFluid, Thickness: 0.040},
-	}
+	return append(dst,
+		em.Layer{Medium: em.Skin, Thickness: 0.003},
+		em.Layer{Medium: em.Fat, Thickness: 0.025},
+		em.Layer{Medium: em.Muscle, Thickness: 0.045},
+		em.Layer{Medium: em.StomachWall, Thickness: 0.005},
+		em.Layer{Medium: em.GastricFluid, Thickness: 0.040},
+	)
 }
 
 // Realize implements Scenario.
 func (s *Swine) Realize(nAntennas int, r *rng.Rand) (*Placement, error) {
+	p := &Placement{}
+	if err := s.RealizeInto(p, nAntennas, r); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RealizeInto implements PlacementReuser: the tissue stack is built and
+// depth-adjusted in the placement's retained scratch.
+func (s *Swine) RealizeInto(p *Placement, nAntennas int, r *rng.Rand) error {
 	air := r.UniformRange(s.AirDistanceMin, s.AirDistanceMax)
-	stack := s.Stack()
-	base := em.Path{AirDistance: air, Layers: stack}
+	p.layers = s.AppendStack(p.layers[:0])
+	base := em.Path{AirDistance: air, Layers: p.layers}
 	// Breathing and repositioning perturb the total depth.
 	jitter := r.UniformRange(-s.BreathingDepthJitter, s.BreathingDepthJitter)
-	base = base.WithDepth(maxf(0.002, base.Depth()+jitter))
-	p, err := s.Geometry.realize(base, nAntennas, r)
-	if err != nil {
-		return nil, err
+	p.layers = em.SetDepth(p.layers, maxf(0.002, base.Depth()+jitter))
+	base.Layers = p.layers
+	if err := s.Geometry.realizeInto(p, base, nAntennas, r); err != nil {
+		return err
 	}
 	// Within-session breathing: the round-trip path length swings by
 	// ±2·displacement through tissue with phase constant β, so the link
@@ -183,7 +215,7 @@ func (s *Swine) Realize(nAntennas int, r *rng.Rand) (*Placement, error) {
 		perSecond := amp * 2 * math.Pi / s.BreathingPeriod
 		p.UplinkPhaseDriftPerPeriod = perSecond * perSecond / 2
 	}
-	return p, nil
+	return nil
 }
 
 // MediaSweep returns the Fig. 11 scenario list: the receive antenna in

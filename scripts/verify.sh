@@ -20,6 +20,11 @@
 #                              byte-identical and pass the tracesmoke
 #                              validator (well-formed events, monotone
 #                              per-span sim clock)
+# 9. renderer equivalence    — the Fig9/Fig13 tables (the batched
+#                              scratch-path experiments) rendered at
+#                              -parallel 1 and -parallel 4 must be
+#                              byte-identical: per-worker kit state must
+#                              never leak into results
 #
 # Stages run fail-fast: the first failing stage stops the script with a
 # FAIL banner naming the stage, so CI logs point at the culprit directly.
@@ -60,15 +65,33 @@ json_smoke() {
 }
 stage "json smoke" json_smoke
 
+# A RETURN trap would linger after the function returns and fire on every
+# later function return (where the local $dir no longer exists under
+# set -u), so the smoke stages clean their temp dirs up explicitly.
 trace_smoke() {
-  local dir
+  local dir rc=1
   dir="$(mktemp -d)" || return 1
-  trap 'rm -rf "$dir"' RETURN
-  go run ./cmd/ivnsim -run fig12 -quick -seed 2 -parallel 1 -trace "$dir/trace-p1.jsonl" >/dev/null || return 1
-  go run ./cmd/ivnsim -run fig12 -quick -seed 2 -parallel 4 -trace "$dir/trace-p4.jsonl" >/dev/null || return 1
-  cmp "$dir/trace-p1.jsonl" "$dir/trace-p4.jsonl" || { echo "trace files differ across -parallel" >&2; return 1; }
-  go run ./scripts/tracesmoke < "$dir/trace-p1.jsonl"
+  go run ./cmd/ivnsim -run fig12 -quick -seed 2 -parallel 1 -trace "$dir/trace-p1.jsonl" >/dev/null &&
+    go run ./cmd/ivnsim -run fig12 -quick -seed 2 -parallel 4 -trace "$dir/trace-p4.jsonl" >/dev/null &&
+    { cmp "$dir/trace-p1.jsonl" "$dir/trace-p4.jsonl" || { echo "trace files differ across -parallel" >&2; false; }; } &&
+    go run ./scripts/tracesmoke < "$dir/trace-p1.jsonl" && rc=0
+  rm -rf "$dir"
+  return "$rc"
 }
 stage "trace smoke" trace_smoke
+
+renderer_equiv() {
+  local dir id rc=0
+  dir="$(mktemp -d)" || return 1
+  for id in fig9 fig13c; do
+    # -json keeps stdout free of the wall-clock footer the text renderer adds.
+    go run ./cmd/ivnsim -run "$id" -quick -seed 2 -parallel 1 -json > "$dir/$id-p1.json" 2>/dev/null || { rc=1; break; }
+    go run ./cmd/ivnsim -run "$id" -quick -seed 2 -parallel 4 -json > "$dir/$id-p4.json" 2>/dev/null || { rc=1; break; }
+    cmp "$dir/$id-p1.json" "$dir/$id-p4.json" || { echo "$id tables differ across -parallel" >&2; rc=1; break; }
+  done
+  rm -rf "$dir"
+  return "$rc"
+}
+stage "renderer equivalence" renderer_equiv
 
 echo "verify: OK"
