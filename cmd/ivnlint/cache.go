@@ -1,0 +1,274 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"ivn/internal/lint"
+)
+
+// cacheSchema versions the on-disk cache entry layout. Bump it when the
+// stored DirResult shape or the key derivation changes; old entries are
+// then simply never looked up again.
+const cacheSchema = 1
+
+// cache replays per-directory lint results keyed by content hashes, so a
+// full-tree run after an incremental edit re-analyzes only the changed
+// package and its dependents. An entry's key covers everything that can
+// influence the directory's findings:
+//
+//   - the cache schema and Go toolchain version,
+//   - the analyzer set requested,
+//   - the lint implementation itself (internal/lint + cmd/ivnlint
+//     sources), so editing an analyzer invalidates everything,
+//   - the directory's own .go files, and
+//   - the .go files of every transitive module-local dependency —
+//     interprocedural passes (hot-path closures, derived pool facts)
+//     read callee bodies across package boundaries, so a dependency
+//     edit must miss even when the directory itself is untouched.
+type cache struct {
+	root string // module root (absolute)
+	dir  string // cache directory
+	base string // key prefix shared by every directory this run
+
+	module  string              // module path from go.mod
+	hashes  map[string]string   // dir → content hash (memoized)
+	imports map[string][]string // dir → module-local dep dirs (memoized)
+}
+
+// newCache builds the cache front end for one run. analyzers must be the
+// names actually run, in call order.
+func newCache(root, cacheDir, module string, analyzers []string) (*cache, error) {
+	c := &cache{
+		root:    root,
+		dir:     cacheDir,
+		module:  module,
+		hashes:  map[string]string{},
+		imports: map[string][]string{},
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "schema %d\ntoolchain %s\nanalyzers %s\n",
+		cacheSchema, runtime.Version(), strings.Join(analyzers, ","))
+	for _, tool := range []string{
+		filepath.Join(root, "internal", "lint"),
+		filepath.Join(root, "cmd", "ivnlint"),
+	} {
+		th, err := c.dirHash(tool)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "tool %s\n", th)
+	}
+	c.base = hex.EncodeToString(h.Sum(nil))
+	return c, nil
+}
+
+// dirHash hashes a directory's .go files (names and contents, sorted).
+func (c *cache) dirHash(dir string) (string, error) {
+	if h, ok := c.hashes[dir]; ok {
+		return h, nil
+	}
+	names, err := goFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", name, len(data))
+		_, _ = h.Write(data) // hash.Hash writes never fail
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.hashes[dir] = sum
+	return sum, nil
+}
+
+// deps returns the module-local directories dir's .go files import.
+func (c *cache) deps(dir string) ([]string, error) {
+	if d, ok := c.imports[dir]; ok {
+		return d, nil
+	}
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != c.module && !strings.HasPrefix(path, c.module+"/") {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, c.module), "/")
+			depDir := filepath.Join(c.root, filepath.FromSlash(rel))
+			if !seen[depDir] {
+				seen[depDir] = true
+				out = append(out, depDir)
+			}
+		}
+	}
+	sort.Strings(out)
+	c.imports[dir] = out
+	return out, nil
+}
+
+// key derives dir's cache key: the run-wide base plus the content hashes
+// of dir and its transitive module-local dependency closure.
+func (c *cache) key(dir string) (string, error) {
+	closure := []string{dir}
+	seen := map[string]bool{dir: true}
+	for i := 0; i < len(closure); i++ {
+		deps, err := c.deps(closure[i])
+		if err != nil {
+			return "", err
+		}
+		for _, d := range deps {
+			if !seen[d] {
+				seen[d] = true
+				closure = append(closure, d)
+			}
+		}
+	}
+	sort.Strings(closure)
+	h := sha256.New()
+	fmt.Fprintf(h, "base %s\n", c.base)
+	for _, d := range closure {
+		dh, err := c.dirHash(d)
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(c.root, d)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep %s %s\n", filepath.ToSlash(rel), dh)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// entry is one stored per-directory result; paths are module-relative so
+// a checkout location change does not poison the cache.
+type entry struct {
+	Schema int             `json:"schema"`
+	Result *lint.DirResult `json:"result"`
+}
+
+// load returns the cached DirResult for key, or nil on any miss
+// (absent, unreadable, or schema mismatch — never an error).
+func (c *cache) load(key string) *lint.DirResult {
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Result == nil {
+		return nil
+	}
+	c.rebasePaths(e.Result, false)
+	return e.Result
+}
+
+// store writes dir's result under key; failures are silently ignored (a
+// cold cache is always correct). The write is atomic via rename so a
+// concurrent run never reads a torn entry.
+func (c *cache) store(key string, res *lint.DirResult) {
+	cp := &lint.DirResult{
+		Findings: append([]lint.Finding(nil), res.Findings...),
+		Sites:    append([]lint.SuppRef(nil), res.Sites...),
+		Used:     append([]lint.SuppRef(nil), res.Used...),
+	}
+	c.rebasePaths(cp, true)
+	data, err := json.Marshal(entry{Schema: cacheSchema, Result: cp})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if tmp.Close() != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), filepath.Join(c.dir, key+".json")) != nil {
+		_ = os.Remove(tmp.Name())
+	}
+}
+
+// rebasePaths converts every file path in res between absolute (in
+// memory) and module-relative (on disk) form.
+func (c *cache) rebasePaths(res *lint.DirResult, toRelative bool) {
+	conv := func(p string) string {
+		if toRelative {
+			if rel, err := filepath.Rel(c.root, p); err == nil && !strings.HasPrefix(rel, "..") {
+				return filepath.ToSlash(rel)
+			}
+			return p
+		}
+		if !filepath.IsAbs(p) {
+			return filepath.Join(c.root, filepath.FromSlash(p))
+		}
+		return p
+	}
+	for i := range res.Findings {
+		res.Findings[i].File = conv(res.Findings[i].File)
+	}
+	for i := range res.Sites {
+		res.Sites[i].File = conv(res.Sites[i].File)
+	}
+	for i := range res.Used {
+		res.Used[i].File = conv(res.Used[i].File)
+	}
+}
+
+// goFiles lists dir's .go entries, sorted.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// defaultCacheDir is the per-user cache location; empty when the OS
+// reports no user cache directory (caching is then disabled).
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "ivnlint")
+}

@@ -1,21 +1,44 @@
 // Command ivnlint runs the repository's domain lint suite (internal/lint)
 // over package patterns and reports violations of the simulator's
 // correctness invariants: determinism of published tables, scratch-pool
-// discipline, float-comparison hygiene, sanctioned concurrency, and
-// handled errors.
+// discipline, float-comparison hygiene, sanctioned concurrency, handled
+// errors, physical-unit consistency, and statically alloc-free hot paths.
 //
 // Usage:
 //
-//	ivnlint [-json] [-analyzers determinism,pooldiscipline] [pattern ...]
+//	ivnlint [-json] [-analyzers determinism,pooldiscipline] [-nocache] [pattern ...]
 //	ivnlint -list
 //
 // Patterns are module-relative directories in the go tool's style:
 // ".", "./internal/dsp", "./...". With no pattern, "./..." is assumed.
 // Exit status: 0 clean, 1 findings reported, 2 usage or load error.
 //
+// Results are cached per package directory under the user cache dir
+// (override with -cachedir, disable with -nocache), keyed by the content
+// of the directory, its transitive module-local dependencies, the lint
+// implementation, and the toolchain — so a full-tree run after an
+// incremental edit re-analyzes only the changed packages and their
+// dependents.
+//
+// With -json the command emits a single report object:
+//
+//	{
+//	  "schema": 1,
+//	  "toolchain": "go1.x",
+//	  "analyzers": ["determinism", ...],
+//	  "packages": 28,
+//	  "cache_hits": 27,
+//	  "cache_misses": 1,
+//	  "findings": [{"file": ..., "line": ..., "col": ..., "analyzer": ..., "message": ...}]
+//	}
+//
 // Suppress a finding with a comment on (or directly above) the line:
 //
 //	//ivn:allow <analyzer> <reason>
+//
+// A suppression whose analyzer ran but no longer fires on its line is
+// itself reported (analyzer "ivnlint"), so stale allowances cannot
+// accumulate.
 package main
 
 import (
@@ -24,16 +47,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"ivn/internal/lint"
 )
 
+// report is the -json output schema.
+type report struct {
+	Schema      int            `json:"schema"`
+	Toolchain   string         `json:"toolchain"`
+	Analyzers   []string       `json:"analyzers"`
+	Packages    int            `json:"packages"`
+	CacheHits   int            `json:"cache_hits"`
+	CacheMisses int            `json:"cache_misses"`
+	Findings    []lint.Finding `json:"findings"`
+}
+
 func main() {
 	var (
-		asJSON = flag.Bool("json", false, "emit findings as a JSON array")
-		list   = flag.Bool("list", false, "list analyzers and exit")
-		names  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		asJSON   = flag.Bool("json", false, "emit a JSON report object")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		names    = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		noCache  = flag.Bool("nocache", false, "disable the per-package result cache")
+		cacheDir = flag.String("cachedir", "", "cache directory (default: <user cache dir>/ivnlint)")
 	)
 	flag.Parse()
 
@@ -56,6 +93,10 @@ func main() {
 			analyzers = append(analyzers, a)
 		}
 	}
+	analyzerNames := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		analyzerNames = append(analyzerNames, a.Name)
+	}
 
 	root, err := moduleRoot()
 	if err != nil {
@@ -71,7 +112,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ivnlint: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := lint.LintDirs(root, dirs, analyzers)
+
+	findings, hits, misses, err := run(root, dirs, analyzers, analyzerNames, cacheConfig(*noCache, *cacheDir))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ivnlint: %v\n", err)
 		os.Exit(2)
@@ -91,7 +133,15 @@ func main() {
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report{
+			Schema:      cacheSchema,
+			Toolchain:   runtime.Version(),
+			Analyzers:   analyzerNames,
+			Packages:    len(dirs),
+			CacheHits:   hits,
+			CacheMisses: misses,
+			Findings:    findings,
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "ivnlint: %v\n", err)
 			os.Exit(2)
 		}
@@ -99,11 +149,80 @@ func main() {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		fmt.Fprintf(os.Stderr, "ivnlint: %d package dir(s), %d finding(s)\n", len(dirs), len(findings))
+		fmt.Fprintf(os.Stderr, "ivnlint: %d package dir(s), %d finding(s), cache %d hit(s) / %d miss(es)\n",
+			len(dirs), len(findings), hits, misses)
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// cacheConfig resolves the cache directory; "" disables caching.
+func cacheConfig(noCache bool, override string) string {
+	if noCache {
+		return ""
+	}
+	if override != "" {
+		return override
+	}
+	return defaultCacheDir()
+}
+
+// run lints dirs, replaying cached per-directory results where the key
+// matches and analyzing only the rest. Stale-suppression findings are
+// derived at merge time over the full requested set, so they stay exact
+// even when every directory is a cache hit.
+func run(root string, dirs []string, analyzers []*lint.Analyzer, analyzerNames []string, cacheDir string) (findings []lint.Finding, hits, misses int, err error) {
+	perDir := map[string]*lint.DirResult{}
+	missDirs := dirs
+	var (
+		c    *cache
+		keys map[string]string
+	)
+	if cacheDir != "" {
+		module, merr := modulePath(root)
+		if merr == nil {
+			c, merr = newCache(root, cacheDir, module, analyzerNames)
+		}
+		if merr != nil {
+			// A broken cache must never break the lint run.
+			c = nil
+		}
+	}
+	if c != nil {
+		keys = make(map[string]string, len(dirs))
+		missDirs = missDirs[:0:0]
+		for _, dir := range dirs {
+			key, kerr := c.key(dir)
+			if kerr == nil {
+				keys[dir] = key
+				if res := c.load(key); res != nil {
+					perDir[dir] = res
+					hits++
+					continue
+				}
+			}
+			missDirs = append(missDirs, dir)
+			misses++
+		}
+	}
+	if len(missDirs) > 0 {
+		// Stale reporting is deferred to the merge below: a fresh pass
+		// over a partial set cannot see uses recorded by cached dirs.
+		res, rerr := lint.LintDirsDetailed(root, missDirs, analyzers, lint.RunOptions{ReportStale: false})
+		if rerr != nil {
+			return nil, hits, misses, rerr
+		}
+		for dir, d := range res.PerDir {
+			perDir[dir] = d
+			if c != nil {
+				if key, ok := keys[dir]; ok {
+					c.store(key, d)
+				}
+			}
+		}
+	}
+	return lint.MergeDirResults(perDir, analyzerNames, true), hits, misses, nil
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.
@@ -122,4 +241,19 @@ func moduleRoot() (string, error) {
 		}
 		dir = parent
 	}
+}
+
+// modulePath reads the module declaration from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", filepath.Join(root, "go.mod"))
 }

@@ -107,12 +107,14 @@ func PhasedArray(n int, freq, perAntennaAmplitude, spacing, steerAngle float64) 
 // given power/err (empty carrier set, or an invalid spec).
 func scanSpec(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (power float64, done bool, err error) {
 	if len(carriers) != len(chans) {
+		//ivn:allow hotpath cold validation exit; a mismatched scan spec never reaches the steady-state loop
 		return 0, true, fmt.Errorf("baseline: %d carriers, %d channels", len(carriers), len(chans))
 	}
 	if len(carriers) == 0 {
 		return 0, true, nil
 	}
 	if duration <= 0 || samples < 1 {
+		//ivn:allow hotpath cold validation exit; an invalid scan spec never reaches the steady-state loop
 		return 0, true, fmt.Errorf("baseline: bad scan spec duration=%v samples=%d", duration, samples)
 	}
 	return 0, false, nil
@@ -148,6 +150,7 @@ func carrierPhasors(carriers []radio.Carrier, chans []complex128) (freqs []float
 // The scan runs on the shared phasor-recurrence kernel
 // (internal/phasor); NaivePeakReceivedPower retains the direct
 // per-sample evaluation as the golden reference.
+//ivn:hotpath
 func PeakReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
 	if p, done, err := scanSpec(carriers, chans, duration, samples); done {
 		return p, err
@@ -169,6 +172,7 @@ func PeakReceivedPower(carriers []radio.Carrier, chans []complex128, duration fl
 // whose beat bandwidth is ≤ a few hundred Hz, against coarse grids of
 // thousands of points per second). samples must be a positive multiple of
 // coarseSamples for refinement to engage; otherwise the full scan runs.
+//ivn:hotpath
 func PeakReceivedPowerRefined(carriers []radio.Carrier, chans []complex128, duration float64, coarseSamples, samples int) (float64, error) {
 	if p, done, err := scanSpec(carriers, chans, duration, samples); done {
 		return p, err
@@ -213,6 +217,7 @@ func NaivePeakReceivedPower(carriers []radio.Carrier, chans []complex128, durati
 // PeakReceivedPower — equal for CIB and a blind array with the same
 // channels and per-antenna power ("the average received energy is the
 // same across both encoding schemes", §3.4).
+//ivn:hotpath
 func AverageReceivedPower(carriers []radio.Carrier, chans []complex128, duration float64, samples int) (float64, error) {
 	if p, done, err := scanSpec(carriers, chans, duration, samples); done {
 		return p, err

@@ -13,9 +13,9 @@ import (
 // the same synchronized Gen2 command on offset carriers fᵢ = f₀ + Δfᵢ.
 type Beamformer struct {
 	// CenterFreq is f₀ (the prototype uses 915 MHz).
-	CenterFreq float64
+	CenterFreq float64 //ivn:unit Hz
 	// Offsets is the Δf plan; Offsets[0] must be 0.
-	Offsets []float64
+	Offsets []float64 //ivn:unit Hz
 	// Array is the transmit hardware (one chain per offset).
 	Array *radio.Array
 	// PIE is the downlink line coding shared by all chains.
@@ -30,21 +30,21 @@ type Beamformer struct {
 // Config assembles a Beamformer.
 type Config struct {
 	// CenterFreq is f₀ in Hz; zero means 915 MHz.
-	CenterFreq float64
+	CenterFreq float64 //ivn:unit Hz
 	// Offsets is the Δf plan; nil means PaperOffsets truncated/validated
 	// to Antennas entries.
-	Offsets []float64
+	Offsets []float64 //ivn:unit Hz
 	// Antennas is the chain count; zero means len(Offsets).
 	Antennas int
 	// DriveAmplitude is the per-chain PA drive in √W; zero means a drive
 	// that saturates the default PA near its 30 dBm P1dB (1 W out).
-	DriveAmplitude float64
+	DriveAmplitude float64 //ivn:unit sqrtW
 	// PA and Ant configure each chain; zero values mean the prototype's
 	// 30 dBm-P1dB amplifier and 7 dBi antennas.
 	PA  radio.PowerAmp
 	Ant radio.Antenna
 	// SampleRate is the envelope synthesis rate for PIE; zero means 8 MHz.
-	SampleRate float64
+	SampleRate float64 //ivn:unit Hz
 }
 
 // DefaultConfig mirrors the paper's prototype: 915 MHz center, the
@@ -149,9 +149,9 @@ type Transmission struct {
 	// Envelope is the PIE amplitude sequence at SampleRate.
 	Envelope []float64
 	// SampleRate is the envelope sample rate in Hz.
-	SampleRate float64
+	SampleRate float64 //ivn:unit Hz
 	// Duration is the command's on-air time in seconds.
-	Duration float64
+	Duration float64 //ivn:unit s
 	// Command is the serialized frame for reference.
 	Command gen2.Bits
 }
@@ -192,6 +192,8 @@ func (b *Beamformer) TransmitCommand(cmd gen2.Command, preamble bool) (*Transmis
 // (the session/link exchange path); skipping it removes the dominant
 // per-trial byte cost of the Fig13 experiments. Serialization scratch is
 // reused across calls, so this allocates nothing in steady state.
+//
+//ivn:unit return s
 func (b *Beamformer) CommandAirTime(cmd gen2.Command, preamble bool) (float64, error) {
 	b.bits = cmd.AppendBits(b.bits[:0])
 	dur := b.PIE.FrameDuration(b.bits, preamble)
@@ -264,6 +266,9 @@ func (b *Beamformer) TransmitSelectThenQuery(sel *gen2.Select, q *gen2.Query) (*
 // HopCenter implements the §3.7 frequency-hopping extension: given a probe
 // function reporting delivered peak power at a candidate center frequency,
 // it moves the beamformer to the best band. Returns the chosen center.
+//
+//ivn:unit candidates Hz
+//ivn:unit return Hz
 func (b *Beamformer) HopCenter(candidates []float64, probe func(center float64) float64) (float64, error) {
 	if len(candidates) == 0 {
 		return 0, fmt.Errorf("core: no candidate centers")

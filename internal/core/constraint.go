@@ -25,6 +25,9 @@ const DefaultQueryDuration = 800e-6
 
 // RMSOffset returns √((1/N)·ΣΔfᵢ²) over the full set (including the zero
 // reference, matching the paper's 1/N normalization).
+//
+//ivn:unit offsets Hz
+//ivn:unit return Hz
 func RMSOffset(offsets []float64) float64 {
 	if len(offsets) == 0 {
 		return 0
@@ -39,6 +42,10 @@ func RMSOffset(offsets []float64) float64 {
 // FlatnessLimit returns the maximum admissible RMS offset for fluctuation
 // bound alpha and command duration dt: √(α/(2π²Δt²)). For α = 0.5 and
 // Δt = 800 µs this is ≈ 199 Hz, the figure the paper quotes.
+//
+//ivn:unit alpha 1
+//ivn:unit dt s
+//ivn:unit return Hz
 func FlatnessLimit(alpha, dt float64) (float64, error) {
 	if alpha <= 0 || alpha >= 1 {
 		return 0, fmt.Errorf("core: flatness α %v outside (0,1)", alpha)
@@ -51,6 +58,10 @@ func FlatnessLimit(alpha, dt float64) (float64, error) {
 
 // SatisfiesFlatness reports whether an offset set meets Eq. 9 for the
 // given α and command duration.
+//
+//ivn:unit offsets Hz
+//ivn:unit alpha 1
+//ivn:unit dt s
 func SatisfiesFlatness(offsets []float64, alpha, dt float64) (bool, error) {
 	limit, err := FlatnessLimit(alpha, dt)
 	if err != nil {
@@ -63,6 +74,10 @@ func SatisfiesFlatness(offsets []float64, alpha, dt float64) (bool, error) {
 // over a window dt after a perfectly aligned peak, as a fraction of the
 // peak (the left side of Eq. 7 under the Eq. 8 expansion):
 // 2π²dt²·(ΣΔfᵢ²)/N.
+//
+//ivn:unit offsets Hz
+//ivn:unit dt s
+//ivn:unit return 1
 func EnvelopeDropNearPeak(offsets []float64, dt float64) float64 {
 	if len(offsets) == 0 {
 		return 0

@@ -33,6 +33,7 @@ import (
 //
 // Envelope is the naive (one Sincos per carrier) evaluation and serves as
 // the golden reference for the phasor-recurrence series kernels below.
+//ivn:hotpath
 func Envelope(offsets, betas []float64, t float64) float64 {
 	if len(offsets) != len(betas) {
 		panic("core: offsets/betas length mismatch")
@@ -65,10 +66,12 @@ func phaseCoeffs(betas []float64) []complex128 {
 // dst when it has capacity. The evaluation runs on the shared
 // phasor-recurrence kernel with pooled scratch, so steady-state calls
 // with a recycled dst do not allocate.
+//ivn:hotpath
 func EnvelopeSeries(offsets, betas []float64, period float64, n int, dst []float64) []float64 {
 	if cap(dst) >= n {
 		dst = dst[:n]
 	} else {
+		//ivn:allow hotpath first-call convenience allocation; steady-state callers recycle dst's capacity
 		dst = make([]float64, n)
 	}
 	coeffs := phaseCoeffs(betas)
@@ -79,6 +82,7 @@ func EnvelopeSeries(offsets, betas []float64, period float64, n int, dst []float
 
 // PeakEnvelope returns max over n samples of Y(t) for t ∈ [0, period)
 // (half-open grid, as in EnvelopeSeries).
+//ivn:hotpath
 func PeakEnvelope(offsets, betas []float64, period float64, n int) float64 {
 	if len(offsets) == 0 || n <= 0 {
 		return 0
@@ -91,6 +95,7 @@ func PeakEnvelope(offsets, betas []float64, period float64, n int) float64 {
 
 // FractionAbove returns the fraction of time Y(t) exceeds level over one
 // period — the conduction-angle proxy the §3.7 steady stage maximizes.
+//ivn:hotpath
 func FractionAbove(offsets, betas []float64, level, period float64, n int) float64 {
 	if len(offsets) == 0 || n <= 0 {
 		return 0
@@ -187,6 +192,7 @@ func ExpectedConductionFraction(offsets []float64, level float64, trials, sample
 // 1 s period) the envelope stays above level for a given phase draw. The
 // envelope is sampled on the same half-open grid as EnvelopeSeries
 // (t ∈ [0, 1), samples points).
+//ivn:hotpath
 func MaxDwellAbove(offsets, betas []float64, level float64, samples int) float64 {
 	if len(offsets) == 0 || samples <= 0 {
 		return 0

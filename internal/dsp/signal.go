@@ -7,6 +7,10 @@ import (
 
 // Tone synthesizes n samples of a complex exponential e^{j(2πft/fs + phase)}
 // with amplitude amp at sample rate fs.
+//
+//ivn:unit freq Hz
+//ivn:unit phase rad
+//ivn:unit fs Hz
 func Tone(n int, freq, phase, amp, fs float64) []complex128 {
 	out := make([]complex128, n)
 	AddToneTo(out, freq, phase, amp, fs)
@@ -17,6 +21,11 @@ func Tone(n int, freq, phase, amp, fs float64) []complex128 {
 // than overwrite) is the natural primitive for multi-carrier synthesis: a
 // CIB transmission is exactly a sum of tones with distinct frequencies and
 // phases.
+//
+//ivn:unit freq Hz
+//ivn:unit phase rad
+//ivn:unit fs Hz
+//ivn:hotpath
 func AddToneTo(dst []complex128, freq, phase, amp, fs float64) {
 	// Phasor recurrence: one complex multiply per sample instead of a
 	// Sincos call. Renormalize periodically to bound drift.
@@ -40,6 +49,9 @@ func AddToneTo(dst []complex128, freq, phase, amp, fs float64) {
 
 // Mix frequency-shifts x by shift Hz at sample rate fs, in place, and
 // returns x. Mixing by -f downconverts a carrier at f to DC.
+//
+//ivn:unit shift Hz
+//ivn:unit fs Hz
 func Mix(x []complex128, shift, fs float64) []complex128 {
 	step := 2 * math.Pi * shift / fs
 	ss, cs := math.Sincos(step)
@@ -143,16 +155,25 @@ func AddInto(dst, src []complex128) {
 }
 
 // DB converts a power ratio to decibels; DB(0) is -Inf.
+//
+//ivn:unit powerRatio 1
+//ivn:unit return dB
 func DB(powerRatio float64) float64 {
 	return 10 * math.Log10(powerRatio)
 }
 
 // FromDB converts decibels to a power ratio.
+//
+//ivn:unit db dB
+//ivn:unit return 1
 func FromDB(db float64) float64 {
 	return math.Pow(10, db/10)
 }
 
 // AmplitudeFromDB converts decibels to an amplitude (voltage) ratio.
+//
+//ivn:unit db dB
+//ivn:unit return 1
 func AmplitudeFromDB(db float64) float64 {
 	return math.Pow(10, db/20)
 }
@@ -160,6 +181,9 @@ func AmplitudeFromDB(db float64) float64 {
 // Envelope returns the instantaneous amplitude |x| smoothed by a single-pole
 // RC with the given time constant. This mirrors the diode+RC envelope
 // detector a backscatter tag uses to decode reader commands.
+//
+//ivn:unit tau s
+//ivn:unit fs Hz
 func Envelope(x []complex128, tau, fs float64) []float64 {
 	out := make([]float64, len(x))
 	p := SinglePole{Alpha: RCAlpha(tau, fs)}

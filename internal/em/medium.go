@@ -27,7 +27,7 @@ import (
 // Physical constants (SI).
 const (
 	// C is the speed of light in vacuum, m/s.
-	C = 299792458.0
+	C = 299792458.0 //ivn:unit m/s
 	// Mu0 is the vacuum permeability, H/m.
 	Mu0 = 4 * math.Pi * 1e-7
 	// Eps0 is the vacuum permittivity, F/m.

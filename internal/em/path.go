@@ -9,7 +9,7 @@ import (
 // Layer is one homogeneous slab in a propagation path.
 type Layer struct {
 	Medium    Medium
-	Thickness float64 // meters
+	Thickness float64 //ivn:unit m
 }
 
 // Path is a straight-line propagation path: an air segment of length
@@ -18,7 +18,7 @@ type Layer struct {
 // distance, no layers) is a degenerate zero-length path with unit gain.
 type Path struct {
 	// AirDistance is the antenna→body distance r in meters (paper Fig. 3).
-	AirDistance float64
+	AirDistance float64 //ivn:unit m
 	// Layers is the tissue stack the wave crosses, outermost first.
 	Layers []Layer
 }
@@ -40,6 +40,8 @@ func (p Path) Validate() error {
 }
 
 // Depth returns the total tissue depth d = Σ thickness (paper's d).
+//
+//ivn:unit return m
 func (p Path) Depth() float64 {
 	var d float64
 	for _, l := range p.Layers {
@@ -49,6 +51,8 @@ func (p Path) Depth() float64 {
 }
 
 // TotalLength returns air distance plus depth.
+//
+//ivn:unit return m
 func (p Path) TotalLength() float64 { return p.AirDistance + p.Depth() }
 
 // Transmittance returns the power-equivalent amplitude factor across every
@@ -58,6 +62,10 @@ func (p Path) TotalLength() float64 { return p.AirDistance + p.Depth() }
 // field coefficient t = 2η₂/(η₁+η₂) would misstate power across an
 // impedance change: power flux is E²/η, so the boundary's power behavior
 // is T_p = 4η₁η₂/(η₁+η₂)², a 3–5 dB loss into tissue as the paper quotes.)
+//
+//ivn:unit freq Hz
+//ivn:unit return 1
+//ivn:hotpath
 func (p Path) Transmittance(freq float64) float64 {
 	tp := 1.0
 	prev := Air
@@ -78,6 +86,10 @@ func (p Path) Transmittance(freq float64) float64 {
 // spherical-spreading term uses the full path length and is clamped at a
 // 10 cm near-field limit so a zero-distance path cannot diverge. Antenna
 // gains belong to Channel, not Path.
+//
+//ivn:unit freq Hz
+//ivn:unit return 1
+//ivn:hotpath
 func (p Path) Amplitude(freq float64) float64 {
 	const nearField = 0.1
 	r := p.TotalLength()
@@ -95,6 +107,10 @@ func (p Path) Amplitude(freq float64) float64 {
 // PhaseDelay returns the one-way propagation phase in radians at freq:
 // air contributes β₀·r and each layer βᵢ·dᵢ. This is the phase a
 // beamformer would need to know — and cannot, for an implanted sensor.
+//
+//ivn:unit freq Hz
+//ivn:unit return rad
+//ivn:hotpath
 func (p Path) PhaseDelay(freq float64) float64 {
 	beta0 := 2 * math.Pi * freq / C
 	ph := beta0 * p.AirDistance
@@ -106,6 +122,9 @@ func (p Path) PhaseDelay(freq float64) float64 {
 
 // GroupDelay returns the path's propagation delay in seconds, using each
 // layer's phase velocity.
+//
+//ivn:unit freq Hz
+//ivn:unit return s
 func (p Path) GroupDelay(freq float64) float64 {
 	d := p.AirDistance / C
 	for _, l := range p.Layers {
@@ -118,6 +137,9 @@ func (p Path) GroupDelay(freq float64) float64 {
 
 // Coefficient returns the complex channel coefficient h = |h|·e^{-jφ} of
 // the direct path at freq.
+//
+//ivn:unit freq Hz
+//ivn:hotpath
 func (p Path) Coefficient(freq float64) complex128 {
 	a := p.Amplitude(freq)
 	s, c := math.Sincos(-p.PhaseDelay(freq))
@@ -126,6 +148,9 @@ func (p Path) Coefficient(freq float64) complex128 {
 
 // LossDB returns the path's port-to-port power loss in dB between
 // isotropic antennas (positive numbers are loss).
+//
+//ivn:unit freq Hz
+//ivn:unit return dB
 func (p Path) LossDB(freq float64) float64 {
 	a := p.Amplitude(freq)
 	if a <= 0 {
@@ -145,6 +170,8 @@ func (p Path) String() string {
 }
 
 // WithAirDistance returns a copy of p with the air segment replaced.
+//
+//ivn:unit r m
 func (p Path) WithAirDistance(r float64) Path {
 	q := Path{AirDistance: r, Layers: make([]Layer, len(p.Layers))}
 	copy(q.Layers, p.Layers)
@@ -155,6 +182,8 @@ func (p Path) WithAirDistance(r float64) Path {
 // that aliases p's layer stack instead of copying it. Callers must treat
 // the stack as immutable for as long as either path is live; the
 // per-trial realization paths use this to avoid a layer copy per channel.
+//
+//ivn:unit r m
 func (p Path) WithAirDistanceShared(r float64) Path {
 	p.AirDistance = r
 	return p
@@ -164,6 +193,8 @@ func (p Path) WithAirDistanceShared(r float64) Path {
 // and returns the (possibly shortened) slice — the allocation-free
 // counterpart of Path.WithDepth, with identical truncate/extend
 // semantics.
+//
+//ivn:unit d m
 func SetDepth(layers []Layer, d float64) []Layer {
 	out := layers[:0]
 	remaining := d
@@ -187,6 +218,8 @@ func SetDepth(layers []Layer, d float64) []Layer {
 // WithDepth returns a copy of p whose final layer thickness is adjusted so
 // the total tissue depth equals d. A path with no layers is returned
 // unchanged. d shallower than the preceding layers truncates the stack.
+//
+//ivn:unit d m
 func (p Path) WithDepth(d float64) Path {
 	q := Path{AirDistance: p.AirDistance}
 	remaining := d

@@ -21,17 +21,17 @@ import (
 // PIEParams fixes the downlink timing and modulation.
 type PIEParams struct {
 	// Tari is the data-0 length in seconds (Gen2 allows 6.25–25 µs).
-	Tari float64
+	Tari float64 //ivn:unit s
 	// Data1Len is the data-1 length; must be 1.5–2 × Tari.
-	Data1Len float64
+	Data1Len float64 //ivn:unit s
 	// PW is the low-pulse width; Gen2 allows 0.265·Tari–0.525·Tari.
-	PW float64
+	PW float64 //ivn:unit s
 	// Delimiter is the frame-start low interval (12.5 µs ± 5%).
-	Delimiter float64
+	Delimiter float64 //ivn:unit s
 	// TRcal sets the tag backscatter timing; must be 1.1–3 × RTcal.
-	TRcal float64
+	TRcal float64 //ivn:unit s
 	// SampleRate is the envelope sample rate in Hz.
-	SampleRate float64
+	SampleRate float64 //ivn:unit Hz
 	// ModulationDepth is the fraction of amplitude removed during a low
 	// pulse, in (0, 1]; Gen2 requires 0.8–1.0 for reader transmissions.
 	ModulationDepth float64
@@ -39,6 +39,8 @@ type PIEParams struct {
 
 // DefaultPIE returns the timing IVN's prototype uses: 12.5 µs Tari,
 // 2×Tari data-1, half-Tari PW, 90% modulation depth.
+//
+//ivn:unit sampleRate Hz
 func DefaultPIE(sampleRate float64) PIEParams {
 	tari := 12.5e-6
 	return PIEParams{
@@ -53,6 +55,8 @@ func DefaultPIE(sampleRate float64) PIEParams {
 }
 
 // RTcal is data-0 + data-1, the reader→tag calibration interval.
+//
+//ivn:unit return s
 func (p PIEParams) RTcal() float64 { return p.Tari + p.Data1Len }
 
 // Validate checks the Gen2 timing constraints.
@@ -81,6 +85,7 @@ func (p PIEParams) Validate() error {
 	return nil
 }
 
+//ivn:unit d s
 func (p PIEParams) samples(d float64) int {
 	return int(math.Round(d * p.SampleRate))
 }
@@ -136,6 +141,8 @@ func (p PIEParams) EncodeFrame(bits Bits, preamble bool) ([]float64, error) {
 // FrameDuration returns the on-air time of a frame in seconds — the Δt of
 // the paper's flatness constraint (Eq. 9): "For a typical RFID reader's
 // query, Δt ≈ 800µs."
+//
+//ivn:unit return s
 func (p PIEParams) FrameDuration(bits Bits, preamble bool) float64 {
 	d := p.Delimiter + p.Tari + p.RTcal()
 	if preamble {
@@ -155,7 +162,7 @@ func (p PIEParams) FrameDuration(bits Bits, preamble bool) float64 {
 type PIEInfo struct {
 	// Tari, RTcal, TRcal are the measured intervals in seconds; TRcal is
 	// zero for frame-sync (non-Query) frames.
-	Tari, RTcal, TRcal float64
+	Tari, RTcal, TRcal float64 //ivn:unit s
 	// Threshold is the amplitude decision level used (half the amplitude
 	// difference, as the paper describes the tag's energy detector).
 	Threshold float64

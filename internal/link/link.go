@@ -52,18 +52,24 @@ const (
 	ScanCoarse = 2048
 	// ScanDuration is one CIB period (the paper captures 2 s, i.e. two
 	// periods of the same deterministic envelope).
-	ScanDuration = 1.0
+	ScanDuration = 1.0 //ivn:unit s
 )
 
 // DownlinkCoeffs evaluates each downlink channel at freq.
+//
+//ivn:unit freq Hz
 func DownlinkCoeffs(p *scenario.Placement, freq float64) []complex128 {
 	return DownlinkCoeffsInto(make([]complex128, 0, len(p.Downlink)), p, freq)
 }
 
 // DownlinkCoeffsInto appends each downlink channel's coefficient at freq
 // to dst and returns it, for per-trial callers that retain one buffer.
+//
+//ivn:unit freq Hz
+//ivn:hotpath
 func DownlinkCoeffsInto(dst []complex128, p *scenario.Placement, freq float64) []complex128 {
 	for _, c := range p.Downlink {
+		//ivn:allow hotpath per-trial callers pass dst[:0] with retained capacity; append grows only on the first trial
 		dst = append(dst, c.Coefficient(freq))
 	}
 	return dst
@@ -71,12 +77,16 @@ func DownlinkCoeffsInto(dst []complex128, p *scenario.Placement, freq float64) [
 
 // ChainAmplitude is each transmit chain's emitted amplitude: the default
 // PA driven to its 30 dBm (1 W) operating point.
+//
+//ivn:unit return sqrtW
 func ChainAmplitude() float64 {
 	pa := radio.DefaultPA()
 	return pa.Amplify(pa.OperatingDrive())
 }
 
 // PeakDownlink scans one CIB envelope period for its power peak.
+//
+//ivn:unit return W
 func PeakDownlink(bf *core.Beamformer, chans []complex128) (float64, error) {
 	return baseline.PeakReceivedPowerRefined(bf.Carriers(), chans, ScanDuration, ScanCoarse, ScanSamples)
 }
@@ -95,7 +105,7 @@ type Link struct {
 	// Trace observes physical-layer events; nil is free.
 	Trace *session.Trace
 
-	peak float64
+	peak float64 //ivn:unit W
 	jam  [1]radio.ToneAt
 }
 
@@ -220,9 +230,13 @@ func (k *TrialKit) ForTrial(p *scenario.Placement, n int, tr *session.Trace, r *
 }
 
 // PeakPower is the CIB envelope peak at the sensor, isotropic watts.
+//
+//ivn:unit return W
 func (l *Link) PeakPower() float64 { return l.peak }
 
 // PeakPowerDBm is the envelope peak in dBm.
+//
+//ivn:unit return dBm
 func (l *Link) PeakPowerDBm() float64 { return 10*math.Log10(l.peak) + 30 }
 
 // Jam returns the CIB→reader leakage tone set.

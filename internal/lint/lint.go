@@ -71,6 +71,10 @@ type Pass struct {
 	Files []*ast.File
 	// Info is the package's type-checking result.
 	Info *types.Info
+	// Prog is the module-wide interprocedural view: call graph, fact
+	// store and unit-annotation index over every package of the run
+	// (analyzed packages plus their loaded dependencies).
+	Prog *Program
 
 	analyzer *Analyzer
 	findings []Finding
@@ -96,6 +100,61 @@ func Analyzers() []*Analyzer {
 		FloatCmp,
 		GoroutineHygiene,
 		ErrCheck,
+		Unitcheck,
+		Hotpath,
+	}
+}
+
+// Program is the interprocedural view shared by every pass of one run:
+// the module-wide call graph, the fixpointed fact store, and the
+// unit-annotation index. Analyzed packages contribute findings; support
+// packages (dependencies the loader pulled in) contribute bodies, facts
+// and annotations but are never reported on directly.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // analyzed
+	Support  []*Package // facts-only dependencies (deduplicated by path)
+	Graph    *CallGraph
+	Facts    *Facts
+	Units    *unitIndex
+
+	// hotReported dedupes hotpath findings by position across packages:
+	// two roots in different packages reaching the same allocation site
+	// yield one finding.
+	hotReported map[string]bool
+}
+
+// BuildProgram assembles the interprocedural state for one run. Support
+// packages whose import path is already analyzed are dropped (the
+// analyzed instance, which includes in-package test files, wins).
+func BuildProgram(analyzed, support []*Package) *Program {
+	analyzedPaths := map[string]bool{}
+	var fset *token.FileSet
+	for _, p := range analyzed {
+		analyzedPaths[p.Path] = true
+		fset = p.Fset
+	}
+	var kept []*Package
+	for _, p := range support {
+		if !analyzedPaths[p.Path] {
+			kept = append(kept, p)
+			if fset == nil {
+				fset = p.Fset
+			}
+		}
+	}
+	all := make([]*Package, 0, len(analyzed)+len(kept))
+	all = append(all, analyzed...)
+	all = append(all, kept...)
+	graph := buildCallGraph(all)
+	return &Program{
+		Fset:        fset,
+		Packages:    analyzed,
+		Support:     kept,
+		Graph:       graph,
+		Facts:       computeFacts(graph),
+		Units:       buildUnitIndex(all),
+		hotReported: map[string]bool{},
 	}
 }
 
@@ -112,19 +171,24 @@ func AnalyzerByName(name string) *Analyzer {
 // allowPrefix introduces a suppression comment.
 const allowPrefix = "//ivn:allow"
 
-// suppression is one parsed //ivn:allow comment.
-type suppression struct {
+// suppSite is one parsed //ivn:allow comment: the suppression covers the
+// comment's own line and the line directly below it.
+type suppSite struct {
 	analyzer string
 	reason   string
+	file     string
+	line     int
+	col      int
+	dir      string // directory of the package declaring the site
+	support  bool   // declared in a support (not analyzed) package
 }
 
-// fileSuppressions scans a file's comments for //ivn:allow directives. The
-// returned map associates each covered line — the comment's own line and
-// the line directly below it — with the analyzers allowed there. Malformed
-// directives (unknown analyzer, missing reason) come back as findings so a
-// suppression can never silently rot.
-func fileSuppressions(fset *token.FileSet, f *ast.File) (map[int][]suppression, []Finding) {
-	covered := map[int][]suppression{}
+// fileSuppressions scans a file's comments for //ivn:allow directives,
+// returning the parsed sites. Malformed directives (unknown analyzer,
+// missing reason) come back as findings so a suppression can never
+// silently rot.
+func fileSuppressions(fset *token.FileSet, f *ast.File) ([]*suppSite, []Finding) {
+	var sites []*suppSite
 	var malformed []Finding
 	report := func(pos token.Pos, msg string) {
 		position := fset.Position(pos)
@@ -157,37 +221,121 @@ func fileSuppressions(fset *token.FileSet, f *ast.File) (map[int][]suppression, 
 				report(c.Pos(), fmt.Sprintf("suppression of %q needs a reason: //ivn:allow %s <why this is sanctioned>", name, name))
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
-			s := suppression{analyzer: name, reason: reason}
-			covered[line] = append(covered[line], s)
-			covered[line+1] = append(covered[line+1], s)
+			position := fset.Position(c.Pos())
+			sites = append(sites, &suppSite{
+				analyzer: name,
+				reason:   reason,
+				file:     position.Filename,
+				line:     position.Line,
+				col:      position.Column,
+			})
 		}
 	}
-	return covered, malformed
+	return sites, malformed
+}
+
+// SuppRef identifies a suppression site (or a use of one) across cache
+// entries: the comment's own file/line/col plus the analyzer it allows.
+type SuppRef struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+}
+
+// DirResult is the per-directory slice of a run, the unit cmd/ivnlint
+// caches: the findings produced by that directory's passes (which may
+// point into other directories — a hot path's closure crosses packages),
+// the suppression sites its files declare, and the sites its passes
+// consumed. Stale-suppression findings are NOT included — they are a
+// whole-run property, recomputed by MergeDirResults from sites and uses.
+type DirResult struct {
+	Findings []Finding `json:"findings"`
+	Sites    []SuppRef `json:"sites"`
+	Used     []SuppRef `json:"used"`
+}
+
+// RunResult is the full outcome of RunAnalyzersDetailed.
+type RunResult struct {
+	// Findings is the merged, sorted finding list (stale-suppression
+	// findings included when requested).
+	Findings []Finding
+	// PerDir maps each analyzed package directory to its slice of the
+	// run.
+	PerDir map[string]*DirResult
+}
+
+// RunOptions tunes RunAnalyzersDetailed.
+type RunOptions struct {
+	// ReportStale emits an "ivnlint" finding for each suppression in an
+	// analyzed package that no finding of the named analyzer matched.
+	// Callers running a partial package set should disable it: a
+	// suppression may be consumed by a pass over a package outside the
+	// run (hot-path closures cross packages).
+	ReportStale bool
 }
 
 // RunAnalyzers executes every analyzer over every package, applies the
-// //ivn:allow suppressions, and returns the surviving findings sorted by
-// file, line, column and analyzer.
+// //ivn:allow suppressions, reports stale ones, and returns the surviving
+// findings sorted by file, line, column and analyzer.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var all []Finding
-	for _, pkg := range pkgs {
-		// Suppression lines are per-file but keyed by (file, line);
-		// positions already carry the filename, so one package-wide map
-		// keyed by file+line suffices.
-		type key struct {
-			file string
-			line int
+	return RunAnalyzersDetailed(pkgs, nil, analyzers, RunOptions{ReportStale: true}).Findings
+}
+
+// RunAnalyzersDetailed is RunAnalyzers with interprocedural support
+// packages, per-directory result attribution, and configurable stale
+// reporting. Suppressions are module-wide: a finding located in another
+// package's file is silenced by the //ivn:allow at that file's line, no
+// matter which pass produced it.
+func RunAnalyzersDetailed(pkgs, support []*Package, analyzers []*Analyzer, opts RunOptions) *RunResult {
+	prog := BuildProgram(pkgs, support)
+
+	res := &RunResult{PerDir: map[string]*DirResult{}}
+	dirOf := func(dir string) *DirResult {
+		d := res.PerDir[dir]
+		if d == nil {
+			d = &DirResult{}
+			res.PerDir[dir] = d
 		}
-		allowed := map[key][]suppression{}
+		return d
+	}
+
+	// Module-wide suppression map over analyzed and support files alike.
+	type key struct {
+		file string
+		line int
+	}
+	allowed := map[key][]*suppSite{}
+	var sites []*suppSite
+	collect := func(pkg *Package, isSupport bool) {
 		for _, f := range pkg.Files {
-			covered, malformed := fileSuppressions(pkg.Fset, f)
-			all = append(all, malformed...)
-			name := pkg.Fset.Position(f.Pos()).Filename
-			for line, sups := range covered {
-				allowed[key{name, line}] = append(allowed[key{name, line}], sups...)
+			fs, malformed := fileSuppressions(pkg.Fset, f)
+			for _, s := range fs {
+				s.dir = pkg.Dir
+				s.support = isSupport
+				sites = append(sites, s)
+				allowed[key{s.file, s.line}] = append(allowed[key{s.file, s.line}], s)
+				allowed[key{s.file, s.line + 1}] = append(allowed[key{s.file, s.line + 1}], s)
+			}
+			if !isSupport {
+				dirOf(pkg.Dir).Findings = append(dirOf(pkg.Dir).Findings, malformed...)
 			}
 		}
+	}
+	for _, pkg := range prog.Packages {
+		collect(pkg, false)
+	}
+	for _, pkg := range prog.Support {
+		collect(pkg, true)
+	}
+	for _, s := range sites {
+		if !s.support {
+			dirOf(s.dir).Sites = append(dirOf(s.dir).Sites, SuppRef{s.file, s.line, s.col, s.analyzer})
+		}
+	}
+
+	for _, pkg := range prog.Packages {
+		dir := dirOf(pkg.Dir)
 		for _, an := range analyzers {
 			files := pkg.Files
 			if an.SkipTests {
@@ -206,19 +354,65 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Pkg:      pkg,
 				Files:    files,
 				Info:     pkg.Info,
+				Prog:     prog,
 				analyzer: an,
 			}
 			an.Run(pass)
 			for _, fd := range pass.findings {
-				drop := false
+				dropped := false
 				for _, s := range allowed[key{fd.File, fd.Line}] {
 					if s.analyzer == fd.Analyzer {
-						drop = true
-						break
+						dropped = true
+						dir.Used = append(dir.Used, SuppRef{s.file, s.line, s.col, s.analyzer})
 					}
 				}
-				if !drop {
-					all = append(all, fd)
+				if !dropped {
+					dir.Findings = append(dir.Findings, fd)
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(analyzers))
+	for _, an := range analyzers {
+		names = append(names, an.Name)
+	}
+	res.Findings = MergeDirResults(res.PerDir, names, opts.ReportStale)
+	return res
+}
+
+// MergeDirResults combines per-directory results — fresh or replayed from
+// a cache — into the final sorted finding list. Stale-suppression
+// findings are derived here: a site declared in some directory is stale
+// when its analyzer was part of the run and no directory's passes
+// consumed it. Duplicate positions from interprocedural analyzers (two
+// roots reaching one site) collapse to a single finding.
+func MergeDirResults(perDir map[string]*DirResult, analyzerNames []string, reportStale bool) []Finding {
+	ran := map[string]bool{}
+	for _, n := range analyzerNames {
+		ran[n] = true
+	}
+	used := map[SuppRef]bool{}
+	if reportStale {
+		for _, d := range perDir {
+			for _, u := range d.Used {
+				used[u] = true
+			}
+		}
+	}
+	var all []Finding
+	for _, d := range perDir {
+		all = append(all, d.Findings...)
+		if reportStale {
+			for _, s := range d.Sites {
+				if ran[s.Analyzer] && !used[s] {
+					all = append(all, Finding{
+						Analyzer: "ivnlint",
+						File:     s.File,
+						Line:     s.Line,
+						Col:      s.Col,
+						Message:  fmt.Sprintf("stale suppression: //ivn:allow %s no longer matches any finding on this line or the next; delete it", s.Analyzer),
+					})
 				}
 			}
 		}
@@ -234,9 +428,28 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return all
+	// Interprocedural findings can repeat a position across directories
+	// with root-dependent wording; keep the first per (analyzer, pos).
+	type posKey struct {
+		analyzer, file string
+		line, col      int
+	}
+	seen := map[posKey]bool{}
+	out := all[:0]
+	for _, fd := range all {
+		k := posKey{fd.Analyzer, fd.File, fd.Line, fd.Col}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, fd)
+	}
+	return out
 }
 
 // objectPkgPath returns the package path of the object an identifier

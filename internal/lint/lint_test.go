@@ -84,6 +84,8 @@ func TestFixtures(t *testing.T) {
 		"floatcmp":         FloatCmp,
 		"goroutinehygiene": GoroutineHygiene,
 		"errcheck":         ErrCheck,
+		"unitcheck":        Unitcheck,
+		"hotpath":          Hotpath,
 	}
 	names := make([]string, 0, len(cases))
 	for name := range cases {
@@ -150,7 +152,7 @@ func f() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	covered, malformed := fileSuppressions(fset, f)
+	sites, malformed := fileSuppressions(fset, f)
 	if len(malformed) != 2 {
 		t.Fatalf("want 2 malformed findings (missing reason, unknown analyzer), got %d: %v", len(malformed), malformed)
 	}
@@ -159,27 +161,29 @@ func f() {
 			t.Errorf("malformed finding attributed to %q, want ivnlint", m.Analyzer)
 		}
 	}
-	// The valid floatcmp suppression sits on line 4 and covers lines 4-5.
-	for _, line := range []int{4, 5} {
-		found := false
-		for _, s := range covered[line] {
-			if s.analyzer == "floatcmp" && s.reason == "reason one" {
-				found = true
+	// covers reproduces the application rule: a site covers its own line
+	// and the next.
+	covers := func(line int, analyzer string) *suppSite {
+		for _, s := range sites {
+			if s.analyzer == analyzer && (s.line == line || s.line+1 == line) {
+				return s
 			}
 		}
-		if !found {
-			t.Errorf("line %d: floatcmp suppression not in effect: %v", line, covered[line])
+		return nil
+	}
+	// The valid floatcmp suppression sits on line 4 and covers lines 4-5.
+	for _, line := range []int{4, 5} {
+		s := covers(line, "floatcmp")
+		if s == nil || s.reason != "reason one" {
+			t.Errorf("line %d: floatcmp suppression not in effect: %+v", line, s)
 		}
 	}
 	// The trailing errcheck suppression covers its own line (10).
-	found := false
-	for _, s := range covered[10] {
-		if s.analyzer == "errcheck" {
-			found = true
-		}
+	if covers(10, "errcheck") == nil {
+		t.Errorf("line 10: trailing errcheck suppression not in effect")
 	}
-	if !found {
-		t.Errorf("line 10: trailing errcheck suppression not in effect: %v", covered[10])
+	if covers(12, "errcheck") != nil {
+		t.Errorf("errcheck suppression leaked past its window")
 	}
 }
 

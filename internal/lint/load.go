@@ -54,6 +54,7 @@ type Loader struct {
 
 	std     types.Importer
 	pure    map[string]*types.Package // non-test package cache, by import path
+	retained map[string]*Package      // full syntax+Info for module-local imports
 	loading map[string]bool           // cycle detection
 }
 
@@ -74,8 +75,28 @@ func NewLoader(rootDir string) (*Loader, error) {
 		ModulePath: mod,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pure:       map[string]*types.Package{},
+		retained:   map[string]*Package{},
 		loading:    map[string]bool{},
 	}, nil
+}
+
+// Support returns the module-local packages the loader imported as
+// dependencies of the explicitly loaded directories, with full syntax and
+// type info, sorted by path. Handing these to RunAnalyzersDetailed lets
+// the interprocedural analyzers see through cross-package calls even when
+// only a subset of directories is being analyzed (the cmd/ivnlint cache
+// path).
+func (l *Loader) Support() []*Package {
+	paths := make([]string, 0, len(l.retained))
+	for p := range l.retained {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.retained[p])
+	}
+	return out
 }
 
 // modulePath extracts the module declaration from a go.mod file.
@@ -137,11 +158,15 @@ func (l *Loader) importLocal(path string) (*types.Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
 	}
-	pkg, _, err := l.check(path, files, l)
+	pkg, info, err := l.check(path, files, l)
 	if err != nil {
 		return nil, err
 	}
 	l.pure[path] = pkg
+	l.retained[path] = &Package{
+		Path: path, Dir: dir, Fset: l.Fset,
+		Files: files, IsTest: map[*ast.File]bool{}, Types: pkg, Info: info,
+	}
 	return pkg, nil
 }
 
@@ -387,6 +412,19 @@ func ExpandPatterns(root string, patterns []string) ([]string, error) {
 // and runs the analyzers over all of them, returning the surviving
 // (unsuppressed) findings sorted by position.
 func LintDirs(root string, dirs []string, analyzers []*Analyzer) ([]Finding, error) {
+	res, err := LintDirsDetailed(root, dirs, analyzers, RunOptions{ReportStale: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// LintDirsDetailed is LintDirs with per-directory result attribution and
+// configurable stale-suppression reporting. Module-local dependencies of
+// the loaded directories participate as support packages, so hot-path
+// closures and derived pool facts resolve across package boundaries even
+// for partial directory sets.
+func LintDirsDetailed(root string, dirs []string, analyzers []*Analyzer, opts RunOptions) (*RunResult, error) {
 	loader, err := NewLoader(root)
 	if err != nil {
 		return nil, err
@@ -411,5 +449,5 @@ func LintDirs(root string, dirs []string, analyzers []*Analyzer) ([]Finding, err
 		}
 		pkgs = append(pkgs, loaded...)
 	}
-	return RunAnalyzers(pkgs, analyzers), nil
+	return RunAnalyzersDetailed(pkgs, loader.Support(), analyzers, opts), nil
 }

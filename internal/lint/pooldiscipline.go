@@ -35,6 +35,13 @@ import (
 // Wrapper helpers that intentionally transfer ownership to their caller
 // (e.g. baseline.carrierPhasors) are the sanctioned exception: annotate
 // the return with //ivn:allow pooldiscipline <reason>.
+//
+// The interprocedural fact store makes those wrappers first-class: a
+// function whose annotated escape returns pooled buffers is a *derived
+// getter* (its callers inherit the Put obligation, per result), and a
+// function that Puts its parameter is a *derived putter* (calling it
+// discharges the obligation). Both are computed to fixpoint, so the
+// discipline holds through helper chains of any depth.
 var PoolDiscipline = &Analyzer{
 	Name: "pooldiscipline",
 	Doc:  "pool buffers released on every path; no escape via return or channel",
@@ -105,6 +112,43 @@ func (s *poolState) merge(other *poolState) {
 
 type poolWalker struct {
 	pass *Pass
+}
+
+// ownershipOf returns the per-result pool-ownership mask of a call, nil
+// when the callee transfers nothing. Direct pool getters and derived
+// getters (from the fact store) are covered uniformly.
+func (w *poolWalker) ownershipOf(call *ast.CallExpr) []bool {
+	fn := calleeFunc(w.pass.Info, call)
+	if w.pass.Prog != nil {
+		return w.pass.Prog.Facts.ownership(fn)
+	}
+	if isPoolGetter(fn) {
+		return []bool{true}
+	}
+	return nil
+}
+
+// releasesOf returns the per-parameter release mask of a call, covering
+// direct pool putters and derived putters.
+func (w *poolWalker) releasesOf(call *ast.CallExpr) []bool {
+	fn := calleeFunc(w.pass.Info, call)
+	if w.pass.Prog != nil {
+		return w.pass.Prog.Facts.releases(fn)
+	}
+	if isPoolPutter(fn) {
+		return []bool{true}
+	}
+	return nil
+}
+
+// anyTrue reports whether the mask has a set bit.
+func anyTrue(mask []bool) bool {
+	for _, b := range mask {
+		if b {
+			return true
+		}
+	}
+	return false
 }
 
 // reportLeaks reports every held buffer at its acquisition site.
@@ -288,70 +332,117 @@ func (w *poolWalker) walkClauses(s ast.Stmt, st *poolState) {
 	st.held = merged.held
 }
 
-// handleAssign tracks `x := pool.Get(n)` acquisitions and flags
-// overwrites of still-held buffers.
+// handleAssign tracks acquisitions — `x := pool.Get(n)` and the tuple
+// form `a, b := derivedGetter(...)` — and flags overwrites of still-held
+// buffers. Derived getters (via the fact store) transfer ownership of
+// exactly the results their mask marks.
 func (w *poolWalker) handleAssign(s *ast.AssignStmt, st *poolState) {
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// a, b := f(): a multi-result call; each target inherits the
+		// obligation its result index carries.
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		var mask []bool
+		if ok {
+			mask = w.ownershipOf(call)
+		}
+		for i, lhs := range s.Lhs {
+			w.trackTarget(lhs, s.Rhs[0], call, i < len(mask) && mask[i], s.Pos(), st)
+		}
+		return
+	}
 	for i, rhs := range s.Rhs {
-		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-		isGet := ok && isPoolGetter(calleeFunc(w.pass.Info, call))
 		if i >= len(s.Lhs) {
 			continue
 		}
-		id, isIdent := ast.Unparen(s.Lhs[i]).(*ast.Ident)
-		if !isIdent {
-			if isGet {
-				w.pass.Reportf(call.Pos(), "pooled buffer must be bound to a local variable so its Put can be verified")
-			}
-			continue
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		isGet := false
+		if ok {
+			mask := w.ownershipOf(call)
+			isGet = len(mask) > 0 && mask[0]
 		}
-		v := lhsVar(w.pass.Info, id)
-		if v == nil {
-			if isGet {
-				w.pass.Reportf(call.Pos(), "pooled buffer assigned to %q cannot be tracked; bind it to a local variable", id.Name)
-			}
-			continue
-		}
-		prev, wasHeld := st.held[v]
-		switch {
-		case wasHeld && isGet:
-			get := w.pass.Fset.Position(prev)
-			w.pass.Reportf(s.Pos(), "pooled buffer %q (acquired at %s:%d) overwritten by a new acquisition before Put", v.Name(), shortPath(get.Filename), get.Line)
-			st.held[v] = call.Pos()
-		case wasHeld && mentionsVar(w.pass.Info, rhs, v):
-			// Reslice or self-append: same backing array, still owned.
-		case wasHeld:
-			get := w.pass.Fset.Position(prev)
-			w.pass.Reportf(s.Pos(), "pooled buffer %q (acquired at %s:%d) overwritten before Put", v.Name(), shortPath(get.Filename), get.Line)
-			delete(st.held, v)
-		case isGet:
-			st.held[v] = call.Pos()
-		}
+		w.trackTarget(s.Lhs[i], rhs, call, isGet, s.Pos(), st)
 	}
 }
 
-// handleVarSpec tracks `var x = pool.Get(n)` declarations.
+// trackTarget applies the acquisition/overwrite rules to one assignment
+// target. call is the rhs call when there is one; isGet reports whether
+// that call transfers pool ownership to this target.
+func (w *poolWalker) trackTarget(lhs, rhs ast.Expr, call *ast.CallExpr, isGet bool, at token.Pos, st *poolState) {
+	id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	if !isIdent {
+		if isGet {
+			w.pass.Reportf(call.Pos(), "pooled buffer must be bound to a local variable so its Put can be verified")
+		}
+		return
+	}
+	v := lhsVar(w.pass.Info, id)
+	if v == nil {
+		if isGet {
+			w.pass.Reportf(call.Pos(), "pooled buffer assigned to %q cannot be tracked; bind it to a local variable", id.Name)
+		}
+		return
+	}
+	prev, wasHeld := st.held[v]
+	switch {
+	case wasHeld && isGet:
+		get := w.pass.Fset.Position(prev)
+		w.pass.Reportf(at, "pooled buffer %q (acquired at %s:%d) overwritten by a new acquisition before Put", v.Name(), shortPath(get.Filename), get.Line)
+		st.held[v] = call.Pos()
+	case wasHeld && mentionsVar(w.pass.Info, rhs, v):
+		// Reslice or self-append: same backing array, still owned.
+	case wasHeld:
+		get := w.pass.Fset.Position(prev)
+		w.pass.Reportf(at, "pooled buffer %q (acquired at %s:%d) overwritten before Put", v.Name(), shortPath(get.Filename), get.Line)
+		delete(st.held, v)
+	case isGet:
+		st.held[v] = call.Pos()
+	}
+}
+
+// handleVarSpec tracks `var x = pool.Get(n)` declarations, including the
+// tuple form `var a, b = derivedGetter(...)`.
 func (w *poolWalker) handleVarSpec(vs *ast.ValueSpec, st *poolState) {
+	hold := func(name *ast.Ident, pos token.Pos) {
+		if v, ok := w.pass.Info.Defs[name].(*types.Var); ok {
+			st.held[v] = pos
+		}
+	}
+	if len(vs.Names) > 1 && len(vs.Values) == 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			mask := w.ownershipOf(call)
+			for i, name := range vs.Names {
+				if i < len(mask) && mask[i] {
+					hold(name, call.Pos())
+				}
+			}
+		}
+		return
+	}
 	for i, val := range vs.Values {
 		call, ok := ast.Unparen(val).(*ast.CallExpr)
-		if !ok || !isPoolGetter(calleeFunc(w.pass.Info, call)) {
+		if !ok {
 			continue
 		}
-		if i < len(vs.Names) {
-			if v, ok := w.pass.Info.Defs[vs.Names[i]].(*types.Var); ok {
-				st.held[v] = call.Pos()
-			}
+		mask := w.ownershipOf(call)
+		if len(mask) > 0 && mask[0] && i < len(vs.Names) {
+			hold(vs.Names[i], call.Pos())
 		}
 	}
 }
 
-// handlePutCall clears the argument of a pool Put call; returns whether
-// the call was a putter.
+// handlePutCall clears the arguments a putter releases — a direct pool
+// Put, or a derived putter whose mask marks the released parameters —
+// and reports whether the call was a putter at all.
 func (w *poolWalker) handlePutCall(call *ast.CallExpr, st *poolState) bool {
-	if !isPoolPutter(calleeFunc(w.pass.Info, call)) {
+	rels := w.releasesOf(call)
+	if !anyTrue(rels) {
 		return false
 	}
-	if len(call.Args) == 1 {
-		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+	for j, arg := range call.Args {
+		if j >= len(rels) || !rels[j] {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
 			if v, ok := w.pass.Info.Uses[id].(*types.Var); ok {
 				delete(st.held, v)
 			}
@@ -361,7 +452,8 @@ func (w *poolWalker) handlePutCall(call *ast.CallExpr, st *poolState) bool {
 }
 
 // checkUnboundGet flags a getter whose result is consumed inline —
-// `f(pool.Float64(n))` — where no variable exists to Put.
+// `f(pool.Float64(n))` — where no variable exists to Put. Derived
+// getters count: discarding their owned results leaks the same way.
 func (w *poolWalker) checkUnboundGet(call *ast.CallExpr, st *poolState) {
 	ast.Inspect(call, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
@@ -371,7 +463,7 @@ func (w *poolWalker) checkUnboundGet(call *ast.CallExpr, st *poolState) {
 		if !ok {
 			return true
 		}
-		if isPoolGetter(calleeFunc(w.pass.Info, inner)) {
+		if anyTrue(w.ownershipOf(inner)) {
 			w.pass.Reportf(inner.Pos(), "pooled buffer used without a local binding; no Put can release it")
 		}
 		return true

@@ -267,6 +267,79 @@ func prepareOnceLeaksOnError(points, trialsPerPoint int, bad bool) float64 {
 	return acc
 }
 
+// release is a derived putter: it Puts its parameter, discharging the
+// caller's obligation through one call level.
+func release(buf []float64) {
+	pool.PutFloat64(buf)
+}
+
+// pair is a derived getter with a two-result ownership mask.
+func pair(n int) ([]float64, []float64) {
+	a := pool.Float64(n)
+	b := pool.Float64(n)
+	//ivn:allow pooldiscipline fixture: ownership of both buffers transfers to the caller
+	return a, b
+}
+
+// derivedCallerBalanced inherits the Put obligation from transfer and
+// honors it: no findings.
+func derivedCallerBalanced(n int) float64 {
+	buf := transfer(n)
+	s := consume(buf)
+	pool.PutFloat64(buf)
+	return s
+}
+
+// derivedCallerLeaks forgets the obligation transfer handed over.
+func derivedCallerLeaks(n int) float64 {
+	buf := transfer(n)
+	s := consume(buf)
+	return s // want `pooled buffer "buf" .* not released at this return`
+}
+
+// derivedTupleBalanced tracks both owned results of pair: no findings.
+func derivedTupleBalanced(n int) float64 {
+	a, b := pair(n)
+	s := consume(a) + consume(b)
+	pool.PutFloat64(a)
+	pool.PutFloat64(b)
+	return s
+}
+
+// derivedTupleLeaksSecond Puts only the first owned result.
+func derivedTupleLeaksSecond(n int) float64 {
+	a, b := pair(n)
+	s := consume(a) + consume(b)
+	pool.PutFloat64(a)
+	return s // want `pooled buffer "b" .* not released at this return`
+}
+
+// derivedPutterDischarges releases through the helper: no findings.
+func derivedPutterDischarges(n int) float64 {
+	buf := transfer(n)
+	s := consume(buf)
+	release(buf)
+	return s
+}
+
+// derivedEscape re-exports the inherited buffer without its own
+// annotation.
+func derivedEscape(n int) []float64 {
+	buf := transfer(n)
+	return buf // want `pooled buffer "buf" escapes via return`
+}
+
+// derivedUnbound consumes a derived getter's buffer with nothing to Put.
+func derivedUnbound(n int) {
+	consume(transfer(n)) // want `without a local binding`
+}
+
+// derivedBlankDiscard drops an owned result into the blank identifier.
+func derivedBlankDiscard(n int) {
+	_, b := pair(n) // want `pooled buffer assigned to "_" cannot be tracked`
+	pool.PutFloat64(b)
+}
+
 // retryBalanced releases on both the success and the retry path: no
 // findings.
 func retryBalanced(attempts int) float64 {

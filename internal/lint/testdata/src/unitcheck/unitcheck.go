@@ -1,0 +1,117 @@
+// Fixture corpus for the unitcheck analyzer: every annotation shape, the
+// reportable mixes, and the sanctioned link-budget idioms that must stay
+// silent.
+package unitcheck
+
+// chain carries one annotated field per dimension the checker tracks.
+type chain struct {
+	GainDB float64 //ivn:unit dB
+	P1dBm  float64 //ivn:unit dBm
+	PowerW float64 //ivn:unit W
+	FreqHz float64 //ivn:unit Hz
+	//ivn:unit rad/s
+	Omega   float64
+	AmpRoot float64 //ivn:unit sqrtW
+	GainDBi float64 //ivn:unit dBi
+}
+
+// mixesDBLinear adds a log-domain gain to linear watts.
+func mixesDBLinear(c chain) float64 {
+	return c.GainDB + c.PowerW // want `mixes dB-domain dB with linear W`
+}
+
+// addsAbsolute sums two absolute power levels.
+func addsAbsolute(a, b chain) float64 {
+	return a.P1dBm + b.P1dBm // want `adds two absolute dBm levels`
+}
+
+// hzVsRadPerS is the 2π trap.
+func hzVsRadPerS(c chain) float64 {
+	return c.FreqHz + c.Omega // want `mixes Hz with rad/s`
+}
+
+// phaseDelay expects angular frequency.
+//
+//ivn:unit omega rad/s
+//ivn:unit t s
+//ivn:unit return rad
+func phaseDelay(omega, t float64) float64 {
+	return omega * t
+}
+
+// callsWithHz passes a cyclic frequency where rad/s is declared.
+func callsWithHz(c chain) float64 {
+	return phaseDelay(c.FreqHz, 1e-6) // want `argument 1 of phaseDelay is annotated rad/s but gets Hz`
+}
+
+// badReturn returns a relative gain from an absolute-level function.
+//
+//ivn:unit return dBm
+func badReturn(c chain) float64 {
+	return c.GainDB // want `returns dB where the result is annotated dBm`
+}
+
+// fieldMismatch seeds a literal field with the wrong scale.
+func fieldMismatch(c chain) chain {
+	return chain{P1dBm: c.PowerW} // want `field P1dBm is annotated dBm but gets W`
+}
+
+// assignMismatch writes linear watts into a dBm slot.
+func assignMismatch(c *chain) {
+	c.P1dBm = c.PowerW // want `assigns W to a destination annotated dBm`
+}
+
+// comparesAcrossDomains orders a level against linear power.
+func comparesAcrossDomains(c chain) bool {
+	return c.P1dBm > c.PowerW // want `compares dB-domain dBm with linear W`
+}
+
+// inferenceFlows tracks a dim through a := local.
+func inferenceFlows(c chain) float64 {
+	level := c.P1dBm
+	return level + c.PowerW // want `mixes dB-domain dBm with linear W`
+}
+
+// eirp is the sanctioned absolute + antenna-gain combination; dBi is
+// relative to the isotropic radiator, so P + G stays dBm. No findings.
+//
+//ivn:unit p dBm
+//ivn:unit g dBi
+//ivn:unit return dBm
+func eirp(p, g float64) float64 {
+	return p + g
+}
+
+// margin subtracts two absolute levels into a relative gain. No findings.
+//
+//ivn:unit rx dBm
+//ivn:unit floor dBm
+//ivn:unit return dB
+func margin(rx, floor float64) float64 {
+	return rx - floor
+}
+
+// subtractsAbsoluteFromRelative is the reversed, meaningless direction.
+func subtractsAbsoluteFromRelative(c chain) float64 {
+	return c.GainDB - c.P1dBm // want `subtracts absolute dBm from relative dB`
+}
+
+// amplitudeSquared: sqrtW·sqrtW is W; accepted into a W slot. No findings.
+func amplitudeSquared(c *chain) {
+	c.PowerW = c.AmpRoot * c.AmpRoot
+}
+
+// constScaling: bare constants adapt to either operand. No findings.
+func constScaling(c chain) float64 {
+	return 2*c.FreqHz + c.FreqHz
+}
+
+// conversionPreserves: a type conversion keeps the quantity. No findings.
+func conversionPreserves(c chain) float64 {
+	return float64(c.FreqHz) + c.FreqHz
+}
+
+// unannotatedStaysSilent: unknown dims never report. No findings.
+func unannotatedStaysSilent(x, y float64) float64 {
+	return x + y
+}

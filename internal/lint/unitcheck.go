@@ -1,0 +1,776 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Unitcheck enforces physical-unit consistency over the float64 plumbing
+// the type system cannot see. The simulator moves link-budget quantities
+// — dBm chain powers, dBi antenna gains, dB path losses, linear watts,
+// carrier Hz, radians, meters, seconds — through plain floats; one
+// missed 10·log10 or 2π silently corrupts every figure downstream.
+//
+// Quantities are declared with annotations:
+//
+//	type PowerAmp struct {
+//		GainDB float64 //ivn:unit dB
+//		P1dBm  float64 //ivn:unit dBm
+//	}
+//
+//	// Transmittance returns the power ratio through the stack.
+//	//
+//	//ivn:unit freq Hz
+//	//ivn:unit return 1
+//	func (p Path) Transmittance(freq float64) float64 { ... }
+//
+// The single-argument form annotates the declaration on its own line or
+// the line below; the two-argument form lives in a function's doc
+// comment and names a parameter or `return`. Units then propagate
+// locally through assignments, arithmetic and calls; the checker flags
+//
+//   - `+`/`-` (and comparisons) over incompatible dimensions,
+//   - adding two absolute dB-domain levels (dBm+dBm),
+//   - mixing dB-domain and linear quantities without conversion,
+//   - Hz used where rad/s is declared (the 2π trap),
+//   - call arguments, returns, assignments and composite-literal fields
+//     that contradict an annotation.
+//
+// Unannotated or underdetermined expressions stay unknown and are never
+// reported: the checker is optimistic, so adoption can be incremental.
+var Unitcheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "physical-unit consistency from //ivn:unit annotations",
+	Run:  runUnitcheck,
+}
+
+// unitDirective introduces a unit annotation.
+const unitPrefix = "//ivn:unit"
+
+// knownDims is the closed dimension vocabulary. A closed set catches
+// typos (`Khz`, `dbm`) at annotation time instead of silently never
+// matching.
+var knownDims = map[string]bool{
+	"dB":    true,
+	"dBm":   true,
+	"dBi":   true,
+	"W":     true,
+	"sqrtW": true, // amplitude whose square is watts
+	"Hz":    true,
+	"rad/s": true,
+	"rad":   true,
+	"m":     true,
+	"m/s":   true,
+	"s":     true,
+	"1":     true, // dimensionless ratio
+}
+
+// dbFamily covers every log-domain dim; dbAbsolute marks the referenced
+// level (dBm). dBi is a *relative* gain (referenced to the isotropic
+// radiator), so EIRP = P(dBm) + G(dBi) combines legitimately.
+func dbFamily(d string) bool   { return d == "dB" || d == "dBm" || d == "dBi" }
+func dbAbsolute(d string) bool { return d == "dBm" }
+
+// unitSig carries a function's annotated parameter and result dims, ""
+// for unannotated slots.
+type unitSig struct {
+	params  []string
+	results []string
+}
+
+// unitIndex is the module-wide annotation table. Objects are keyed by
+// the file position of their defining identifier — stable across the
+// duplicate type-checker instances the loader produces for a package
+// that is both analyzed and imported.
+type unitIndex struct {
+	objects   map[string]string   // defining-ident posKey → dim
+	funcs     map[string]*unitSig // func-name posKey → signature dims
+	malformed []Finding           // bad annotations, analyzer "unitcheck"
+}
+
+func posKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// buildUnitIndex scans every package's comments for //ivn:unit
+// directives and resolves them against the declarations they attach to.
+func buildUnitIndex(pkgs []*Package) *unitIndex {
+	idx := &unitIndex{
+		objects: map[string]string{},
+		funcs:   map[string]*unitSig{},
+	}
+	seenFiles := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seenFiles[name] {
+				continue
+			}
+			seenFiles[name] = true
+			idx.indexFile(pkg.Fset, f)
+		}
+	}
+	return idx
+}
+
+// directive is one //ivn:unit comment awaiting attachment.
+type directive struct {
+	fields   []string
+	pos      token.Pos
+	line     int
+	inDoc    bool // consumed by a function doc group
+	consumed bool
+}
+
+func (idx *unitIndex) reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	p := fset.Position(pos)
+	idx.malformed = append(idx.malformed, Finding{
+		Analyzer: "unitcheck",
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (idx *unitIndex) checkDim(fset *token.FileSet, pos token.Pos, dim string) bool {
+	if knownDims[dim] {
+		return true
+	}
+	idx.reportf(fset, pos, "unknown unit %q (known: dB dBm dBi W sqrtW Hz rad/s rad m m/s s 1)", dim)
+	return false
+}
+
+func (idx *unitIndex) indexFile(fset *token.FileSet, f *ast.File) {
+	var dirs []*directive
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, unitPrefix)
+			if !ok {
+				continue
+			}
+			dirs = append(dirs, &directive{
+				fields: strings.Fields(text),
+				pos:    c.Pos(),
+				line:   fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	if len(dirs) == 0 {
+		return
+	}
+	byPos := map[token.Pos]*directive{}
+	for _, d := range dirs {
+		byPos[d.pos] = d
+	}
+
+	// Declaring identifiers a single-argument directive can attach to.
+	type candidate struct {
+		id   *ast.Ident
+		line int
+	}
+	var cands []candidate
+	addIdent := func(id *ast.Ident) {
+		if id.Name == "_" {
+			return
+		}
+		cands = append(cands, candidate{id, fset.Position(id.Pos()).Line})
+	}
+	ast.Inspect(f, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.StructType:
+			for _, field := range node.Fields.List {
+				for _, name := range field.Names {
+					addIdent(name)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range node.Names {
+				addIdent(name)
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.DEFINE {
+				for _, l := range node.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						addIdent(id)
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			idx.indexFuncDoc(fset, node, byPos)
+		}
+		return true
+	})
+
+	byLine := map[int][]candidate{}
+	for _, c := range cands {
+		byLine[c.line] = append(byLine[c.line], c)
+	}
+	for _, d := range dirs {
+		if d.inDoc {
+			continue
+		}
+		if len(d.fields) != 1 {
+			idx.reportf(fset, d.pos, "malformed annotation: expected //ivn:unit <dim> on a declaration, or //ivn:unit <param|return> <dim> in a function doc")
+			continue
+		}
+		dim := d.fields[0]
+		if !idx.checkDim(fset, d.pos, dim) {
+			continue
+		}
+		targets := byLine[d.line]
+		if len(targets) == 0 {
+			targets = byLine[d.line+1]
+		}
+		if len(targets) == 0 {
+			idx.reportf(fset, d.pos, "//ivn:unit %s attaches to no declaration on this line or the next", dim)
+			continue
+		}
+		for _, t := range targets {
+			idx.objects[posKey(fset, t.id.Pos())] = dim
+		}
+	}
+}
+
+// indexFuncDoc resolves the two-argument directives in a function's doc
+// comment against its parameters and result.
+func (idx *unitIndex) indexFuncDoc(fset *token.FileSet, fd *ast.FuncDecl, byPos map[token.Pos]*directive) {
+	if fd.Doc == nil {
+		return
+	}
+	var sig *unitSig
+	ensure := func() *unitSig {
+		if sig == nil {
+			n := 0
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					n += len(field.Names)
+					if len(field.Names) == 0 {
+						n++
+					}
+				}
+			}
+			nr := 0
+			if fd.Type.Results != nil {
+				for _, field := range fd.Type.Results.List {
+					nr += len(field.Names)
+					if len(field.Names) == 0 {
+						nr++
+					}
+				}
+			}
+			sig = &unitSig{params: make([]string, n), results: make([]string, nr)}
+		}
+		return sig
+	}
+	for _, c := range fd.Doc.List {
+		d := byPos[c.Pos()]
+		if d == nil {
+			continue
+		}
+		d.inDoc = true
+		if len(d.fields) != 2 {
+			idx.reportf(fset, d.pos, "malformed annotation in function doc: expected //ivn:unit <param|return> <dim>")
+			continue
+		}
+		name, dim := d.fields[0], d.fields[1]
+		if !idx.checkDim(fset, d.pos, dim) {
+			continue
+		}
+		if name == "return" {
+			s := ensure()
+			if len(s.results) == 0 {
+				idx.reportf(fset, d.pos, "//ivn:unit return %s on a function with no results", dim)
+				continue
+			}
+			s.results[0] = dim
+			continue
+		}
+		found := false
+		i := 0
+		if fd.Type.Params != nil {
+			for _, field := range fd.Type.Params.List {
+				for _, pn := range field.Names {
+					if pn.Name == name {
+						ensure().params[i] = dim
+						idx.objects[posKey(fset, pn.Pos())] = dim
+						found = true
+					}
+					i++
+				}
+				if len(field.Names) == 0 {
+					i++
+				}
+			}
+		}
+		if !found {
+			idx.reportf(fset, d.pos, "//ivn:unit names no parameter %q of %s", name, fd.Name.Name)
+		}
+	}
+	if sig != nil {
+		idx.funcs[posKey(fset, fd.Name.Pos())] = sig
+	}
+}
+
+// objDim looks up the declared dim of an object, "" when unannotated.
+func (idx *unitIndex) objDim(fset *token.FileSet, obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	return idx.objects[posKey(fset, obj.Pos())]
+}
+
+// sigOf looks up the annotated signature of a function, nil when
+// unannotated.
+func (idx *unitIndex) sigOf(fset *token.FileSet, fn *types.Func) *unitSig {
+	if fn == nil {
+		return nil
+	}
+	return idx.funcs[posKey(fset, fn.Pos())]
+}
+
+// udim is the inferred unit of an expression: a known dim, a bare
+// constant (which adapts to either side of an operation), or unknown.
+type udim struct {
+	dim     string
+	known   bool
+	isConst bool
+}
+
+var unknownDim = udim{}
+
+// identObj resolves an identifier to its object, uses before defs.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func knownUdim(d string) udim { return udim{dim: d, known: d != ""} }
+
+// unitProblem classifies an incompatibility for reporting.
+type unitProblem struct {
+	msg string
+}
+
+// mulDerived and quoDerived encode the handful of products and quotients
+// the simulator actually forms between distinct dims. mulDerived is
+// consulted in both operand orders.
+var mulDerived = map[[2]string]string{
+	{"m/s", "s"}:   "m",
+	{"rad/s", "s"}: "rad",
+	{"Hz", "s"}:    "1", // cycles: a dimensionless count
+}
+
+var quoDerived = map[[2]string]string{
+	{"m", "m/s"}:     "s",
+	{"m", "s"}:       "m/s",
+	{"m/s", "Hz"}:    "m", // wavelength λ = c/f
+	{"rad", "s"}:     "rad/s",
+	{"rad", "rad/s"}: "s",
+}
+
+// combineAddSub applies the dimensional rules of + and -.
+func combineAddSub(x, y udim, op token.Token) (udim, *unitProblem) {
+	switch {
+	case x.isConst && y.isConst:
+		return udim{isConst: true}, nil
+	case x.isConst:
+		return y, nil
+	case y.isConst:
+		return x, nil
+	case !x.known || !y.known:
+		return unknownDim, nil
+	}
+	xd, yd := x.dim, y.dim
+	if xd == yd {
+		if op == token.ADD && dbAbsolute(xd) {
+			return unknownDim, &unitProblem{fmt.Sprintf("adds two absolute %s levels; absolute dB-domain powers do not sum — convert to linear W first", xd)}
+		}
+		if op == token.SUB && dbAbsolute(xd) {
+			return knownUdim("dB"), nil // dBm − dBm is a gain/margin
+		}
+		return x, nil
+	}
+	switch {
+	case dbFamily(xd) && dbFamily(yd):
+		// P(dBm) ± G(dB/dBi) stays absolute — the EIRP / link-budget
+		// shape; relative gains and losses combine to dB.
+		if dbAbsolute(xd) {
+			return x, nil
+		}
+		if dbAbsolute(yd) {
+			if op == token.SUB {
+				return unknownDim, &unitProblem{fmt.Sprintf("subtracts absolute %s from relative %s", yd, xd)}
+			}
+			return y, nil
+		}
+		return knownUdim("dB"), nil // dB ± dBi-free relative mix
+	case dbFamily(xd) != dbFamily(yd):
+		lin := yd
+		db := xd
+		if dbFamily(yd) {
+			lin, db = xd, yd
+		}
+		return unknownDim, &unitProblem{fmt.Sprintf("mixes dB-domain %s with linear %s; convert with 10·log10 / 10^(x/10) at the boundary", db, lin)}
+	case (xd == "Hz" && yd == "rad/s") || (xd == "rad/s" && yd == "Hz"):
+		return unknownDim, &unitProblem{"mixes Hz with rad/s; the quantities differ by 2π — convert explicitly"}
+	default:
+		return unknownDim, &unitProblem{fmt.Sprintf("unit mismatch: %s %s %s", xd, op, yd)}
+	}
+}
+
+// compareProblem classifies an ordered/equality comparison of two dims.
+func compareProblem(x, y udim) *unitProblem {
+	if x.isConst || y.isConst || !x.known || !y.known || x.dim == y.dim {
+		return nil
+	}
+	xd, yd := x.dim, y.dim
+	switch {
+	case dbFamily(xd) != dbFamily(yd):
+		db, lin := xd, yd
+		if dbFamily(yd) {
+			db, lin = yd, xd
+		}
+		return &unitProblem{fmt.Sprintf("compares dB-domain %s with linear %s", db, lin)}
+	case (xd == "Hz" && yd == "rad/s") || (xd == "rad/s" && yd == "Hz"):
+		return &unitProblem{"compares Hz with rad/s; the quantities differ by 2π"}
+	case dbFamily(xd) && dbFamily(yd):
+		return nil // margin-vs-level comparisons are conventional
+	default:
+		return &unitProblem{fmt.Sprintf("compares %s with %s", xd, yd)}
+	}
+}
+
+// unitChecker walks one function body with a local inference environment.
+type unitChecker struct {
+	pass *Pass
+	idx  *unitIndex
+	env  map[types.Object]string // inferred (not annotated) local dims
+	// results holds the enclosing function's annotated result dims.
+	results []string
+}
+
+func runUnitcheck(pass *Pass) {
+	idx := pass.Prog.Units
+	// Surface malformed annotations located in this pass's files.
+	inPass := map[string]bool{}
+	for _, f := range pass.Files {
+		inPass[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, m := range idx.malformed {
+		if inPass[m.File] {
+			pass.findings = append(pass.findings, m)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			uc := &unitChecker{
+				pass: pass,
+				idx:  idx,
+				env:  map[types.Object]string{},
+			}
+			if sig := idx.funcs[posKey(pass.Fset, fd.Name.Pos())]; sig != nil {
+				uc.results = sig.results
+			}
+			uc.walk(fd.Body)
+		}
+	}
+}
+
+// dimOf infers the unit of an expression. Pure: reporting happens only
+// at statement/operator visit sites, so nested recomputation is safe.
+func (uc *unitChecker) dimOf(e ast.Expr) udim {
+	info := uc.pass.Info
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		// An annotated named constant (em.C, a declared reference level)
+		// keeps its dim; bare literals adapt to the other operand.
+		switch e := e.(type) {
+		case *ast.Ident:
+			if d := uc.idx.objDim(uc.pass.Fset, identObj(info, e)); d != "" {
+				return knownUdim(d)
+			}
+		case *ast.SelectorExpr:
+			if d := uc.idx.objDim(uc.pass.Fset, info.Uses[e.Sel]); d != "" {
+				return knownUdim(d)
+			}
+		}
+		return udim{isConst: true}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return unknownDim
+		}
+		if d := uc.idx.objDim(uc.pass.Fset, obj); d != "" {
+			return knownUdim(d)
+		}
+		if d := uc.env[obj]; d != "" {
+			return knownUdim(d)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return knownUdim(uc.idx.objDim(uc.pass.Fset, sel.Obj()))
+		}
+		return knownUdim(uc.idx.objDim(uc.pass.Fset, info.Uses[e.Sel]))
+	case *ast.IndexExpr:
+		return uc.dimOf(e.X) // element of an annotated slice
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return uc.dimOf(e.X)
+		}
+	case *ast.BinaryExpr:
+		d, _ := uc.combine(e)
+		return d
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			return uc.dimOf(e.Args[0]) // conversion preserves the quantity
+		}
+		if sig := uc.idx.sigOf(uc.pass.Fset, calleeFunc(info, e)); sig != nil && len(sig.results) > 0 {
+			return knownUdim(sig.results[0])
+		}
+	}
+	return unknownDim
+}
+
+// combine evaluates a binary expression's unit and any incompatibility.
+func (uc *unitChecker) combine(e *ast.BinaryExpr) (udim, *unitProblem) {
+	x, y := uc.dimOf(e.X), uc.dimOf(e.Y)
+	switch e.Op {
+	case token.ADD, token.SUB:
+		return combineAddSub(x, y, e.Op)
+	case token.MUL:
+		switch {
+		case x.isConst && y.isConst:
+			return udim{isConst: true}, nil
+		case x.isConst:
+			return y, nil // scaling preserves the unit
+		case y.isConst:
+			return x, nil
+		case x.known && y.known && x.dim == "sqrtW" && y.dim == "sqrtW":
+			return knownUdim("W"), nil // amplitude² is power
+		case x.known && y.known && y.dim == "1":
+			return x, nil // dimensionless ratio preserves the unit
+		case x.known && y.known && x.dim == "1":
+			return y, nil
+		case x.known && y.known:
+			if d, ok := mulDerived[[2]string{x.dim, y.dim}]; ok {
+				return knownUdim(d), nil
+			}
+			if d, ok := mulDerived[[2]string{y.dim, x.dim}]; ok {
+				return knownUdim(d), nil
+			}
+		}
+		return unknownDim, nil
+	case token.QUO:
+		switch {
+		case y.isConst:
+			return x, nil
+		case x.known && y.known && x.dim == y.dim:
+			return knownUdim("1"), nil
+		case x.known && y.known && y.dim == "1":
+			return x, nil
+		case x.known && y.known:
+			if d, ok := quoDerived[[2]string{x.dim, y.dim}]; ok {
+				return knownUdim(d), nil
+			}
+		}
+		return unknownDim, nil
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return unknownDim, compareProblem(x, y)
+	}
+	return unknownDim, nil
+}
+
+// declaredLhsDim returns the annotated dim of an assignment target, "".
+func (uc *unitChecker) declaredLhsDim(lhs ast.Expr) string {
+	info := uc.pass.Info
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := info.Defs[lhs]
+		if obj == nil {
+			obj = info.Uses[lhs]
+		}
+		return uc.idx.objDim(uc.pass.Fset, obj)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[lhs]; ok {
+			return uc.idx.objDim(uc.pass.Fset, sel.Obj())
+		}
+		return uc.idx.objDim(uc.pass.Fset, info.Uses[lhs.Sel])
+	case *ast.IndexExpr:
+		return uc.declaredLhsDim(lhs.X)
+	}
+	return ""
+}
+
+func (uc *unitChecker) walk(body *ast.BlockStmt) {
+	info := uc.pass.Info
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.BinaryExpr:
+			if _, p := uc.combine(node); p != nil {
+				uc.pass.Reportf(node.OpPos, "%s", p.msg)
+			}
+		case *ast.AssignStmt:
+			uc.checkAssign(node)
+		case *ast.RangeStmt:
+			if node.Value != nil {
+				if id, ok := node.Value.(*ast.Ident); ok {
+					src := uc.dimOf(node.X)
+					if src.known {
+						if obj := info.Defs[id]; obj != nil {
+							uc.env[obj] = src.dim
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for i, res := range node.Results {
+				if i >= len(uc.results) || uc.results[i] == "" {
+					continue
+				}
+				got := uc.dimOf(res)
+				if got.known && got.dim != uc.results[i] {
+					uc.pass.Reportf(res.Pos(), "returns %s where the result is annotated %s", got.dim, uc.results[i])
+				}
+			}
+		case *ast.CallExpr:
+			uc.checkCall(node)
+		case *ast.CompositeLit:
+			uc.checkCompositeLit(node)
+		}
+		return true
+	})
+}
+
+func (uc *unitChecker) checkAssign(as *ast.AssignStmt) {
+	info := uc.pass.Info
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		op := token.ADD
+		if as.Tok == token.SUB_ASSIGN {
+			op = token.SUB
+		}
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			x := knownUdim(uc.declaredLhsDim(as.Lhs[0]))
+			if !x.known {
+				x = uc.dimOf(as.Lhs[0])
+			}
+			if _, p := combineAddSub(x, uc.dimOf(as.Rhs[0]), op); p != nil {
+				uc.pass.Reportf(as.TokPos, "%s", p.msg)
+			}
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return
+	}
+	check := func(lhs, rhs ast.Expr) {
+		declared := uc.declaredLhsDim(lhs)
+		got := uc.dimOf(rhs)
+		if declared != "" {
+			if got.known && got.dim != declared {
+				uc.pass.Reportf(rhs.Pos(), "assigns %s to a destination annotated %s", got.dim, declared)
+			}
+			return
+		}
+		// Inference: a simple local picks up the source's dim.
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && got.known {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				uc.env[obj] = got.dim
+			}
+		}
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			check(as.Lhs[i], as.Rhs[i])
+		}
+		return
+	}
+	// Tuple call: only the first result can carry an annotation today.
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && len(as.Lhs) > 0 {
+			if sig := uc.idx.sigOf(uc.pass.Fset, calleeFunc(info, call)); sig != nil && len(sig.results) > 0 && sig.results[0] != "" {
+				declared := uc.declaredLhsDim(as.Lhs[0])
+				if declared != "" && declared != sig.results[0] {
+					uc.pass.Reportf(as.Lhs[0].Pos(), "assigns %s result to a destination annotated %s", sig.results[0], declared)
+				} else if declared == "" {
+					if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil {
+							uc.env[obj] = sig.results[0]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (uc *unitChecker) checkCall(call *ast.CallExpr) {
+	info := uc.pass.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	fn := calleeFunc(info, call)
+	sig := uc.idx.sigOf(uc.pass.Fset, fn)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= len(sig.params) || sig.params[i] == "" {
+			continue
+		}
+		got := uc.dimOf(arg)
+		if got.known && got.dim != sig.params[i] {
+			uc.pass.Reportf(arg.Pos(), "argument %d of %s is annotated %s but gets %s", i+1, fn.Name(), sig.params[i], got.dim)
+		}
+	}
+}
+
+func (uc *unitChecker) checkCompositeLit(lit *ast.CompositeLit) {
+	info := uc.pass.Info
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field, ok := info.Uses[key].(*types.Var)
+		if !ok || !field.IsField() {
+			continue
+		}
+		declared := uc.idx.objDim(uc.pass.Fset, field)
+		if declared == "" {
+			continue
+		}
+		got := uc.dimOf(kv.Value)
+		if got.known && got.dim != declared {
+			uc.pass.Reportf(kv.Value.Pos(), "field %s is annotated %s but gets %s", key.Name, declared, got.dim)
+		}
+	}
+}

@@ -52,6 +52,11 @@ const renormMask = 2047
 // partial sums accumulate in ascending carrier order with the exact same
 // operations, and each carrier's recurrence and renormalization sequence
 // is unchanged.
+//
+//ivn:unit freqs Hz
+//ivn:unit t0 s
+//ivn:unit dt s
+//ivn:hotpath
 func SumSeries(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, im []float64) {
 	if len(freqs) != len(coeffs) {
 		panic("phasor: freqs/coeffs length mismatch")
@@ -73,6 +78,10 @@ func SumSeries(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, 
 // startPhasor rotates coeff to its value at t0 and returns the per-step
 // rotation for spacing dt plus the starting magnitude — the shared setup
 // of the serial and interleaved kernels.
+//
+//ivn:unit f Hz
+//ivn:unit t0 s
+//ivn:unit dt s
 func startPhasor(f float64, coeff complex128, t0, dt float64) (curRe, curIm, rotRe, rotIm, mag float64) {
 	ss, cs := math.Sincos(2 * math.Pi * f * dt)
 	rotRe, rotIm = cs, ss
@@ -87,6 +96,10 @@ func startPhasor(f float64, coeff complex128, t0, dt float64) (curRe, curIm, rot
 
 // sumSeriesSerial is the reference per-carrier recurrence loop. SumSeries
 // must remain bit-identical to it (TestSumSeriesInterleavedBitExact).
+//
+//ivn:unit freqs Hz
+//ivn:unit t0 s
+//ivn:unit dt s
 func sumSeriesSerial(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, im []float64) {
 	re = re[:n]
 	im = im[:n]
@@ -113,6 +126,10 @@ func sumSeriesSerial(freqs []float64, coeffs []complex128, t0, dt float64, n int
 // sample instead of four times. Additions into re[k]/im[k] run in
 // ascending carrier order, reproducing the serial loop's partial-sum
 // sequence exactly.
+//
+//ivn:unit freqs Hz
+//ivn:unit t0 s
+//ivn:unit dt s
 func sumSeries4(freqs []float64, coeffs []complex128, t0, dt float64, n int, re, im []float64) {
 	_ = freqs[3]
 	_ = coeffs[3]
@@ -169,6 +186,11 @@ func sumSeries4(freqs []float64, coeffs []complex128, t0, dt float64, n int, re,
 // MagnitudeSeries writes |Σ_i coeffs[i]·e^{j·2π·freqs[i]·(t0+k·dt)}| into
 // dst[k] for k in [0, n). dst must have length ≥ n. Scratch comes from the
 // buffer pool; the call itself does not allocate in steady state.
+//
+//ivn:unit freqs Hz
+//ivn:unit t0 s
+//ivn:unit dt s
+//ivn:hotpath
 func MagnitudeSeries(freqs []float64, coeffs []complex128, t0, dt float64, n int, dst []float64) {
 	re := pool.Float64(n)
 	im := pool.Float64(n)
@@ -183,12 +205,21 @@ func MagnitudeSeries(freqs []float64, coeffs []complex128, t0, dt float64, n int
 
 // PeakPower returns max_k |Σ_i coeffs[i]·e^{j·2π·freqs[i]·(t0+k·dt)}|²
 // over the half-open grid k ∈ [0, n).
+//
+//ivn:unit freqs Hz
+//ivn:unit t0 s
+//ivn:unit dt s
+//ivn:hotpath
 func PeakPower(freqs []float64, coeffs []complex128, t0, dt float64, n int) float64 {
 	p, _ := peakPowerArg(freqs, coeffs, t0, dt, n)
 	return p
 }
 
 // peakPowerArg returns the power peak and its grid index.
+//
+//ivn:unit freqs Hz
+//ivn:unit t0 s
+//ivn:unit dt s
 func peakPowerArg(freqs []float64, coeffs []complex128, t0, dt float64, n int) (float64, int) {
 	if n <= 0 || len(freqs) == 0 {
 		return 0, -1
@@ -230,6 +261,10 @@ const refineFraction = 0.85
 // result is always the power at a sample point of PeakPower's half-open
 // [0, duration) fine grid, and for adequately oversampled envelopes (see
 // refineFraction) it equals the full fine-grid scan.
+//
+//ivn:unit freqs Hz
+//ivn:unit duration s
+//ivn:hotpath
 func PeakPowerRefined(freqs []float64, coeffs []complex128, duration float64, nCoarse, nFine int) float64 {
 	if len(freqs) == 0 || nFine <= 0 {
 		return 0

@@ -14,19 +14,21 @@ import (
 // (paper §4, §5b).
 type SAWFilter struct {
 	// Center is the passband center in Hz.
-	Center float64
+	Center float64 //ivn:unit Hz
 	// HalfWidth is the passband half-width in Hz.
-	HalfWidth float64
+	HalfWidth float64 //ivn:unit Hz
 	// TransitionWidth is the skirt width in Hz.
-	TransitionWidth float64
+	TransitionWidth float64 //ivn:unit Hz
 	// RejectionDB is the stopband rejection (positive dB).
-	RejectionDB float64
+	RejectionDB float64 //ivn:unit dB
 	// InsertionLossDB is the passband loss (positive dB).
-	InsertionLossDB float64
+	InsertionLossDB float64 //ivn:unit dB
 }
 
 // DefaultSAW returns a high-rejection front-end filter: ±10 MHz passband,
 // 5 MHz skirts, 45 dB rejection, 2 dB insertion loss.
+//
+//ivn:unit center Hz
 func DefaultSAW(center float64) SAWFilter {
 	return SAWFilter{
 		Center:          center,
@@ -39,6 +41,9 @@ func DefaultSAW(center float64) SAWFilter {
 
 // AttenuationDB returns the filter's power attenuation at freq (positive
 // dB, including insertion loss).
+//
+//ivn:unit freq Hz
+//ivn:unit return dB
 func (f SAWFilter) AttenuationDB(freq float64) float64 {
 	off := math.Abs(freq - f.Center)
 	switch {
@@ -54,14 +59,18 @@ func (f SAWFilter) AttenuationDB(freq float64) float64 {
 }
 
 // Apply scales a tone's power (watts) at freq through the filter.
+//
+//ivn:unit powerWatts W
+//ivn:unit freq Hz
+//ivn:unit return W
 func (f SAWFilter) Apply(powerWatts, freq float64) float64 {
 	return powerWatts * math.Pow(10, -f.AttenuationDB(freq)/10)
 }
 
 // ToneAt is a received tone: power after the antenna, before the filter.
 type ToneAt struct {
-	Freq  float64
-	Power float64 // watts
+	Freq  float64 //ivn:unit Hz
+	Power float64 //ivn:unit W
 }
 
 // Receiver is a direct-conversion receive chain: SAW pre-filter → LNA with
@@ -71,27 +80,29 @@ type ToneAt struct {
 // are unrecoverable.
 type Receiver struct {
 	// Center is the LO frequency in Hz.
-	Center float64
+	Center float64 //ivn:unit Hz
 	// Filter is the front-end pre-selector.
 	Filter SAWFilter
 	// SaturationPower is the LNA input compression limit in watts.
-	SaturationPower float64
+	SaturationPower float64 //ivn:unit W
 	// NoiseFloor is the integrated thermal noise power in watts over the
 	// receive bandwidth.
-	NoiseFloor float64
+	NoiseFloor float64 //ivn:unit W
 	// BasebandHalfWidth is the digital channel filter's half-width in Hz.
 	// An interfering *tone* outside it — like the CIB carriers 35 MHz
 	// away — is removed digitally after the ADC; the SAW filter's job is
 	// only to keep it from saturating the analog chain first.
-	BasebandHalfWidth float64
+	BasebandHalfWidth float64 //ivn:unit Hz
 	// DigitalRejectionDB is the post-ADC rejection applied to tones
 	// outside the baseband channel (positive dB).
-	DigitalRejectionDB float64
+	DigitalRejectionDB float64 //ivn:unit dB
 }
 
 // NewReceiver builds a receiver with a default SAW at the LO, a −20 dBm
 // saturation limit, a −90 dBm noise floor, a ±1 MHz digital channel and
 // 60 dB digital stopband rejection.
+//
+//ivn:unit center Hz
 func NewReceiver(center float64) *Receiver {
 	return &Receiver{
 		Center:             center,
@@ -106,6 +117,8 @@ func NewReceiver(center float64) *Receiver {
 // EffectiveInterference returns the interference power that actually
 // lands inside the demodulation bandwidth: post-SAW power, further
 // reduced by digital rejection for tones outside the baseband channel.
+//
+//ivn:unit return W
 func (r *Receiver) EffectiveInterference(tones []ToneAt) float64 {
 	var p float64
 	for _, t := range tones {
@@ -119,6 +132,8 @@ func (r *Receiver) EffectiveInterference(tones []ToneAt) float64 {
 }
 
 // PostFilterPower returns the total power reaching the LNA from tones.
+//
+//ivn:unit return W
 func (r *Receiver) PostFilterPower(tones []ToneAt) float64 {
 	var p float64
 	for _, t := range tones {
@@ -136,6 +151,9 @@ func (r *Receiver) Saturated(tones []ToneAt) bool {
 // in-band signal power against a set of interfering tones, assuming the
 // receiver is not saturated. Interference is weighted by both the analog
 // pre-filter and the digital channel rejection.
+//
+//ivn:unit signalWatts W
+//ivn:unit return dB
 func (r *Receiver) SNRdB(signalWatts float64, jammers []ToneAt) float64 {
 	if signalWatts <= 0 {
 		return math.Inf(-1)
@@ -198,6 +216,9 @@ func Quantize(x []complex128, bits int, fullScale float64) (clipped int, err err
 // coefficient: y[k] = Σᵢ Aᵢ·hᵢ·e^{j(2π(fᵢ−f0)·k/fs + θᵢ)}. This is the
 // signal at the *sensor* (or reader) — the superposition whose envelope
 // CIB shapes. chans must have one coefficient per carrier.
+//
+//ivn:unit f0 Hz
+//ivn:unit fs Hz
 func ReceivedBaseband(carriers []Carrier, chans []complex128, f0, fs float64, n int) ([]complex128, error) {
 	if len(carriers) != len(chans) {
 		return nil, fmt.Errorf("radio: %d carriers but %d channels", len(carriers), len(chans))

@@ -26,9 +26,9 @@ import (
 // Reader is the out-of-band transmit/receive pair.
 type Reader struct {
 	// TxFreq is the reader's carrier (the prototype uses 880 MHz).
-	TxFreq float64
+	TxFreq float64 //ivn:unit Hz
 	// TxAmplitude is the emitted amplitude in √W.
-	TxAmplitude float64
+	TxAmplitude float64 //ivn:unit sqrtW
 	// RX is the receive chain (SAW filter, saturation, noise floor),
 	// centered at TxFreq.
 	RX *radio.Receiver
@@ -178,6 +178,9 @@ func (r *Reader) Validate() error {
 // Jammed reports whether the CIB transmitters saturate the receive chain
 // despite the SAW filter. leakPower is the total CIB power reaching the
 // reader antenna (watts) at cibFreq.
+//
+//ivn:unit leakPower W
+//ivn:unit cibFreq Hz
 func (r *Reader) Jammed(leakPower, cibFreq float64) bool {
 	return r.rx().Saturated([]radio.ToneAt{{Freq: cibFreq, Power: leakPower}})
 }
@@ -189,7 +192,7 @@ type DecodeResult struct {
 	// Correlation is the preamble correlation after averaging.
 	Correlation float64
 	// SNRdB is the post-averaging per-sample SNR estimate used.
-	SNRdB float64
+	SNRdB float64 //ivn:unit dB
 }
 
 // DecodeUplink demodulates a backscatter reply. bs is the tag's

@@ -28,7 +28,7 @@ import (
 const (
 	// FCCMaxEIRPdBm is the Part 15.247 EIRP ceiling in the 902-928 MHz
 	// ISM band (1 W conducted + 6 dBi antenna).
-	FCCMaxEIRPdBm = 36.0
+	FCCMaxEIRPdBm = 36.0 //ivn:unit dBm
 	// SARLimitWkg is the FCC localized SAR limit (1 g average) in W/kg.
 	SARLimitWkg = 1.6
 	// SARLimitWholeBodyWkg is the whole-body average limit in W/kg.
@@ -41,6 +41,9 @@ const (
 // transmit antenna gain. Under FCC rules, frequency-distinct CIB chains
 // are evaluated per transmitter, not as a coherent aggregate — the same
 // reason N conventional readers may share a warehouse.
+//
+//ivn:unit antennaGainDBi dBi
+//ivn:unit return dBm
 func EIRPdBm(carriers []radio.Carrier, antennaGainDBi float64) float64 {
 	var maxP float64
 	for _, c := range carriers {

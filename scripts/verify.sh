@@ -5,7 +5,11 @@
 # 2. go vet ./...            — stdlib static sanity, hardened flag set
 # 3. ivnlint ./...           — domain lint suite: determinism, pool
 #                              discipline, float comparisons, goroutine
-#                              hygiene, discarded errors
+#                              hygiene, discarded errors, physical-unit
+#                              consistency, static hot-path alloc-freedom;
+#                              set IVNLINT_REPORT=<path> to also write the
+#                              machine-readable JSON report (CI uploads it
+#                              as a build artifact)
 # 4. go test ./...           — unit + golden + determinism + lint fixtures
 # 5. go test -race <pkgs>    — the packages with parallel trial loops and
 #                              shared scratch pools, under the race detector
@@ -49,7 +53,17 @@ stage "go build" go build ./...
 # cannot silently drop them.
 stage "go vet" go vet -copylocks -composites -unusedresult ./...
 
-stage "ivnlint" go run ./cmd/ivnlint ./...
+ivnlint_stage() {
+  # With IVNLINT_REPORT set, emit the JSON report object (findings,
+  # analyzer list, cache hit/miss counts) for artifact upload; the exit
+  # status still gates the stage. Text mode otherwise.
+  if [ -n "${IVNLINT_REPORT:-}" ]; then
+    go run ./cmd/ivnlint -json ./... > "${IVNLINT_REPORT}"
+  else
+    go run ./cmd/ivnlint ./...
+  fi
+}
+stage "ivnlint" ivnlint_stage
 
 stage "go test" go test ./...
 
