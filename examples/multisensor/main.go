@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -58,7 +59,12 @@ func main() {
 	// slotted-ALOHA inventory (Gen2 Q-algorithm) singulates the whole
 	// population without knowing any EPC up front.
 	epcs, err := sys.InventoryPopulation(sc, sensors, 6)
-	if err != nil {
+	switch {
+	case errors.Is(err, ivn.ErrInventoryIncomplete):
+		// The partial list accompanies the sentinel: report what was
+		// read instead of throwing it away.
+		fmt.Printf("inventory ran out of rounds with implants unread: %v\n", err)
+	case err != nil:
 		log.Fatal(err)
 	}
 	fmt.Printf("full population inventory found %d/%d implants:\n", len(epcs), len(sensors))

@@ -380,14 +380,23 @@ func (t *TagLogic) handleQueryRep(q *QueryRep) Reply {
 	}
 	switch t.state {
 	case StateArbitrate:
-		if t.slot > 0 {
+		if t.slot == 0 {
+			// A zero counter only arises after a failed singulation (the
+			// tag replied, the exchange died). Decrementing it rolls over
+			// to the spec maximum (6.3.2.12.2), silencing the tag until
+			// the next Query re-randomizes it or a QueryAdjust redraws it
+			// — without the rollover it re-replies every other slot and
+			// collides the rest of the round.
+			t.slot = 0x7FFF
+		} else {
 			t.slot--
 		}
 		if t.slot == 0 {
 			return t.enterSlot()
 		}
 	case StateReply:
-		// Missed ACK; back to arbitration with a fresh (nonzero) slot.
+		// Missed ACK; back to arbitration (the stale zero counter rolls
+		// over at the next QueryRep).
 		t.state = StateArbitrate
 	case StateAcknowledged, StateOpen, StateSecured:
 		// Inventory complete: flip the inventoried flag and drop out.

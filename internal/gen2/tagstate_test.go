@@ -173,6 +173,45 @@ func TestMissedACKBackToArbitrate(t *testing.T) {
 	}
 }
 
+// TestFailedSingulationRollsOver: after a missed ACK the tag's zero slot
+// counter must roll over to the spec maximum on the next QueryRep
+// (6.3.2.12.2) instead of re-entering the slot — without the rollover a
+// failed tag backscatters every other slot and collides out the rest of
+// the round.
+func TestFailedSingulationRollsOver(t *testing.T) {
+	tag := newTag(t, 21)
+	tag.HandleCommand(&Query{Q: 0, Session: S0})
+	if tag.State() != StateReply {
+		t.Fatalf("state = %s", tag.State())
+	}
+	// Reader moves on without ACKing: back to arbitrate, counter stale at 0.
+	tag.HandleCommand(&QueryRep{Session: S0})
+	if tag.State() != StateArbitrate {
+		t.Fatalf("state = %s, want Arbitrate", tag.State())
+	}
+	// The tag must now stay silent for the rest of any realistic round...
+	for i := 0; i < 64; i++ {
+		if reply := tag.HandleCommand(&QueryRep{Session: S0}); reply.Kind != ReplyNone {
+			t.Fatalf("QueryRep %d: failed tag re-replied with %s", i, reply.Kind)
+		}
+	}
+	if tag.State() != StateArbitrate {
+		t.Fatalf("state = %s, want Arbitrate", tag.State())
+	}
+	// ...but a new Query re-randomizes it back into contention.
+	if reply := tag.HandleCommand(&Query{Q: 0, Session: S0}); reply.Kind != ReplyRN16 {
+		t.Fatalf("fresh Query reply = %s, want RN16", reply.Kind)
+	}
+	// A QueryAdjust must likewise rescue a rolled-over tag: fail it again,
+	// then redraw into a 1-slot space.
+	tag.HandleCommand(&QueryRep{Session: S0}) // missed ACK
+	tag.HandleCommand(&QueryRep{Session: S0}) // rollover
+	reply := tag.HandleCommand(&QueryAdjust{Session: S0, UpDn: QDown})
+	if tag.State() != StateReply || reply.Kind != ReplyRN16 {
+		t.Fatalf("QueryAdjust after rollover: state %s reply %s", tag.State(), reply.Kind)
+	}
+}
+
 func TestQueryAdjustRedraws(t *testing.T) {
 	tag := newTag(t, 9)
 	tag.HandleCommand(&Query{Q: 4, Session: S0})

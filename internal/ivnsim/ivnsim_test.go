@@ -63,7 +63,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-flatness", "ablation-averaging", "ablation-outofband",
 		"ablation-safety", "ablation-freqerror", "ablation-hopping",
 		"ablation-multipath", "ablation-phasenoise", "ablation-miller",
-		"faultmatrix",
+		"faultmatrix", "population", "adaptiveq",
 	}
 	for _, id := range want {
 		e, err := ByID(id)

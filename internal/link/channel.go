@@ -1,0 +1,95 @@
+package link
+
+import (
+	"fmt"
+
+	"ivn/internal/gen2"
+	"ivn/internal/reader"
+	"ivn/internal/rng"
+	"ivn/internal/session"
+	"ivn/internal/tag"
+)
+
+// DSPChannel adapts a realized Link to session.Channel at full sample
+// fidelity: every reply capture synthesizes the tag's backscatter
+// waveform and runs it through the out-of-band reader chain, exactly as
+// Link.Decode does for single-tag exchanges. It is the calibration
+// reference for session.EventChannel (see
+// TestEventChannelMatchesDSPOnSmallPopulations) and the fidelity ceiling
+// of the inventory controller — usable to N≈10 tags before waveform
+// synthesis dominates the trial budget.
+type DSPChannel struct {
+	// Link is the realized physical link shared by the population.
+	Link *Link
+	// Tags holds the physical tag per population index, aligned with the
+	// TagLogic slice handed to the controller.
+	Tags []*tag.Tag
+
+	// n numbers decode captures so every draw gets a unique noise stream
+	// from the round rng, across all rounds of an inventory.
+	n int
+}
+
+var _ session.Channel = (*DSPChannel)(nil)
+
+// DecodeReply implements session.Channel by synthesizing and decoding
+// the reply waveform. A capture the reader rejects (saturation, failed
+// preamble correlation, bit mismatch) is OK=false; only waveform
+// synthesis failure — a protocol invariant violation — is an error.
+func (c *DSPChannel) DecodeReply(tagIndex int, reply gen2.Reply, exchange string, r *rng.Rand) (session.ChannelDecode, error) {
+	if tagIndex < 0 || tagIndex >= len(c.Tags) {
+		return session.ChannelDecode{}, fmt.Errorf("link: tag index %d outside population (%d tags)", tagIndex, len(c.Tags))
+	}
+	tg := c.Tags[tagIndex]
+	bs, err := tg.BackscatterWaveform(reply, c.Link.Reader.SamplesPerHalfBit)
+	if err != nil {
+		return session.ChannelDecode{}, err
+	}
+	label := fmt.Sprintf("%s-%d", exchange, c.n)
+	c.n++
+	dr, err := c.Link.Reader.DecodeUplink(bs, c.Link.RoundTrip(tg.Model), c.Link.jam[:], len(reply.Bits), r.Split(label))
+	if err != nil || !dr.Bits.Equal(reply.Bits) {
+		return session.ChannelDecode{}, nil
+	}
+	return session.ChannelDecode{OK: true, Correlation: dr.Correlation}, nil
+}
+
+// Capture implements session.Channel: the sample-level chain has no
+// capture model — superimposed FM0 waveforms fail the preamble
+// correlation — so every collision is unresolvable, matching what
+// DecodeUplink would report for the summed backscatter.
+func (c *DSPChannel) Capture(responders []int, r *rng.Rand) int { return -1 }
+
+// ReceiveSeconds implements session.Channel: one capture spans the
+// reader's coherent-averaging window of CIB envelope periods.
+func (c *DSPChannel) ReceiveSeconds() float64 {
+	return float64(c.Link.averagingPeriods()) * ScanDuration
+}
+
+// EventBudget reduces this link's budget for a tag model to the scalars
+// session.EventChannel consumes, through the same receiver math as
+// DecodableRN16.
+func (l *Link) EventBudget(m tag.Model) session.TagBudget {
+	modAmp := reader.ModulationAmplitude(m.BackscatterGain, m.BackscatterDepth)
+	snr, rssi := l.Reader.EventBudget(l.RoundTrip(m), modAmp, l.jam[:])
+	return session.TagBudget{SNR: snr, RSSI: rssi}
+}
+
+// EventChannel builds the calibrated event-level channel for a
+// population of tag models at this link, carrying over the reader's FM0
+// resolution, correlation threshold, and receive window so the event
+// model's decode probabilities answer the same question the DSP chain
+// answers per waveform. CaptureRatio is left zero (capture disabled);
+// population experiments opt in explicitly.
+func (l *Link) EventChannel(models []tag.Model) *session.EventChannel {
+	ec := &session.EventChannel{
+		Budgets:           make([]session.TagBudget, len(models)),
+		SamplesPerHalfBit: l.Reader.SamplesPerHalfBit,
+		Threshold:         l.Reader.CorrelationThreshold,
+		DecodeSeconds:     float64(l.averagingPeriods()) * ScanDuration,
+	}
+	for i, m := range models {
+		ec.Budgets[i] = l.EventBudget(m)
+	}
+	return ec
+}

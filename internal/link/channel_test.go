@@ -1,0 +1,205 @@
+package link
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ivn/internal/gen2"
+	"ivn/internal/reader"
+	"ivn/internal/rng"
+	"ivn/internal/scenario"
+	"ivn/internal/session"
+	"ivn/internal/tag"
+)
+
+// mcDecodeRate runs DecodeUplink over trials independent noise draws at a
+// link gain scaled to hit the target post-averaging SNR, returning the
+// fraction of exact decodes.
+func mcDecodeRate(t *testing.T, rd *reader.Reader, snr float64, trials int, r *rng.Rand) float64 {
+	t.Helper()
+	tg, err := tag.New(tag.StandardTag(), []byte{0x12, 0x34}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg.UpdatePower(tg.Model.MinPeakPower() * 2)
+	reply := tg.HandleCommand(&gen2.Query{Q: 0})
+	if reply.Kind != gen2.ReplyRN16 {
+		t.Fatalf("reply = %s", reply.Kind)
+	}
+	bs, err := tg.BackscatterWaveform(reply, rd.SamplesPerHalfBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve |linkGain| for the target SNR: snr = (|g|·modAmp)²·K/noise.
+	noise := rd.RX.NoiseFloor
+	modAmp := reader.ModulationAmplitude(tg.Model.BackscatterGain, tg.Model.BackscatterDepth)
+	k := float64(rd.AveragingPeriods)
+	g := complex(math.Sqrt(snr*noise/k)/modAmp, 0)
+	decoded := 0
+	for i := 0; i < trials; i++ {
+		dr, err := rd.DecodeUplink(bs, g, nil, len(reply.Bits), r.Split(fmt.Sprintf("mc-%d", i)))
+		if err == nil && dr.Bits.Equal(reply.Bits) {
+			decoded++
+		}
+	}
+	return float64(decoded) / float64(trials)
+}
+
+// inventoryRates runs paired small-population inventories over realized
+// swine links with the backscatter gain scaled into the decode
+// waterfall, through either the sample-level DSPChannel or the
+// calibrated EventChannel, and returns the aggregate read fraction and
+// collision rate. Both variants derive every stream from an identical
+// rng lineage, so they face the same placements and slot draws and
+// differ only in how reply decodes are resolved.
+func inventoryRates(t *testing.T, useDSP bool, trials int) (readFrac, collisionRate float64) {
+	t.Helper()
+	const nTags = 6
+	const antennas = 8
+	const targetSNR = 0.95 // RN16 decode probability ≈ 0.7: discriminating
+	sc := scenario.NewSwine(scenario.Subcutaneous)
+	parent := rng.New(31)
+	totalRead, totalTags := 0, 0
+	totalColl, totalSlots := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		r := parent.Split(fmt.Sprintf("trial-%d", trial))
+		p, err := sc.Realize(antennas, r.Split("placement"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lk, err := ForTrial(p, antennas, nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := tag.StandardTag()
+		base := lk.EventBudget(model)
+		if !(base.SNR > 0) || math.IsInf(base.SNR, 1) {
+			t.Fatalf("trial %d: unusable base budget %+v", trial, base)
+		}
+		// SNR scales with the squared modulation amplitude, so scaling the
+		// backscatter gain moves both models' budgets identically.
+		model.BackscatterGain *= math.Sqrt(targetSNR / base.SNR)
+		tags := make([]*tag.Tag, nTags)
+		logics := make([]*gen2.TagLogic, nTags)
+		models := make([]tag.Model, nTags)
+		for i := range tags {
+			tg, err := tag.New(model, []byte{0xE2, 0x00, byte(i), 0x33}, r.Split(fmt.Sprintf("tag-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tags[i] = tg
+			logics[i] = tg.Logic
+			models[i] = model
+		}
+		ic := session.NewInventoryController(gen2.S0)
+		ic.InitialQ = 3
+		if useDSP {
+			ic.Channel = &DSPChannel{Link: lk, Tags: tags}
+		} else {
+			ic.Channel = lk.EventChannel(models)
+		}
+		rr := r.Split("rounds")
+		seen := map[string]bool{}
+		for round := 0; round < 4 && len(seen) < nTags; round++ {
+			stats, err := ic.RunRound(logics, rr.Split(fmt.Sprintf("round-%d", round)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, epc := range stats.EPCs {
+				seen[string(epc)] = true
+			}
+			totalColl += stats.Collisions
+			totalSlots += stats.Slots
+		}
+		totalRead += len(seen)
+		totalTags += nTags
+	}
+	if totalSlots == 0 {
+		t.Fatal("no slots observed")
+	}
+	return float64(totalRead) / float64(totalTags), float64(totalColl) / float64(totalSlots)
+}
+
+// TestEventChannelMatchesDSPOnSmallPopulations is the acceptance
+// contract of the fidelity switch: on populations the sample-level path
+// can still afford (N ≤ 8), the event model must reproduce the DSP
+// model's inventory behavior — aggregate read fraction and collision
+// rate — under identical seeds.
+func TestEventChannelMatchesDSPOnSmallPopulations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo comparison")
+	}
+	const trials = 40
+	const tol = 0.1
+	dspRead, dspColl := inventoryRates(t, true, trials)
+	evRead, evColl := inventoryRates(t, false, trials)
+	t.Logf("read fraction: dsp=%.3f event=%.3f   collision rate: dsp=%.3f event=%.3f",
+		dspRead, evRead, dspColl, evColl)
+	if math.Abs(dspRead-evRead) > tol {
+		t.Errorf("read fraction: DSP %.3f vs event %.3f (tol %.2f)", dspRead, evRead, tol)
+	}
+	if math.Abs(dspColl-evColl) > tol {
+		t.Errorf("collision rate: DSP %.3f vs event %.3f (tol %.2f)", dspColl, evColl, tol)
+	}
+}
+
+// TestDSPChannelInventory pins the sample-level channel end to end: at
+// the standard (unscaled) budget every decode closes, the full
+// population reads, and — the DSP chain having no capture model —
+// collided slots never resolve by capture.
+func TestDSPChannelInventory(t *testing.T) {
+	const nTags = 4
+	const antennas = 8
+	r := rng.New(17)
+	p, err := scenario.NewSwine(scenario.Subcutaneous).Realize(antennas, r.Split("placement"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := ForTrial(p, antennas, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := make([]*tag.Tag, nTags)
+	logics := make([]*gen2.TagLogic, nTags)
+	for i := range tags {
+		tg, err := tag.New(tag.StandardTag(), []byte{0xE2, 0x00, byte(i), 0x44}, r.Split(fmt.Sprintf("tag-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tags[i] = tg
+		logics[i] = tg.Logic
+	}
+	ic := session.NewInventoryController(gen2.S0)
+	ic.InitialQ = 2
+	ic.Channel = &DSPChannel{Link: lk, Tags: tags}
+	epcs, err := ic.InventoryAll(logics, 6, r.Split("rounds"))
+	if err != nil {
+		t.Fatalf("InventoryAll: %v (read %d)", err, len(epcs))
+	}
+	if len(epcs) != nTags {
+		t.Fatalf("read %d of %d tags", len(epcs), nTags)
+	}
+	if got := (&DSPChannel{Link: lk, Tags: tags}).Capture([]int{0, 1}, r.Split("cap")); got != -1 {
+		t.Fatalf("DSP capture resolved a collision: winner %d", got)
+	}
+}
+
+// TestDecodeProbabilityMatchesDSP is the calibration contract of the
+// event-level channel: session.DecodeProbability must track the
+// Monte-Carlo decode rate of the full DSP chain across the waterfall
+// region, at the reader's default operating point.
+func TestDecodeProbabilityMatchesDSP(t *testing.T) {
+	rd := reader.New()
+	r := rng.New(9)
+	const trials = 500
+	const tol = 0.06
+	for _, snr := range []float64{0.4, 0.6, 0.8, 8.0 / 9.0, 1.0, 1.2, 1.5, 2.0, 3.0} {
+		got := mcDecodeRate(t, rd, snr, trials, r.Split(fmt.Sprintf("snr-%g", snr)))
+		want := session.DecodeProbability(snr, 16, rd.SamplesPerHalfBit, rd.CorrelationThreshold)
+		t.Logf("snr=%.3f  dsp=%.3f  analytic=%.3f  diff=%+.3f", snr, got, want, got-want)
+		if math.Abs(got-want) > tol {
+			t.Errorf("snr %.3f: DSP decode rate %.3f vs analytic %.3f (tol %.2f)", snr, got, want, tol)
+		}
+	}
+}

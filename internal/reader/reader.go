@@ -283,20 +283,35 @@ func ModulationAmplitude(backscatterGain, depth float64) float64 {
 // correlation clears 0.8 (amplitude ratio ≈1.33, i.e. ≈2.5 dB power),
 // plus margin; it is validated against DecodeUplink in the tests.
 func (r *Reader) DecodableRN16(linkGain complex128, modulationAmp float64, jamPowers []radio.ToneAt) bool {
+	snr, _ := r.EventBudget(linkGain, modulationAmp, jamPowers)
+	if snr <= 0 {
+		return false
+	}
+	const minSNRdB = 4.5 // ρ=0.8 point (≈2.5 dB) plus 2 dB margin
+	return 10*math.Log10(snr) >= minSNRdB
+}
+
+// EventBudget reduces a tag's link budget to the two scalars the
+// event-level channel (ivn/internal/session.EventChannel) needs: the
+// post-averaging per-sample power SNR (linear — the same operand
+// DecodableRN16 thresholds and DecodeUplink reports as SNRdB) and the
+// received backscatter signal power (relative units; only ratios between
+// tags matter, for the capture-effect dominance test). A saturated
+// receiver returns (0, 0): nothing decodes. A noiseless receiver with
+// signal returns snr = +Inf.
+func (r *Reader) EventBudget(linkGain complex128, modulationAmp float64, jamPowers []radio.ToneAt) (snr, rssi float64) {
 	rx := r.rx()
 	if rx.Saturated(jamPowers) {
-		return false
+		return 0, 0
 	}
 	noise := rx.NoiseFloor + rx.EffectiveInterference(jamPowers)
 	periods := r.averagingPeriods()
 	a := cmplx.Abs(linkGain) * modulationAmp *
 		math.Sqrt(CoherentAveragingGain(periods, r.PhaseDriftPerPeriod))
 	if a == 0 {
-		return false
+		return 0, 0
 	}
-	snr := a * a * float64(periods) / noise
-	const minSNRdB = 4.5 // ρ=0.8 point (≈2.5 dB) plus 2 dB margin
-	return 10*math.Log10(snr) >= minSNRdB
+	return a * a * float64(periods) / noise, a * a
 }
 
 // RoundTripGain composes the reader's link: its own transmit amplitude,

@@ -1,0 +1,431 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"ivn/internal/gen2"
+	"ivn/internal/rng"
+)
+
+// rn16Reply draws one real RN16 reply to size decode draws against.
+func rn16Reply(t *testing.T) gen2.Reply {
+	t.Helper()
+	tl := makePopulation(t, 1, 90)[0]
+	reply := tl.HandleCommand(&gen2.Query{Q: 0})
+	if reply.Kind != gen2.ReplyRN16 {
+		t.Fatalf("reply = %v", reply.Kind)
+	}
+	return reply
+}
+
+func TestDecodeProbabilityShape(t *testing.T) {
+	if p := DecodeProbability(0, 16, 8, 0.8); p != 0 {
+		t.Fatalf("p(0) = %g, want 0", p)
+	}
+	if p := DecodeProbability(-1, 16, 8, 0.8); p != 0 {
+		t.Fatalf("p(-1) = %g, want 0", p)
+	}
+	prev := 0.0
+	for _, snr := range []float64{0.1, 0.3, 0.6, 0.889, 1.2, 2, 4, 8, 100} {
+		p := DecodeProbability(snr, 16, 8, 0.8)
+		if p < 0 || p > 1 {
+			t.Fatalf("p(%g) = %g outside [0,1]", snr, p)
+		}
+		if p < prev {
+			t.Fatalf("p not monotone: p(%g) = %g < %g", snr, p, prev)
+		}
+		prev = p
+	}
+	if prev < 0.999999 {
+		t.Fatalf("p(100) = %g, want ≈1", prev)
+	}
+	// Longer payloads can only be harder to recover in full.
+	if p16, p96 := DecodeProbability(1, 16, 8, 0.8), DecodeProbability(1, 96, 8, 0.8); p96 > p16 {
+		t.Fatalf("p(96 bits) = %g > p(16 bits) = %g", p96, p16)
+	}
+}
+
+// TestEventChannelDecodeRates pins the Bernoulli draw to the analytic
+// probability: over many draws the empirical OK rate must concentrate at
+// DecodeProbability.
+func TestEventChannelDecodeRates(t *testing.T) {
+	reply := rn16Reply(t)
+	r := rng.New(41)
+	for _, snr := range []float64{0.6, 1.0, 1.5} {
+		ec := &EventChannel{Budgets: []TagBudget{{SNR: snr, RSSI: 1}}}
+		want := DecodeProbability(snr, len(reply.Bits), 8, 0.8)
+		const draws = 4000
+		ok := 0
+		for i := 0; i < draws; i++ {
+			dec, err := ec.DecodeReply(0, reply, "rn16", r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.OK {
+				ok++
+				if dec.Correlation <= 0 || dec.Correlation > 1 {
+					t.Fatalf("correlation %g outside (0,1]", dec.Correlation)
+				}
+			}
+		}
+		got := float64(ok) / draws
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("snr %g: empirical rate %.3f vs analytic %.3f", snr, got, want)
+		}
+	}
+	ec := &EventChannel{Budgets: []TagBudget{{SNR: 1, RSSI: 1}}}
+	if _, err := ec.DecodeReply(1, reply, "rn16", r); err == nil {
+		t.Fatal("out-of-range tag index did not error")
+	}
+}
+
+func TestCaptureDominance(t *testing.T) {
+	r := rng.New(43)
+	ec := &EventChannel{
+		Budgets: []TagBudget{
+			{SNR: 1e9, RSSI: 100},
+			{SNR: 1e9, RSSI: 10},
+			{SNR: 1e9, RSSI: 10},
+			{SNR: 1e-6, RSSI: 100},
+		},
+		CaptureRatio: 2,
+	}
+	if w := ec.Capture([]int{0, 1}, r); w != 0 {
+		t.Fatalf("dominant tag lost the capture: winner %d", w)
+	}
+	if w := ec.Capture([]int{1, 0}, r); w != 0 {
+		t.Fatalf("capture depends on responder order: winner %d", w)
+	}
+	// Equal powers: neither dominates, whatever the ratio ≥ 1 demands.
+	if w := ec.Capture([]int{1, 2}, r); w != -1 {
+		t.Fatalf("tied collision captured: winner %d", w)
+	}
+	// Dominant in power but budget-starved: the interference-degraded
+	// decode draw fails essentially surely.
+	if w := ec.Capture([]int{3, 1}, r); w != -1 {
+		t.Fatalf("snr-starved winner decoded: winner %d", w)
+	}
+	// Single responder or capture disabled: not the capture path's job.
+	if w := ec.Capture([]int{0}, r); w != -1 {
+		t.Fatalf("single responder captured: winner %d", w)
+	}
+	off := &EventChannel{Budgets: ec.Budgets}
+	if w := off.Capture([]int{0, 1}, r); w != -1 {
+		t.Fatalf("disabled capture resolved: winner %d", w)
+	}
+}
+
+// TestInventoryWithCaptureReadsDominantTags forces collisions (Q=0, all
+// tags in slot 0) over a power-graded population: the capture effect
+// must peel tags off strongest-first where plain ALOHA would livelock
+// the first slot of every sweep.
+func TestInventoryWithCaptureReadsDominantTags(t *testing.T) {
+	const n = 4
+	tags := makePopulation(t, n, 51)
+	ec := &EventChannel{
+		Budgets: []TagBudget{
+			{SNR: 1e9, RSSI: 1000},
+			{SNR: 1e9, RSSI: 10},
+			{SNR: 1e9, RSSI: 0.1},
+			{SNR: 1e9, RSSI: 0.001},
+		},
+		CaptureRatio: 2,
+	}
+	ic := NewInventoryController(gen2.S0)
+	ic.InitialQ = 0
+	ic.Channel = ec
+	r := rng.New(52)
+	seen := map[string]bool{}
+	captures := 0
+	for round := 0; round < 4 && len(seen) < n; round++ {
+		stats, err := ic.RunRound(tags, r.Split(fmt.Sprintf("round-%d", round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		captures += stats.Captures
+		for _, epc := range stats.EPCs {
+			seen[string(epc)] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("read %d of %d tags", len(seen), n)
+	}
+	if captures < 2 {
+		t.Fatalf("captures = %d, want ≥ 2 (Q=0 forces collisions)", captures)
+	}
+}
+
+// TestChannelObserverEquivalence: a high-SNR event channel must emit the
+// same typed event stream as the historical nil-channel controller, plus
+// the reply-decoded events the DSP link also emits — observers cannot
+// tell the fidelity levels apart structurally.
+func TestChannelObserverEquivalence(t *testing.T) {
+	run := func(ch Channel) []Event {
+		tags := makePopulation(t, 1, 61)
+		var rec Recorder
+		ic := NewInventoryController(gen2.S0)
+		ic.InitialQ = 0
+		ic.Channel = ch
+		ic.Trace = NewTrace(&rec)
+		if _, err := ic.RunRound(tags, rng.New(62)); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events
+	}
+	base := run(nil)
+	withCh := run(&EventChannel{Budgets: []TagBudget{{SNR: 1e9, RSSI: 1}}})
+	var stripped []Event
+	decodes := 0
+	for _, e := range withCh {
+		if e.Kind == EvReplyDecoded {
+			decodes++
+			if !e.OK {
+				t.Fatalf("high-SNR decode failed: %+v", e)
+			}
+			continue
+		}
+		stripped = append(stripped, e)
+	}
+	if decodes != 2 {
+		t.Fatalf("reply-decoded events = %d, want 2 (rn16 + epc)", decodes)
+	}
+	if len(stripped) != len(base) {
+		t.Fatalf("event count %d (sans decodes) vs nil-channel %d", len(stripped), len(base))
+	}
+	for i := range base {
+		if base[i].Kind != stripped[i].Kind || base[i].Cmd != stripped[i].Cmd ||
+			base[i].Outcome != stripped[i].Outcome || base[i].EPC != stripped[i].EPC {
+			t.Fatalf("event %d diverges: nil-channel %+v vs event-channel %+v", i, base[i], stripped[i])
+		}
+	}
+}
+
+func TestFloatQBoundaries(t *testing.T) {
+	// Saturation at 15 under sustained collisions, at 0 under empties,
+	// with a step far larger than the remaining headroom.
+	fq := newFloatQ(14, 5)
+	fq.collision()
+	if fq.v != 15 {
+		t.Fatalf("collision overshot: v = %g", fq.v)
+	}
+	fq.collision()
+	if fq.v != 15 || fq.target() != 15 {
+		t.Fatalf("ceiling not held: v = %g target = %d", fq.v, fq.target())
+	}
+	if _, _, moved := fq.step(15); moved {
+		t.Fatal("step above 15 issued")
+	}
+	fq = newFloatQ(1, 5)
+	fq.empty()
+	if fq.v != 0 {
+		t.Fatalf("empty undershot: v = %g", fq.v)
+	}
+	fq.empty()
+	if fq.v != 0 || fq.target() != 0 {
+		t.Fatalf("floor not held: v = %g target = %d", fq.v, fq.target())
+	}
+	if _, _, moved := fq.step(0); moved {
+		t.Fatal("step below 0 issued")
+	}
+	// A distant target is approached one step at a time, in order.
+	fq = newFloatQ(3, 5)
+	fq.collision() // v = 8
+	q := byte(3)
+	for i := 0; i < 5; i++ {
+		next, up, moved := fq.step(q)
+		if !moved || !up || next != q+1 {
+			t.Fatalf("step %d: (%d, %v, %v) from q=%d", i, next, up, moved, q)
+		}
+		q = next
+	}
+	if _, _, moved := fq.step(q); moved {
+		t.Fatalf("stepped past target: q = %d, v = %g", q, fq.v)
+	}
+}
+
+// allDark is the all-empty channel: every tag is unpowered, every slot
+// empty.
+type allDark struct{}
+
+func (allDark) CommandTruncated(int) bool                      { return false }
+func (allDark) TagPowered(int, int) bool                       { return false }
+func (allDark) CorruptUplink(int, gen2.Bits) (gen2.Bits, bool) { return nil, false }
+
+// TestAdaptiveQFloorAtZero: all-empty rounds with a huge Q step must
+// walk Q down to 0 and stop — never a QueryAdjust below the spec floor.
+func TestAdaptiveQFloorAtZero(t *testing.T) {
+	tags := makePopulation(t, 4, 71)
+	var rec Recorder
+	ic := NewInventoryController(gen2.S0)
+	ic.InitialQ = 2
+	ic.Fault = allDark{}
+	ic.Recovery = &RecoveryPolicy{MaxACKRetries: 1, MaxRequeries: 1, QAdjustC: 5}
+	ic.Trace = NewTrace(&rec)
+	stats, err := ic.RunRound(tags, rng.New(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalQ != 0 {
+		t.Fatalf("FinalQ = %g, want 0", stats.FinalQ)
+	}
+	downs := 0
+	for _, e := range rec.Events {
+		if e.Kind == EvCommandSent && e.Cmd == (&gen2.QueryAdjust{}).Type().String() {
+			if e.Outcome != "down" {
+				t.Fatalf("all-empty round issued QueryAdjust %q", e.Outcome)
+			}
+			downs++
+		}
+	}
+	// From Q=2 there are exactly two spec-legal down-steps; a third would
+	// command Q = -1.
+	if downs != int(ic.InitialQ) {
+		t.Fatalf("downs = %d, want %d", downs, ic.InitialQ)
+	}
+	if stats.QueryAdjusts != downs {
+		t.Fatalf("stats.QueryAdjusts = %d, trace shows %d", stats.QueryAdjusts, downs)
+	}
+}
+
+// TestAdaptiveQCeilingAtFifteen: a population dense enough to collide in
+// every slot of every sweep size, started from Q=0 with a huge Q step,
+// must walk the commanded Q (replayed from Query values and QueryAdjust
+// up/down events) to the spec ceiling of 15 and never cross it in either
+// direction.
+func TestAdaptiveQCeilingAtFifteen(t *testing.T) {
+	tags := makePopulation(t, 70000, 73)
+	var rec Recorder
+	ic := NewInventoryController(gen2.S0)
+	ic.InitialQ = 0
+	ic.MaxCommands = 64
+	ic.Recovery = &RecoveryPolicy{MaxACKRetries: 1, MaxRequeries: 1, QAdjustC: 7}
+	ic.Trace = NewTrace(&rec)
+	stats, err := ic.RunRound(tags, rng.New(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the commanded Q across the whole round: each Query event
+	// carries its Q field in Value, each QueryAdjust steps by its ±1.
+	q, maxQ := int(ic.InitialQ), int(ic.InitialQ)
+	queryName := (&gen2.Query{}).Type().String()
+	adjustName := (&gen2.QueryAdjust{}).Type().String()
+	for _, e := range rec.Events {
+		if e.Kind != EvCommandSent {
+			continue
+		}
+		if e.Cmd == queryName {
+			q = int(e.Value)
+			if q < 0 || q > 15 {
+				t.Fatalf("Query commanded Q = %d", q)
+			}
+			if q > maxQ {
+				maxQ = q
+			}
+			continue
+		}
+		if e.Cmd != adjustName {
+			continue
+		}
+		if e.Outcome == "up" {
+			q++
+		} else {
+			q--
+		}
+		if q < 0 || q > 15 {
+			t.Fatalf("commanded Q walked to %d", q)
+		}
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	if maxQ != 15 {
+		t.Fatalf("max commanded Q = %d, want the ceiling 15", maxQ)
+	}
+	if stats.FinalQ < 0 || stats.FinalQ > 15 {
+		t.Fatalf("FinalQ = %g outside [0,15]", stats.FinalQ)
+	}
+	if stats.Collisions == 0 {
+		t.Fatal("dense round observed no collisions; test exercises nothing")
+	}
+}
+
+// recordingFault truncates a deterministic subset of commands and records
+// which absolute command indices fired.
+type recordingFault struct {
+	fired []int
+}
+
+func (f *recordingFault) CommandTruncated(cmd int) bool {
+	if cmd%7 == 3 {
+		f.fired = append(f.fired, cmd)
+		return true
+	}
+	return false
+}
+func (f *recordingFault) TagPowered(int, int) bool                       { return true }
+func (f *recordingFault) CorruptUplink(int, gen2.Bits) (gen2.Bits, bool) { return nil, false }
+
+// TestInventoryAllResetsCmdClock: two InventoryAll runs on one reused
+// controller must replay the identical fault schedule — cmdClock used to
+// carry over, silently desynchronizing paired fault comparisons.
+func TestInventoryAllResetsCmdClock(t *testing.T) {
+	fault := &recordingFault{}
+	ic := NewInventoryController(gen2.S0)
+	ic.Fault = fault
+
+	run := func() ([][]byte, []int) {
+		fault.fired = nil
+		tags := makePopulation(t, 8, 81)
+		epcs, err := ic.InventoryAll(tags, 6, rng.New(82))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return epcs, append([]int(nil), fault.fired...)
+	}
+	epcs1, fired1 := run()
+	epcs2, fired2 := run()
+	if len(fired1) == 0 {
+		t.Fatal("fault never fired; test exercises nothing")
+	}
+	if len(fired1) != len(fired2) {
+		t.Fatalf("fault schedules diverged: %d vs %d firings", len(fired1), len(fired2))
+	}
+	for i := range fired1 {
+		if fired1[i] != fired2[i] {
+			t.Fatalf("firing %d at cmd %d, rerun at cmd %d", i, fired1[i], fired2[i])
+		}
+	}
+	if len(epcs1) != len(epcs2) {
+		t.Fatalf("read %d vs %d EPCs", len(epcs1), len(epcs2))
+	}
+	for i := range epcs1 {
+		if string(epcs1[i]) != string(epcs2[i]) {
+			t.Fatalf("EPC %d: %x vs %x", i, epcs1[i], epcs2[i])
+		}
+	}
+}
+
+// TestInventoryAllPartialResultConsumed: when the budget runs out, the
+// partial EPC list must arrive alongside the wrapped sentinel — callers
+// consume what was read instead of dropping it.
+func TestInventoryAllPartialResultConsumed(t *testing.T) {
+	tags := makePopulation(t, 30, 91)
+	ic := NewInventoryController(gen2.S0)
+	ic.MaxCommands = 48
+	epcs, err := ic.InventoryAll(tags, 1, rng.New(92))
+	if err == nil {
+		t.Fatal("tight budget read everything; shrink it")
+	}
+	if !errors.Is(err, ErrInventoryIncomplete) {
+		t.Fatalf("error %v does not wrap ErrInventoryIncomplete", err)
+	}
+	if len(epcs) == 0 {
+		t.Fatal("partial run returned no EPCs alongside the sentinel")
+	}
+	if len(epcs) >= len(tags) {
+		t.Fatalf("read %d of %d yet errored", len(epcs), len(tags))
+	}
+}

@@ -80,6 +80,52 @@ func (p *RecoveryPolicy) qStep() float64 {
 	return DefaultQAdjustC
 }
 
+// floatQ is the Annex-D floating-Q accumulator with the spec bounds built
+// in: the float value is clamped to [0,15] as it moves, and the commanded
+// Q only ever changes by the single ±1 step a QueryAdjust can carry, so
+// the reader's slot arithmetic can never desynchronize from the tag-side
+// clamp in gen2.TagLogic. (Before this type, a step C > 1 could round to
+// a multi-step jump the reader applied at once while every tag moved by
+// one — the reader then walked a slot space the population wasn't in.)
+type floatQ struct {
+	v, c float64
+}
+
+func newFloatQ(q byte, c float64) floatQ {
+	return floatQ{v: float64(q & 0xF), c: c}
+}
+
+// collision accumulates a collided slot: Q drifts up, saturating at 15.
+func (f *floatQ) collision() { f.v = math.Min(15, f.v+f.c) }
+
+// empty accumulates an empty slot: Q drifts down, saturating at 0.
+func (f *floatQ) empty() { f.v = math.Max(0, f.v-f.c) }
+
+// target is the rounded floating Q, always within the spec's [0,15].
+func (f *floatQ) target() byte {
+	t := math.Round(f.v)
+	if t < 0 {
+		t = 0
+	} else if t > 15 {
+		t = 15
+	}
+	return byte(t)
+}
+
+// step reports the next commanded Q: one ±1 move toward the rounded
+// target, never outside [0,15], moved=false when already there.
+func (f *floatQ) step(cur byte) (next byte, up, moved bool) {
+	t := f.target()
+	switch {
+	case t > cur && cur < 15:
+		return cur + 1, true, true
+	case t < cur && cur > 0:
+		return cur - 1, false, true
+	default:
+		return cur, false, false
+	}
+}
+
 // InventoryController is the reader-side inventory engine: it runs
 // slotted-ALOHA sweeps against a tag population, re-sizing the Q
 // parameter between sweeps from a collision-based backlog estimate.
@@ -100,6 +146,13 @@ type InventoryController struct {
 	InitialQ byte
 	// MaxCommands bounds a round (guards against livelock).
 	MaxCommands int
+	// Channel models the uplink at event level: singulated replies decode
+	// with a budget-derived probability and collisions can resolve by
+	// capture. Implementations keyed by tag index (EventChannel.Budgets)
+	// must be index-aligned with the TagLogic slice handed to
+	// RunRound/InventoryAll. nil is the historical ideal uplink: every
+	// reply decodes exactly and collisions never capture.
+	Channel Channel
 	// Fault perturbs the air interface; nil = clean channel.
 	Fault ChannelFault
 	// Recovery enables the recovery stack; nil = no recovery.
@@ -107,10 +160,11 @@ type InventoryController struct {
 	// Trace observes the rounds; nil is free.
 	Trace *Trace
 
-	// cmdClock numbers every command this controller has ever issued, so
-	// a ChannelFault sees globally unique decision coordinates across the
-	// rounds of an InventoryAll (fresh controllers start at zero; reuse a
-	// controller only within one deterministic run).
+	// cmdClock numbers every command issued within one run, so a
+	// ChannelFault sees globally unique decision coordinates across the
+	// rounds of an InventoryAll. RunRound advances it across calls (a
+	// manual round loop is one run); InventoryAll resets it at entry so a
+	// reused controller replays the same fault schedule every run.
 	cmdClock int
 	// pie times traced commands; defaulted lazily, never used untraced.
 	pie gen2.PIEParams
@@ -133,6 +187,12 @@ const (
 	SlotEmpty SlotOutcome = iota
 	SlotSingle
 	SlotCollision
+	// SlotCapture is a collided slot the capture effect resolved: the
+	// dominant responder's RN16 was recovered despite the clash, so the
+	// reader proceeds as for a single. Only a non-nil Channel produces
+	// it. The Q estimators treat it as a single — the reader cannot tell
+	// a captured collision from a clean singulation.
+	SlotCapture
 )
 
 // String names the outcome.
@@ -144,6 +204,8 @@ func (s SlotOutcome) String() string {
 		return "single"
 	case SlotCollision:
 		return "collision"
+	case SlotCapture:
+		return "capture"
 	default:
 		return fmt.Sprintf("SlotOutcome(%d)", int(s))
 	}
@@ -157,8 +219,16 @@ type RoundStats struct {
 	EPCs [][]byte
 	// Commands is the number of reader commands issued.
 	Commands int
-	// Slots, Empties, Singles, Collisions count slot outcomes.
+	// Slots, Empties, Singles, Collisions count slot outcomes. A
+	// captured collision counts under Captures, not Singles or
+	// Collisions.
 	Slots, Empties, Singles, Collisions int
+	// Captures counts collided slots the channel's capture effect
+	// resolved into a singulation (non-nil Channel only).
+	Captures int
+	// QueryAdjusts counts mid-sweep QueryAdjust commands issued by the
+	// floating-Q adaptation (Recovery only).
+	QueryAdjusts int
 	// FinalQ is the floating Q at round end.
 	FinalQ float64
 
@@ -178,31 +248,36 @@ type RoundStats struct {
 	Recovered int
 }
 
-// Efficiency returns singles per slot — the throughput metric slotted
-// ALOHA maximizes near Q ≈ log2(population).
+// Efficiency returns singulations per slot (captures included) — the
+// throughput metric slotted ALOHA maximizes near Q ≈ log2(population).
 func (s RoundStats) Efficiency() float64 {
 	if s.Slots == 0 {
 		return 0
 	}
-	return float64(s.Singles) / float64(s.Slots)
+	return float64(s.Singles+s.Captures) / float64(s.Slots)
 }
 
 // medium abstracts what the controller can observe of the air interface.
 // With more than one tag backscattering in a slot the reader sees a
-// collision (CRC/preamble failure), not bits. A non-nil fault interposes
-// on every broadcast: command truncation, per-tag power, uplink
-// corruption.
+// collision (CRC/preamble failure), not bits — unless a channel's
+// capture effect resolves the clash for the dominant tag. A non-nil
+// fault interposes on every broadcast: command truncation, per-tag
+// power, uplink corruption. Replies report the responder's population
+// index (-1 when no single responder) so the channel can look up its
+// realized budget.
 type medium struct {
-	tags  []*gen2.TagLogic
-	fault ChannelFault
-	clock *int
-	lit   []bool // last observed power state per tag (fault != nil only)
-	stats *RoundStats
-	trace *Trace
+	tags    []*gen2.TagLogic
+	channel Channel
+	rand    *rng.Rand
+	fault   ChannelFault
+	clock   *int
+	lit     []bool // last observed power state per tag (fault != nil only)
+	stats   *RoundStats
+	trace   *Trace
 }
 
 // broadcast sends a command to every powered tag and classifies replies.
-func (m *medium) broadcast(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
+func (m *medium) broadcast(c gen2.Command) (SlotOutcome, gen2.Reply, int) {
 	if m.fault == nil {
 		return m.broadcastClean(c)
 	}
@@ -213,10 +288,10 @@ func (m *medium) broadcast(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLo
 		if m.trace != nil {
 			m.trace.Emit(Event{Kind: EvFaultFired, Outcome: "truncated", Cmd: c.Type().String()})
 		}
-		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, nil
+		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, -1
 	}
 	var got []gen2.Reply
-	var responders []*gen2.TagLogic
+	var responders []int
 	for i, t := range m.tags {
 		if !m.fault.TagPowered(cmd, i) {
 			if m.lit[i] {
@@ -232,46 +307,63 @@ func (m *medium) broadcast(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLo
 		m.lit[i] = true
 		if r := t.HandleCommand(c); r.Kind != gen2.ReplyNone {
 			got = append(got, r)
-			responders = append(responders, t)
+			responders = append(responders, i)
 		}
 	}
-	switch len(got) {
-	case 0:
-		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, nil
-	case 1:
-		reply := got[0]
-		if bits, corrupted := m.fault.CorruptUplink(cmd, reply.Bits); corrupted {
-			m.stats.Corrupted++
-			reply.Bits = bits
-			if m.trace != nil {
-				m.trace.Emit(Event{Kind: EvFaultFired, Outcome: "corrupted"})
-			}
-		}
-		return SlotSingle, reply, responders[0]
-	default:
-		return SlotCollision, gen2.Reply{Kind: gen2.ReplyNone}, nil
-	}
+	return m.classify(cmd, got, responders)
 }
 
 // broadcastClean is the historical fault-free path, kept separate so the
 // clean channel pays a single nil check and no per-tag bookkeeping.
-func (m *medium) broadcastClean(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
+func (m *medium) broadcastClean(c gen2.Command) (SlotOutcome, gen2.Reply, int) {
 	var got []gen2.Reply
-	var responders []*gen2.TagLogic
-	for _, t := range m.tags {
+	var responders []int
+	for i, t := range m.tags {
 		if r := t.HandleCommand(c); r.Kind != gen2.ReplyNone {
 			got = append(got, r)
-			responders = append(responders, t)
+			responders = append(responders, i)
 		}
 	}
+	return m.classify(0, got, responders)
+}
+
+// classify resolves the collected replies of one broadcast into a slot
+// outcome. cmd keys fault corruption and is unused on the clean path.
+func (m *medium) classify(cmd int, got []gen2.Reply, responders []int) (SlotOutcome, gen2.Reply, int) {
 	switch len(got) {
 	case 0:
-		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, nil
+		return SlotEmpty, gen2.Reply{Kind: gen2.ReplyNone}, -1
 	case 1:
-		return SlotSingle, got[0], responders[0]
+		return SlotSingle, m.corrupt(cmd, got[0]), responders[0]
 	default:
-		return SlotCollision, gen2.Reply{Kind: gen2.ReplyNone}, nil
+		if m.channel != nil {
+			if w := m.channel.Capture(responders, m.rand); w >= 0 {
+				for j, ti := range responders {
+					if ti == w {
+						// The winner's bits survived the clash; fault
+						// corruption still applies on top.
+						return SlotCapture, m.corrupt(cmd, got[j]), w
+					}
+				}
+			}
+		}
+		return SlotCollision, gen2.Reply{Kind: gen2.ReplyNone}, -1
 	}
+}
+
+// corrupt applies fault-layer uplink corruption to a singulated reply.
+func (m *medium) corrupt(cmd int, reply gen2.Reply) gen2.Reply {
+	if m.fault == nil {
+		return reply
+	}
+	if bits, corrupted := m.fault.CorruptUplink(cmd, reply.Bits); corrupted {
+		m.stats.Corrupted++
+		reply.Bits = bits
+		if m.trace != nil {
+			m.trace.Emit(Event{Kind: EvFaultFired, Outcome: "corrupted"})
+		}
+	}
+	return reply
 }
 
 // RunRound inventories a population of powered tags. Each sweep issues a
@@ -294,24 +386,23 @@ func (ic *InventoryController) runRound(tags []*gen2.TagLogic, q byte, r *rng.Ra
 		maxCmds = 4096
 	}
 	stats := &RoundStats{}
-	m := &medium{tags: tags, fault: ic.Fault, clock: &ic.cmdClock, stats: stats, trace: ic.Trace}
+	m := &medium{tags: tags, channel: ic.Channel, rand: r, fault: ic.Fault, clock: &ic.cmdClock, stats: stats, trace: ic.Trace}
 	if ic.Fault != nil {
 		m.lit = make([]bool, len(tags))
 		for i := range m.lit {
 			m.lit[i] = true
 		}
 	}
-	_ = r
 	if ic.Recovery != nil {
-		return ic.runAdaptive(m, stats, q, maxCmds)
+		return ic.runAdaptive(m, stats, q, maxCmds, r)
 	}
-	return ic.runFixed(m, stats, q, maxCmds)
+	return ic.runFixed(m, stats, q, maxCmds, r)
 }
 
 // issuer issues one command, charging the round's command budget and
 // advancing the trace clock past the command's on-air time.
-func (ic *InventoryController) issuer(m *medium, stats *RoundStats) func(gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
-	return func(c gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic) {
+func (ic *InventoryController) issuer(m *medium, stats *RoundStats) func(gen2.Command) (SlotOutcome, gen2.Reply, int) {
+	return func(c gen2.Command) (SlotOutcome, gen2.Reply, int) {
 		stats.Commands++
 		if ic.Trace != nil {
 			ic.traceCommand(c)
@@ -330,7 +421,20 @@ func (ic *InventoryController) traceCommand(c gen2.Command) {
 	}
 	bits := c.AppendBits(nil)
 	ic.Trace.Advance(ic.pie.FrameDuration(bits, c.Type() == gen2.CmdQuery))
-	ic.Trace.Emit(Event{Kind: EvCommandSent, Cmd: c.Type().String()})
+	ev := Event{Kind: EvCommandSent, Cmd: c.Type().String()}
+	if qc, ok := c.(*gen2.Query); ok {
+		// The commanded slot-count exponent, so observers (and the
+		// ceiling regression test) can replay the commanded Q exactly.
+		ev.Value = float64(qc.Q)
+	}
+	if qa, ok := c.(*gen2.QueryAdjust); ok {
+		if qa.UpDn == gen2.QUp {
+			ev.Outcome = "up"
+		} else {
+			ev.Outcome = "down"
+		}
+	}
+	ic.Trace.Emit(ev)
 }
 
 // traceSlot emits the slot-resolution event. Only reached when tracing.
@@ -338,14 +442,34 @@ func (ic *InventoryController) traceSlot(outcome SlotOutcome) {
 	ic.Trace.Emit(Event{Kind: EvSlotResolved, Outcome: outcome.String()})
 }
 
+// channelDecode pushes a singulated reply through the channel, advancing
+// the trace clock by the receive window and emitting the reply-decoded
+// event, mirroring the stream the DSP link emits. Only called with a
+// non-nil Channel.
+func (ic *InventoryController) channelDecode(tagIndex int, reply gen2.Reply, exchange string, r *rng.Rand) (ChannelDecode, error) {
+	dec, err := ic.Channel.DecodeReply(tagIndex, reply, exchange, r)
+	if err != nil {
+		return dec, err
+	}
+	if ic.Trace != nil {
+		ic.Trace.Advance(ic.Channel.ReceiveSeconds())
+		ev := Event{Kind: EvReplyDecoded, Label: exchange, OK: dec.OK}
+		if dec.OK {
+			ev.Value = dec.Correlation
+		}
+		ic.Trace.Emit(ev)
+	}
+	return dec, nil
+}
+
 // runFixed is the historical sweep structure: fixed Q per sweep, Schoute
 // backlog estimation between sweeps. With Fault == nil it issues exactly
 // the command sequence of the pre-fault controller.
-func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, maxCmds int) (*RoundStats, error) {
+func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, maxCmds int, r *rng.Rand) (*RoundStats, error) {
 	issue := ic.issuer(m, stats)
 	for stats.Commands < maxCmds {
 		// One sweep: Query opens slot 0; QueryReps advance.
-		outcome, reply, _ := issue(&gen2.Query{Session: ic.Session, Q: q})
+		outcome, reply, resp := issue(&gen2.Query{Session: ic.Session, Q: q})
 		sweepSingles, sweepCollisions := 0, 0
 		slots := 1 << uint(q)
 		for slot := 0; slot < slots && stats.Commands < maxCmds; slot++ {
@@ -354,10 +478,14 @@ func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, ma
 				ic.traceSlot(outcome)
 			}
 			switch outcome {
-			case SlotSingle:
-				stats.Singles++
+			case SlotSingle, SlotCapture:
+				if outcome == SlotCapture {
+					stats.Captures++
+				} else {
+					stats.Singles++
+				}
 				sweepSingles++
-				if err := ic.singulate(stats, issue, reply); err != nil {
+				if err := ic.singulate(stats, issue, reply, resp, outcome == SlotCapture, r); err != nil {
 					return nil, err
 				}
 			case SlotCollision:
@@ -367,7 +495,7 @@ func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, ma
 				stats.Empties++
 			}
 			if slot < slots-1 {
-				outcome, reply, _ = issue(&gen2.QueryRep{Session: ic.Session})
+				outcome, reply, resp = issue(&gen2.QueryRep{Session: ic.Session})
 			}
 		}
 		if sweepSingles == 0 && sweepCollisions == 0 {
@@ -396,13 +524,14 @@ func (ic *InventoryController) runFixed(m *medium, stats *RoundStats, q byte, ma
 // subtracts C; when the rounded value moves, the controller issues a
 // QueryAdjust, every arbitrating tag redraws its slot, and the sweep
 // restarts at the new size. This tracks the true backlog much faster than
-// per-sweep estimation when faults churn protocol state mid-round.
-func (ic *InventoryController) runAdaptive(m *medium, stats *RoundStats, q byte, maxCmds int) (*RoundStats, error) {
+// per-sweep estimation when faults churn protocol state mid-round. The
+// accumulator is clamped to the spec's [0,15] and each QueryAdjust steps
+// the commanded Q by exactly the ±1 the command carries (see floatQ).
+func (ic *InventoryController) runAdaptive(m *medium, stats *RoundStats, q byte, maxCmds int, r *rng.Rand) (*RoundStats, error) {
 	issue := ic.issuer(m, stats)
-	c := ic.Recovery.qStep()
-	qfp := float64(q)
+	fq := newFloatQ(q, ic.Recovery.qStep())
 	for stats.Commands < maxCmds {
-		outcome, reply, _ := issue(&gen2.Query{Session: ic.Session, Q: q})
+		outcome, reply, resp := issue(&gen2.Query{Session: ic.Session, Q: q})
 		sweepSingles, sweepCollisions := 0, 0
 		slots := 1 << uint(q)
 		slot := 0
@@ -412,55 +541,89 @@ func (ic *InventoryController) runAdaptive(m *medium, stats *RoundStats, q byte,
 				ic.traceSlot(outcome)
 			}
 			switch outcome {
-			case SlotSingle:
-				stats.Singles++
+			case SlotSingle, SlotCapture:
+				if outcome == SlotCapture {
+					stats.Captures++
+				} else {
+					stats.Singles++
+				}
 				sweepSingles++
-				if err := ic.singulate(stats, issue, reply); err != nil {
+				if err := ic.singulate(stats, issue, reply, resp, outcome == SlotCapture, r); err != nil {
 					return nil, err
 				}
 			case SlotCollision:
 				stats.Collisions++
 				sweepCollisions++
-				qfp = math.Min(15, qfp+c)
+				fq.collision()
 			case SlotEmpty:
 				stats.Empties++
-				qfp = math.Max(0, qfp-c)
+				fq.empty()
 			}
 			slot++
 			if slot >= slots || stats.Commands >= maxCmds {
 				break
 			}
-			if nq := byte(math.Round(qfp)); nq != q {
+			if nq, up, moved := fq.step(q); moved {
 				// Mid-sweep re-size: QueryAdjust redraws every arbitrating
-				// tag into the new slot space (C < 1, so the rounded value
-				// moves by at most one — exactly the ±1 a QueryAdjust
-				// applies tag-side).
+				// tag into the new slot space, stepping Q by the single ±1
+				// the command encodes — the reader and every tag stay in
+				// lockstep for any C, and Q never leaves [0,15].
+				stats.QueryAdjusts++
 				upDn := gen2.QUp
-				if nq < q {
+				if !up {
 					upDn = gen2.QDown
 				}
 				q = nq
 				slots = 1 << uint(q)
 				slot = 0
-				outcome, reply, _ = issue(&gen2.QueryAdjust{Session: ic.Session, UpDn: upDn})
+				outcome, reply, resp = issue(&gen2.QueryAdjust{Session: ic.Session, UpDn: upDn})
 				continue
 			}
-			outcome, reply, _ = issue(&gen2.QueryRep{Session: ic.Session})
+			outcome, reply, resp = issue(&gen2.QueryRep{Session: ic.Session})
 		}
 		if sweepSingles == 0 && sweepCollisions == 0 {
 			break // drained
 		}
-		q = byte(math.Round(qfp))
+		q = fq.target()
 	}
-	stats.FinalQ = qfp
+	stats.FinalQ = fq.v
 	return stats, nil
 }
 
 // singulate runs the ACK → EPC exchange for a singulated slot, with the
 // recovery policy's bounded re-ACK on decode failure. On the clean
 // channel an undecodable RN16 is a protocol invariant violation and
-// surfaces as an error; under fault injection it is a lost slot.
-func (ic *InventoryController) singulate(stats *RoundStats, issue func(gen2.Command) (SlotOutcome, gen2.Reply, *gen2.TagLogic), reply gen2.Reply) error {
+// surfaces as an error; under fault injection it is a lost slot. With a
+// non-nil Channel the RN16 and EPC captures must additionally clear
+// their budget-derived decode draws; a captured slot (captured=true)
+// arrives with its RN16 already decoded under the losers' interference,
+// inside Channel.Capture.
+func (ic *InventoryController) singulate(stats *RoundStats, issue func(gen2.Command) (SlotOutcome, gen2.Reply, int), reply gen2.Reply, responder int, captured bool, r *rng.Rand) error {
+	if ic.Channel != nil {
+		if captured {
+			// Capture already drew the interference-degraded RN16 decode;
+			// mirror the receive time and event so observers see the same
+			// stream shape as a clean singulation.
+			if ic.Trace != nil {
+				ic.Trace.Advance(ic.Channel.ReceiveSeconds())
+				ic.Trace.Emit(Event{Kind: EvReplyDecoded, Label: "rn16", OK: true})
+			}
+		} else {
+			dec, err := ic.channelDecode(responder, reply, "rn16", r)
+			if err != nil {
+				return err
+			}
+			if !dec.OK {
+				// The reader cannot form an ACK; the tag times out of Reply
+				// back to arbitration at the next Query/QueryRep/QueryAdjust.
+				stats.LostSlots++
+				if ic.Trace != nil {
+					ic.Trace.Emit(Event{Kind: EvEPCStranded, Outcome: "rn16-lost"})
+				}
+				return nil
+			}
+		}
+	}
 	var rn gen2.RN16Reply
 	if err := rn.DecodeFromBits(reply.Bits); err != nil {
 		if ic.Fault == nil {
@@ -477,31 +640,50 @@ func (ic *InventoryController) singulate(stats *RoundStats, issue func(gen2.Comm
 		}
 		return nil
 	}
-	ackOutcome, epcReply, _ := issue(&gen2.ACK{RN16: rn.RN16})
+	ackOutcome, epcReply, epcResp := issue(&gen2.ACK{RN16: rn.RN16})
 	if ackOutcome == SlotSingle && epcReply.Kind == gen2.ReplyEPC {
-		var er gen2.EPCReply
-		if err := er.DecodeFromBits(epcReply.Bits); err == nil {
-			stats.EPCs = append(stats.EPCs, er.EPC)
-			if ic.Trace != nil {
-				ic.Trace.Emit(Event{Kind: EvEPCRead, EPC: fmt.Sprintf("%x", er.EPC)})
+		chOK := true
+		if ic.Channel != nil {
+			dec, err := ic.channelDecode(epcResp, epcReply, "epc", r)
+			if err != nil {
+				return err
 			}
-			return nil
+			chOK = dec.OK
+		}
+		if chOK {
+			var er gen2.EPCReply
+			if err := er.DecodeFromBits(epcReply.Bits); err == nil {
+				stats.EPCs = append(stats.EPCs, er.EPC)
+				if ic.Trace != nil {
+					ic.Trace.Emit(Event{Kind: EvEPCRead, EPC: fmt.Sprintf("%x", er.EPC)})
+				}
+				return nil
+			}
 		}
 	}
-	// The EPC exchange failed: the reply was lost, collided, or failed
-	// its CRC. The tag meanwhile believes it was acknowledged and will
-	// flip its inventoried flag at the next Query/QueryRep — without
-	// recovery it is stranded for the rest of the inventory. Re-ACK while
-	// it still holds the handshake RN16.
+	// The EPC exchange failed: the reply was lost, collided, failed its
+	// decode draw, or failed its CRC. The tag meanwhile believes it was
+	// acknowledged and will flip its inventoried flag at the next
+	// Query/QueryRep — without recovery it is stranded for the rest of
+	// the inventory. Re-ACK while it still holds the handshake RN16.
 	if rec := ic.Recovery; rec != nil {
 		for attempt := 0; attempt < rec.MaxACKRetries; attempt++ {
 			stats.ACKRetries++
 			if ic.Trace != nil {
 				ic.Trace.Emit(Event{Kind: EvRetryTaken, Cmd: "ACK", Attempt: attempt + 1})
 			}
-			outcome, rep, _ := issue(&gen2.ACK{RN16: rn.RN16})
+			outcome, rep, rresp := issue(&gen2.ACK{RN16: rn.RN16})
 			if outcome != SlotSingle || rep.Kind != gen2.ReplyEPC {
 				continue
+			}
+			if ic.Channel != nil {
+				dec, err := ic.channelDecode(rresp, rep, "epc", r)
+				if err != nil {
+					return err
+				}
+				if !dec.OK {
+					continue
+				}
 			}
 			var er gen2.EPCReply
 			if err := er.DecodeFromBits(rep.Bits); err == nil {
@@ -534,6 +716,11 @@ func (ic *InventoryController) InventoryAll(tags []*gen2.TagLogic, maxRounds int
 	if maxRounds < 1 {
 		return nil, fmt.Errorf("session: maxRounds %d < 1", maxRounds)
 	}
+	// Each run replays the fault schedule from command zero: a reused
+	// controller previously carried cmdClock over, so the second run of a
+	// paired fault on/off comparison saw a shifted schedule and silently
+	// desynchronized (see TestInventoryAllResetsCmdClock).
+	ic.cmdClock = 0
 	seen := map[string]bool{}
 	var out [][]byte
 	baseQ := ic.InitialQ & 0xF

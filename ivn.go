@@ -435,11 +435,19 @@ func (s *System) WriteWordSecured(sc scenario.Scenario, model tag.Model, provisi
 	return res, nil
 }
 
+// ErrInventoryIncomplete reports that an inventory exhausted its round
+// budget with reachable sensors still unread. InventoryPopulation wraps
+// it, and the partial EPC list accompanies the error — check with
+// errors.Is and consume what was read rather than discarding it.
+var ErrInventoryIncomplete = session.ErrInventoryIncomplete
+
 // InventoryPopulation powers a whole sensor population with CIB and runs
 // the adaptive slotted-ALOHA inventory (Gen2 Q-algorithm) until every
 // reachable sensor is read or maxRounds is exhausted. A sensor is
 // reachable when the CIB peak powers it AND its backscatter closes the
 // out-of-band link budget. Returns the EPCs read, in singulation order.
+// When the round budget runs out first, the partial EPC list is returned
+// alongside an error wrapping ErrInventoryIncomplete.
 func (s *System) InventoryPopulation(sc scenario.Scenario, sensors map[string]tag.Model, maxRounds int) ([][]byte, error) {
 	if len(sensors) == 0 {
 		return nil, fmt.Errorf("ivn: no sensors")

@@ -3,7 +3,7 @@
 #
 # Runs the experiment-level benchmarks (root package) plus the hot-path
 # microbenchmarks (core envelope kernel, baseline peak scan, DSP kernels)
-# and writes BENCH_<date>[_<label>].json with ns/op, B/op and allocs/op
+# and writes BENCH_<date>_<label>.json with ns/op, B/op and allocs/op
 # per benchmark, so successive runs can be diffed to prove a hot-path
 # change helped.
 #
@@ -19,9 +19,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LABEL="${1:-}"
+# A label is required in the JSON (an unlabeled snapshot once shipped as
+# `"label": ""` and was undiffable from its neighbors); default to the
+# git short SHA so ad-hoc runs stay attributable.
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo adhoc)}"
 DATE="$(date +%F)"
-OUT="BENCH_${DATE}${LABEL:+_${LABEL}}.json"
+OUT="BENCH_${DATE}_${LABEL}.json"
 
 # Experiment benchmarks run a fixed iteration count: each iteration is a
 # full deterministic experiment (hundreds of ms), so wall-clock noise is
@@ -76,5 +79,9 @@ END {
     printf "  ]\n}\n"
 }
 ' "$TMP" > "$OUT"
+
+# Validate what was just written: parseable JSON, non-empty label, sane
+# per-benchmark figures. A malformed snapshot is worse than none.
+go run ./scripts/benchcheck "$OUT"
 
 echo "wrote $OUT"

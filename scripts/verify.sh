@@ -15,6 +15,10 @@
 #                              shared scratch pools, under the race detector
 # 6. faultmatrix smoke       — the fault-injection experiment end to end:
 #                              injector, recovery stack, paired ablation
+# 6b. population smoke       — the N=1000 event-channel inventory end to
+#                              end: adaptive-Q convergence through
+#                              session.EventChannel in seconds, proving
+#                              the fidelity switch stays CI-fast
 # 7. json smoke              — `ivnsim -run all -json` piped through the
 #                              jsonsmoke parser: every experiment must emit
 #                              a structurally complete typed result with
@@ -25,7 +29,9 @@
 #                              validator (well-formed events, monotone
 #                              per-span sim clock)
 # 9. renderer equivalence    — the Fig9/Fig13 tables (the batched
-#                              scratch-path experiments) rendered at
+#                              scratch-path experiments) plus the
+#                              population/adaptiveq tables (the
+#                              event-channel trial loops) rendered at
 #                              -parallel 1 and -parallel 4 must be
 #                              byte-identical: per-worker kit state must
 #                              never leak into results
@@ -74,6 +80,9 @@ stage "go test -race (parallel trial paths)" \
 stage "faultmatrix smoke" \
   go run ./cmd/ivnsim -run faultmatrix -quick -seed 2
 
+stage "population smoke (N=1000 event channel)" \
+  go run ./cmd/ivnsim -run adaptiveq -quick -seed 2
+
 json_smoke() {
   go run ./cmd/ivnsim -run all -quick -seed 2 -json | go run ./scripts/jsonsmoke
 }
@@ -97,7 +106,7 @@ stage "trace smoke" trace_smoke
 renderer_equiv() {
   local dir id rc=0
   dir="$(mktemp -d)" || return 1
-  for id in fig9 fig13c; do
+  for id in fig9 fig13c population adaptiveq; do
     # -json keeps stdout free of the wall-clock footer the text renderer adds.
     go run ./cmd/ivnsim -run "$id" -quick -seed 2 -parallel 1 -json > "$dir/$id-p1.json" 2>/dev/null || { rc=1; break; }
     go run ./cmd/ivnsim -run "$id" -quick -seed 2 -parallel 4 -json > "$dir/$id-p4.json" 2>/dev/null || { rc=1; break; }
