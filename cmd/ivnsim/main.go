@@ -8,21 +8,25 @@
 //	ivnsim -run all [-quick] [-parallel 4]
 //	ivnsim -run fig12 -trace events.jsonl
 //	ivnsim -run fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The CLI and the ivnsimd daemon share one run pipeline
+// (internal/ivnsim/runspec): each invocation builds a validated RunSpec
+// from the flags and executes it exactly the way a daemon job would, so
+// the two fronts can never drift apart in what a run means.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 	"time"
 
 	"ivn/internal/engine"
 	"ivn/internal/ivnsim"
+	"ivn/internal/ivnsim/runspec"
 	"ivn/internal/session"
 )
 
@@ -54,9 +58,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ivnsim: -csv and -json are mutually exclusive")
 		return 2
 	}
-	engine.SetMaxParallel(*parallel)
+	// The cap is carried per run (engine.Limits), not set process-wide:
+	// the CLI is a one-job process, but the shared pipeline keeps the
+	// daemon's independent-jobs contract intact.
+	lim := engine.Limits{MaxParallel: *parallel}
 
-	scales, err := parseScales(*faultScales)
+	scales, err := runspec.ParseScales(*faultScales)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ivnsim: -faultscales: %v\n", err)
 		return 2
@@ -106,6 +113,18 @@ func run() int {
 		tlog = session.NewTraceLog()
 	}
 
+	// specFor maps the flag set onto the shared RunSpec for one experiment.
+	specFor := func(id string) runspec.Spec {
+		return runspec.Spec{
+			Experiment:  id,
+			Seed:        *seed,
+			Trials:      *trials,
+			Quick:       *quick,
+			FaultScales: scales,
+			Trace:       *traceFile != "",
+		}
+	}
+
 	switch {
 	case *list:
 		for _, e := range ivnsim.Registry() {
@@ -114,19 +133,19 @@ func run() int {
 		}
 	case *runID == "all":
 		for _, e := range ivnsim.Registry() {
-			if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales, tlog); err != nil {
+			if err := runOne(specFor(e.ID), lim, *jsonOut, render, *outDir, tlog); err != nil {
 				fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
 				return 1
 			}
 		}
 	case *runID != "":
-		e, err := ivnsim.ByID(*runID)
-		if err != nil {
+		spec := specFor(*runID)
+		if err := spec.Validate(); err != nil {
 			fmt.Fprintf(os.Stderr, "ivnsim: %v\n", err)
 			return 2
 		}
-		if err := runOne(e, *seed, *trials, *quick, *jsonOut, render, *outDir, scales, tlog); err != nil {
-			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", e.ID, err)
+		if err := runOne(spec, lim, *jsonOut, render, *outDir, tlog); err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", spec.Experiment, err)
 			return 1
 		}
 	default:
@@ -156,32 +175,13 @@ func writeTrace(tlog *session.TraceLog, path string) error {
 	return f.Close()
 }
 
-// parseScales parses the -faultscales list: comma-separated non-negative
-// floats, empty meaning "use the experiment's default sweep".
-func parseScales(s string) ([]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad scale %q: %v", p, err)
-		}
-		if v < 0 {
-			return nil, fmt.Errorf("scale %q is negative", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, jsonOut bool, render engine.Renderer, outDir string, scales []float64, tlog *session.TraceLog) error {
-	cfg := ivnsim.Config{Seed: seed, Trials: trials, Quick: quick, FaultScales: scales, Trace: tlog}
+// runOne executes one spec through the shared pipeline, renders it to
+// stdout, and fans the result out to -out files. Any per-file write
+// failure surfaces with its path and fails the invocation.
+func runOne(spec runspec.Spec, lim engine.Limits, jsonOut bool, render engine.Renderer, outDir string, tlog *session.TraceLog) error {
 	//ivn:allow determinism wall-clock only feeds the stderr elapsed-time diagnostic, never a table
 	start := time.Now()
-	res, err := e.Run(cfg)
+	res, _, err := runspec.Run(context.Background(), lim, spec, tlog)
 	if err != nil {
 		return err
 	}
@@ -189,41 +189,14 @@ func runOne(e ivnsim.Experiment, seed uint64, trials int, quick, jsonOut bool, r
 		return err
 	}
 	if outDir != "" {
-		if err := writeOutputs(res, outDir); err != nil {
+		if err := runspec.WriteOutputs(res, outDir); err != nil {
 			return err
 		}
 	}
 	if !jsonOut {
-		fmt.Printf("(%s in %v, seed %d)\n\n", e.ID, time.Since(start).Round(time.Millisecond), seed)
+		fmt.Printf("(%s in %v, seed %d)\n\n", spec.Experiment, time.Since(start).Round(time.Millisecond), spec.Seed)
 	} else {
-		fmt.Fprintf(os.Stderr, "(%s in %v, seed %d)\n", e.ID, time.Since(start).Round(time.Millisecond), seed)
-	}
-	return nil
-}
-
-// writeOutputs writes one file per registered renderer: <id>.txt, <id>.csv
-// and <id>.json under dir.
-func writeOutputs(res *engine.Result, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for _, out := range []struct {
-		ext    string
-		render engine.Renderer
-	}{
-		{"txt", engine.RenderText}, {"csv", engine.RenderCSV}, {"json", engine.RenderJSON},
-	} {
-		f, err := os.Create(filepath.Join(dir, res.ID+"."+out.ext))
-		if err != nil {
-			return err
-		}
-		if err := out.render(res, f); err != nil {
-			_ = f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+		fmt.Fprintf(os.Stderr, "(%s in %v, seed %d)\n", spec.Experiment, time.Since(start).Round(time.Millisecond), spec.Seed)
 	}
 	return nil
 }

@@ -9,7 +9,7 @@ import (
 	"testing"
 
 	"ivn/internal/engine"
-	"ivn/internal/ivnsim"
+	"ivn/internal/ivnsim/runspec"
 )
 
 // captureStdout runs fn with os.Stdout redirected and returns what it
@@ -35,12 +35,13 @@ func captureStdout(t *testing.T, fn func() error) string {
 	return string(out)
 }
 
+// quickSpec is the CI-sized spec the CLI tests run.
+func quickSpec(id string) runspec.Spec {
+	return runspec.Spec{Experiment: id, Seed: 1, Quick: true}
+}
+
 func TestRunOneWritesOutputs(t *testing.T) {
 	dir := t.TempDir()
-	e, err := ivnsim.ByID("fig2")
-	if err != nil {
-		t.Fatal(err)
-	}
 	// Silence stdout during the run.
 	old := os.Stdout
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
@@ -48,7 +49,7 @@ func TestRunOneWritesOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	err = runOne(e, 1, 0, true, false, engine.RenderText, dir, nil, nil)
+	err = runOne(quickSpec("fig2"), engine.Limits{}, false, engine.RenderText, dir, nil)
 	os.Stdout = old
 	devnull.Close()
 	if err != nil {
@@ -83,12 +84,8 @@ func TestRunOneWritesOutputs(t *testing.T) {
 }
 
 func TestRunOneCSVToStdout(t *testing.T) {
-	e, err := ivnsim.ByID("fig3")
-	if err != nil {
-		t.Fatal(err)
-	}
 	out := captureStdout(t, func() error {
-		return runOne(e, 1, 0, true, false, engine.RenderCSV, "", nil, nil)
+		return runOne(quickSpec("fig3"), engine.Limits{}, false, engine.RenderCSV, "", nil)
 	})
 	if !strings.Contains(out, "distance (cm),air loss (dB)") {
 		t.Fatalf("CSV stdout missing header:\n%s", out)
@@ -96,12 +93,8 @@ func TestRunOneCSVToStdout(t *testing.T) {
 }
 
 func TestRunOneJSONToStdout(t *testing.T) {
-	e, err := ivnsim.ByID("fig3")
-	if err != nil {
-		t.Fatal(err)
-	}
 	out := captureStdout(t, func() error {
-		return runOne(e, 1, 0, true, true, engine.RenderJSON, "", nil, nil)
+		return runOne(quickSpec("fig3"), engine.Limits{}, true, engine.RenderJSON, "", nil)
 	})
 	var res engine.Result
 	if err := json.Unmarshal([]byte(out), &res); err != nil {
@@ -124,39 +117,33 @@ func TestRunOneJSONToStdout(t *testing.T) {
 	}
 }
 
-func TestWriteOutputsBadDir(t *testing.T) {
-	e, err := ivnsim.ByID("fig2")
-	if err != nil {
+// TestRunOneBadOutDirFailsWithPath is the -out error contract: a
+// per-file write failure must fail the run (non-nil error → non-zero
+// exit in main) and name the path it could not write, not vanish into a
+// successful-looking invocation.
+func TestRunOneBadOutDirFailsWithPath(t *testing.T) {
+	// A path under an existing *file* cannot be created — unlike a
+	// read-only directory, this fails even when the test runs as root.
+	occupied := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(ivnsim.Config{Seed: 1, Quick: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// A path under an existing *file* cannot be created.
-	f := filepath.Join(t.TempDir(), "occupied")
-	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := writeOutputs(res, filepath.Join(f, "sub")); err == nil {
-		t.Fatal("writeOutputs into a file path succeeded")
-	}
-}
+	badDir := filepath.Join(occupied, "sub")
 
-func TestParseScales(t *testing.T) {
-	got, err := parseScales("0, 1.5 ,4")
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 || got[0] != 0 || got[1] != 1.5 || got[2] != 4 {
-		t.Fatalf("parseScales = %v", got)
+	os.Stdout = devnull
+	err = runOne(quickSpec("fig2"), engine.Limits{}, false, engine.RenderText, badDir, nil)
+	os.Stdout = old
+	devnull.Close()
+
+	if err == nil {
+		t.Fatal("runOne with an unwritable -out dir succeeded")
 	}
-	if out, err := parseScales(""); err != nil || out != nil {
-		t.Fatalf("empty scales: %v, %v", out, err)
-	}
-	for _, bad := range []string{"x", "-1", "1,,2"} {
-		if _, err := parseScales(bad); err == nil {
-			t.Fatalf("parseScales(%q) accepted", bad)
-		}
+	if !strings.Contains(err.Error(), badDir) {
+		t.Fatalf("error does not name the unwritable path %q: %v", badDir, err)
 	}
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeConfig drops a config document into a temp file.
+func writeConfig(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ivnsimd.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadConfigDefaults(t *testing.T) {
+	c, err := loadConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Addr != defaultAddr {
+		t.Fatalf("default addr = %q", c.Addr)
+	}
+	// Empty document behaves like no document.
+	c2, err := loadConfig(writeConfig(t, `{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, c2) {
+		t.Fatalf("empty document diverged from defaults: %+v vs %+v", c2, c)
+	}
+}
+
+func TestLoadConfigParsesAllFields(t *testing.T) {
+	path := writeConfig(t, `{
+		"addr": "127.0.0.1:0",
+		"workers": 3,
+		"queue_depth": 9,
+		"max_parallel": 2,
+		"cache_entries": 5
+	}`)
+	c, err := loadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Addr != "127.0.0.1:0" || c.Workers != 3 || c.QueueDepth != 9 ||
+		c.MaxParallel != 2 || c.CacheEntries != 5 {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestLoadConfigRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"worker": 3}`,
+		"trailing data":    `{"workers": 3}{"workers": 4}`,
+		"negative workers": `{"workers": -1}`,
+		"negative queue":   `{"queue_depth": -1}`,
+		"wrong type":       `{"workers": "three"}`,
+		"not json":         `workers = 3`,
+	}
+	for name, doc := range cases {
+		if _, err := loadConfig(writeConfig(t, doc)); err == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+	// A missing file is a startup error, not a silent default.
+	if _, err := loadConfig(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing config file accepted")
+	} else if !strings.Contains(err.Error(), "config") {
+		t.Errorf("missing-file error lacks context: %v", err)
+	}
+}
+
+func TestRestartRequired(t *testing.T) {
+	base, err := loadConfig(writeConfig(t, `{"workers": 2, "queue_depth": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := base
+	if fields := restartRequired(base, same); len(fields) != 0 {
+		t.Fatalf("identical configs need restart: %v", fields)
+	}
+	// Hot-reloadable fields never show up.
+	hot := base
+	hot.MaxParallel, hot.CacheEntries = 7, 99
+	if fields := restartRequired(base, hot); len(fields) != 0 {
+		t.Fatalf("hot fields flagged as restart-required: %v", fields)
+	}
+	cold := base
+	cold.Addr, cold.Workers, cold.QueueDepth = "127.0.0.1:1", 5, 99
+	fields := restartRequired(base, cold)
+	if !reflect.DeepEqual(fields, []string{"addr", "workers", "queue_depth"}) {
+		t.Fatalf("restartRequired = %v", fields)
+	}
+}

@@ -1,18 +1,26 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// parallelOverride is the configured worker cap; 0 means derive from
-// GOMAXPROCS at call time. Set from the CLI's -parallel flag.
+// parallelOverride is the process-wide default worker cap; 0 means derive
+// from GOMAXPROCS at call time. Per-run Limits take precedence.
 var parallelOverride atomic.Int64
 
-// SetMaxParallel caps the scheduler's concurrent trial workers. n <= 0
+// SetMaxParallel sets the process-wide *default* worker cap. n <= 0
 // restores the automatic GOMAXPROCS-derived default. Changing the cap
 // never changes results — only how many trials run at once.
+//
+// Deprecated: the global is kept only as a thin backward-compatible
+// default for callers that run one sweep per process (the ivnsim CLI's
+// -parallel flag maps to a per-run value now). New code — and anything
+// that may share a process with other runs, such as the ivnsimd daemon —
+// must carry a per-run cap in Limits instead, so concurrent jobs get
+// independent parallelism.
 func SetMaxParallel(n int) {
 	if n < 0 {
 		n = 0
@@ -20,7 +28,7 @@ func SetMaxParallel(n int) {
 	parallelOverride.Store(int64(n))
 }
 
-// MaxParallel resolves the current worker cap.
+// MaxParallel resolves the current process-wide default worker cap.
 func MaxParallel() int {
 	if n := int(parallelOverride.Load()); n > 0 {
 		return n
@@ -32,36 +40,87 @@ func MaxParallel() int {
 	return n
 }
 
-// ForEach runs fn(0..n-1) on the shared bounded worker pool and returns
-// the error of the lowest-indexed failure, so the outcome — including
-// which error surfaces — is independent of scheduling. Callers keep
-// determinism by writing results into per-index slots and reducing them
-// in index order afterwards.
-func ForEach(n int, fn func(i int) error) error {
-	return forEachIndexed(n, fn)
+// SchedMetrics receives scheduler observability counters when attached to
+// a run through Limits. All fields are updated atomically and may be read
+// concurrently with running sweeps; a single SchedMetrics may be shared
+// by many runs (the daemon aggregates every job into one), in which case
+// the counters report the union.
+type SchedMetrics struct {
+	// Trials counts completed trial invocations.
+	Trials atomic.Int64
+	// Busy is the number of workers currently executing a trial.
+	Busy atomic.Int64
+	// Cap is the largest worker cap any attached run has resolved — the
+	// denominator for an occupancy estimate (Busy/Cap).
+	Cap atomic.Int64
 }
 
-// forEachIndexed is the one sanctioned goroutine launcher (see ivnlint's
-// goroutinehygiene): a fixed pool of MaxParallel workers claims indices
-// from an atomic counter, keeping goroutine count bounded by the cap
-// rather than by n.
-func forEachIndexed(n int, fn func(i int) error) error {
-	workers := MaxParallel()
-	if workers > n {
-		workers = n
+// noteCap raises Cap to at least workers.
+func (m *SchedMetrics) noteCap(workers int) {
+	for {
+		cur := m.Cap.Load()
+		if int64(workers) <= cur || m.Cap.CompareAndSwap(cur, int64(workers)) {
+			return
+		}
 	}
-	return forEachWorkerN(n, workers, func(_, i int) error { return fn(i) })
 }
 
-// forEachWorkerN is forEachIndexed with the claiming worker's identity
-// exposed: fn(worker, i) with worker in [0, workers). Any one worker id
-// runs on a single goroutine, so per-worker state (scratch buffers,
-// reusable rng children) needs no locking. Index assignment to workers is
-// scheduling-dependent — callers must not let results depend on which
-// worker ran an index, only on the index itself.
-func forEachWorkerN(n, workers int, fn func(worker, i int) error) error {
+// Limits is one run's scheduler configuration, carried alongside the job
+// rather than stored in process globals so that concurrent runs in one
+// process (daemon jobs) get independent parallelism caps. The zero value
+// inherits the process defaults (SetMaxParallel / GOMAXPROCS) and attaches
+// no metrics.
+type Limits struct {
+	// MaxParallel caps this run's concurrent trial workers; 0 falls back
+	// to the process default. Never changes results.
+	MaxParallel int
+	// Metrics, when non-nil, receives per-trial scheduler counters.
+	Metrics *SchedMetrics
+}
+
+// maxParallel resolves the run's effective worker cap.
+func (l Limits) maxParallel() int {
+	if l.MaxParallel > 0 {
+		return l.MaxParallel
+	}
+	return MaxParallel()
+}
+
+// ForEach runs fn(0..n-1) on the bounded worker pool and returns the
+// error of the lowest-indexed failure, so the outcome — including which
+// error surfaces — is independent of scheduling. Callers keep determinism
+// by writing results into per-index slots and reducing them in index
+// order afterwards. Equivalent to ForEachCtx with a background context
+// and default limits.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), Limits{}, n, fn)
+}
+
+// ForEachCtx is ForEach under a cancellation context and per-run limits.
+// Cancellation is cooperative and prompt: workers check ctx between
+// trials and stop claiming new indices once it is done, and the call then
+// returns ctx's error. Trials already in flight run to completion — no
+// partial trial state is ever published.
+func ForEachCtx(ctx context.Context, lim Limits, n int, fn func(i int) error) error {
+	workers := lim.maxParallel()
+	return forEachWorkerN(ctx, lim.Metrics, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// forEachWorkerN is the one sanctioned goroutine launcher (see ivnlint's
+// goroutinehygiene): a fixed pool of workers claims indices from an
+// atomic counter, keeping goroutine count bounded by the cap rather than
+// by n. It exposes the claiming worker's identity: fn(worker, i) with
+// worker in [0, workers). Any one worker id runs on a single goroutine,
+// so per-worker state (scratch buffers, reusable rng children) needs no
+// locking. Index assignment to workers is scheduling-dependent — callers
+// must not let results depend on which worker ran an index, only on the
+// index itself.
+func forEachWorkerN(ctx context.Context, m *SchedMetrics, n, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers > n {
 		workers = n
@@ -69,7 +128,12 @@ func forEachWorkerN(n, workers int, fn func(worker, i int) error) error {
 	if workers < 1 {
 		workers = 1
 	}
+	if m != nil {
+		m.noteCap(workers)
+	}
+	done := ctx.Done()
 	errs := make([]error, n)
+	var aborted atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -77,15 +141,37 @@ func forEachWorkerN(n, workers int, fn func(worker, i int) error) error {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						aborted.Store(true)
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				if m != nil {
+					m.Busy.Add(1)
+				}
 				errs[i] = fn(worker, i)
+				if m != nil {
+					m.Busy.Add(-1)
+					m.Trials.Add(1)
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	// A cancelled run is incomplete by construction: report the context's
+	// error rather than a scheduling-dependent subset of trial errors.
+	if aborted.Load() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

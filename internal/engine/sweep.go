@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"ivn/internal/rng"
@@ -10,14 +11,23 @@ import (
 // and returns the samples in trial order. Each trial's stream is derived
 // with SplitIndexed from a parent seeded with seed, so the sample slice —
 // not just its aggregate — is a pure function of (seed, label, n) at any
-// GOMAXPROCS.
+// GOMAXPROCS. Equivalent to TrialsCtx with a background context and
+// default limits.
 func Trials[S any](seed uint64, label string, n int, measure func(trial int, r *rng.Rand) (S, error)) ([]S, error) {
+	return TrialsCtx(context.Background(), Limits{}, seed, label, n, measure)
+}
+
+// TrialsCtx is Trials under a cancellation context and per-run limits:
+// cancellation stops the run between trials (no partial samples are
+// returned — a cancelled run yields ctx's error), and lim caps this
+// run's parallelism independently of any other run in the process.
+func TrialsCtx[S any](ctx context.Context, lim Limits, seed uint64, label string, n int, measure func(trial int, r *rng.Rand) (S, error)) ([]S, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("engine: %d trials", n)
 	}
 	parent := rng.New(seed)
 	samples := make([]S, n)
-	err := ForEach(n, func(i int) error {
+	err := ForEachCtx(ctx, lim, n, func(i int) error {
 		r := parent.SplitIndexed(label, i)
 		var e error
 		samples[i], e = measure(i, r)
@@ -65,8 +75,17 @@ func (s *Scratches) ensure(workers int) {
 // left it — callers reseed it per index (e.g. via SplitIndexedInto) so
 // results stay a pure function of the index, never of worker assignment.
 // Error selection matches ForEach: the lowest-indexed failure wins.
+// Equivalent to ForEachScratchCtx with a background context and default
+// limits.
 func ForEachScratch(n int, s *Scratches, fn func(i int, scratch any, r *rng.Rand) error) error {
-	workers := MaxParallel()
+	return ForEachScratchCtx(context.Background(), Limits{}, n, s, fn)
+}
+
+// ForEachScratchCtx is ForEachScratch under a cancellation context and
+// per-run limits, with the same prompt cooperative cancellation contract
+// as ForEachCtx.
+func ForEachScratchCtx(ctx context.Context, lim Limits, n int, s *Scratches, fn func(i int, scratch any, r *rng.Rand) error) error {
+	workers := lim.maxParallel()
 	if workers > n {
 		workers = n
 	}
@@ -74,7 +93,7 @@ func ForEachScratch(n int, s *Scratches, fn func(i int, scratch any, r *rng.Rand
 		workers = 1
 	}
 	s.ensure(workers)
-	return forEachWorkerN(n, workers, func(w, i int) error {
+	return forEachWorkerN(ctx, lim.Metrics, n, workers, func(w, i int) error {
 		if s.buf[w] == nil && s.mk != nil {
 			s.buf[w] = s.mk()
 		}
@@ -89,12 +108,18 @@ func ForEachScratch(n int, s *Scratches, fn func(i int, scratch any, r *rng.Rand
 // worker's persistent scratch object. Samples are identical to Trials
 // for any measure that ignores the scratch, at any GOMAXPROCS.
 func TrialsScratch[S any](seed uint64, label string, n int, s *Scratches, measure func(trial int, scratch any, r *rng.Rand) (S, error)) ([]S, error) {
+	return TrialsScratchCtx(context.Background(), Limits{}, seed, label, n, s, measure)
+}
+
+// TrialsScratchCtx is TrialsScratch under a cancellation context and
+// per-run limits.
+func TrialsScratchCtx[S any](ctx context.Context, lim Limits, seed uint64, label string, n int, s *Scratches, measure func(trial int, scratch any, r *rng.Rand) (S, error)) ([]S, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("engine: %d trials", n)
 	}
 	parent := rng.New(seed)
 	samples := make([]S, n)
-	err := ForEachScratch(n, s, func(i int, scratch any, r *rng.Rand) error {
+	err := ForEachScratchCtx(ctx, lim, n, s, func(i int, scratch any, r *rng.Rand) error {
 		// SplitIndexedInto only reads the parent state — concurrent
 		// derivation from the shared parent is race-free.
 		parent.SplitIndexedInto(r, label, i)
@@ -152,9 +177,21 @@ type Sweep[P, S any] struct {
 }
 
 // Run executes the sweep over points and returns one row per point.
+// Equivalent to RunCtx with a background context and default limits.
 func (s Sweep[P, S]) Run(points []P) ([][]Cell, error) {
+	return s.RunCtx(context.Background(), Limits{}, points)
+}
+
+// RunCtx executes the sweep under a cancellation context and per-run
+// limits: ctx is checked between points and between trials (prompt
+// cooperative cancellation), and lim caps this sweep's parallelism
+// independently of any other run in the process.
+func (s Sweep[P, S]) RunCtx(ctx context.Context, lim Limits, points []P) ([][]Cell, error) {
 	if (s.Measure == nil) == (s.MeasureScratch == nil) {
 		return nil, fmt.Errorf("engine: sweep must set exactly one of Measure and MeasureScratch")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var scratches *Scratches
 	if s.MeasureScratch != nil {
@@ -162,22 +199,25 @@ func (s Sweep[P, S]) Run(points []P) ([][]Cell, error) {
 	}
 	rows := make([][]Cell, 0, len(points))
 	for _, p := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seed, label := s.Plan(p)
 		var samples []S
 		var err error
 		if s.Measure != nil {
-			samples, err = Trials(seed, label, s.Trials, func(trial int, r *rng.Rand) (S, error) {
+			samples, err = TrialsCtx(ctx, lim, seed, label, s.Trials, func(trial int, r *rng.Rand) (S, error) {
 				return s.Measure(p, trial, r)
 			})
 		} else {
-			var ctx any
+			var pctx any
 			if s.Prepare != nil {
-				if ctx, err = s.Prepare(p); err != nil {
+				if pctx, err = s.Prepare(p); err != nil {
 					return nil, err
 				}
 			}
-			samples, err = TrialsScratch(seed, label, s.Trials, scratches, func(trial int, scratch any, r *rng.Rand) (S, error) {
-				return s.MeasureScratch(p, ctx, scratch, trial, r)
+			samples, err = TrialsScratchCtx(ctx, lim, seed, label, s.Trials, scratches, func(trial int, scratch any, r *rng.Rand) (S, error) {
+				return s.MeasureScratch(p, pctx, scratch, trial, r)
 			})
 		}
 		if err != nil {
@@ -194,7 +234,13 @@ func (s Sweep[P, S]) Run(points []P) ([][]Cell, error) {
 
 // RunInto executes the sweep and appends its rows to res.
 func (s Sweep[P, S]) RunInto(res *Result, points []P) error {
-	rows, err := s.Run(points)
+	return s.RunIntoCtx(context.Background(), Limits{}, res, points)
+}
+
+// RunIntoCtx executes the sweep under ctx and lim and appends its rows
+// to res.
+func (s Sweep[P, S]) RunIntoCtx(ctx context.Context, lim Limits, res *Result, points []P) error {
+	rows, err := s.RunCtx(ctx, lim, points)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -131,16 +132,14 @@ func TestTrialsScratchMatchesTrials(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Same streams regardless of worker count or scratch reuse.
+	// Same streams regardless of worker count or scratch reuse; the cap
+	// rides per-run Limits, not the process global.
 	for _, workers := range []int{1, 4} {
-		prev := MaxParallel()
-		SetMaxParallel(workers)
 		s := NewScratches(func() any { return new(int) })
-		got, err := TrialsScratch(19, "batched", 64, s, func(_ int, scratch any, r *rng.Rand) (float64, error) {
+		got, err := TrialsScratchCtx(context.Background(), Limits{MaxParallel: workers}, 19, "batched", 64, s, func(_ int, scratch any, r *rng.Rand) (float64, error) {
 			*(scratch.(*int))++ // mutate worker state: must not affect samples
 			return r.Float64(), nil
 		})
-		SetMaxParallel(prev)
 		if err != nil {
 			t.Fatal(err)
 		}

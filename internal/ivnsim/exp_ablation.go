@@ -94,7 +94,7 @@ func runAblationCoherent(cfg Config) (*engine.Result, error) {
 			}, nil
 		},
 	}
-	err := sweep.RunInto(res, []scenario.Scenario{
+	err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []scenario.Scenario{
 		scenario.NewAir(3),
 		scenario.NewTank(0.5, em.Water, 0.10),
 		scenario.NewTank(0.5, em.Muscle, 0.05),
@@ -174,7 +174,7 @@ func runAblationEqualPower(cfg Config) (*engine.Result, error) {
 			}, nil
 		},
 	}
-	if err := sweep.RunInto(res, []int{2, 4, 8, 10}); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []int{2, 4, 8, 10}); err != nil {
 		return nil, err
 	}
 	res.AddNote("equal-budget gain tracks ≈N (paper §3.4); the N× budget adds another factor of N")
@@ -299,7 +299,7 @@ func runAblationFlatness(cfg Config) (*engine.Result, error) {
 			}, nil
 		},
 	}
-	if err := sweep.RunInto(res, []float64{0.5, 1, 2, 4, 8, 16}); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []float64{0.5, 1, 2, 4, 8, 16}); err != nil {
 		return nil, err
 	}
 	res.AddNote("the Eq. 9 limit for this 1.06 ms query is %.0f Hz; success collapses beyond it", mustLimitFor(pie, bits))
@@ -403,7 +403,7 @@ func runAblationAveraging(cfg Config) (*engine.Result, error) {
 			return []engine.Cell{engine.Int(k), engine.Counts(ok, trials)}, nil
 		},
 	}
-	if err := sweep.RunInto(res, []int{1, 2, 4, 8, 16, 32, 64}); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []int{1, 2, 4, 8, 16, 32, 64}); err != nil {
 		return nil, err
 	}
 	res.AddNote("identical placements across rows; only the averaging depth changes")

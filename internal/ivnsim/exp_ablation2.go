@@ -167,7 +167,7 @@ func runAblationFreqError(cfg Config) (*engine.Result, error) {
 			}, nil
 		},
 	}
-	if err := sweep.RunInto(res, []float64{0, 0.05, 0.2, 0.5, 2, 10}); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []float64{0, 0.05, 0.2, 0.5, 2, 10}); err != nil {
 		return nil, err
 	}
 	res.AddNote("the peak amplitude itself is insensitive to offset error (CIB stays blind-channel-safe)")
@@ -303,7 +303,7 @@ func runAblationPhaseNoise(cfg Config) (*engine.Result, error) {
 			}, nil
 		},
 	}
-	if err := sweep.RunInto(res, []float64{0, 0.05, 0.2, 0.5, 2}); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []float64{0, 0.05, 0.2, 0.5, 2}); err != nil {
 		return nil, err
 	}
 	res.AddNote("drift 0 models the shared Octoclock reference; free-running oscillators forfeit most of the K=32 averaging gain")
@@ -350,7 +350,7 @@ func runAblationMultipath(cfg Config) (*engine.Result, error) {
 		{2, "indoor", em.DefaultIndoorProfile},
 		{3, "rich scattering", em.RichProfile},
 	}
-	if err := sweep.RunInto(res, points); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, points); err != nil {
 		return nil, err
 	}
 	res.AddNote("the median CIB gain holds across environments; richer scattering widens the distribution without destroying the gain (§3.7 robustness)")

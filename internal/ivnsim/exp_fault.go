@@ -228,7 +228,7 @@ func FaultMatrixSummary(cfg Config) ([]FaultMatrixRow, error) {
 			// same placements, same fault schedules, different protocol.
 			label := fmt.Sprintf("fault-%g", scale)
 			rec := recovery
-			results, err := engine.Trials(cfg.Seed, label, trials, func(_ int, r *rng.Rand) (faultTrialResult, error) {
+			results, err := engine.TrialsCtx(cfg.Context(), cfg.Limits, cfg.Seed, label, trials, func(_ int, r *rng.Rand) (faultTrialResult, error) {
 				return runFaultTrial(scale, rec, r)
 			})
 			if err != nil {

@@ -93,7 +93,7 @@ func runInVivo(cfg Config) (*engine.Result, error) {
 		{2, scenario.NewSwine(scenario.Subcutaneous), tag.StandardTag()},
 		{3, scenario.NewSwine(scenario.Subcutaneous), tag.MiniatureTag()},
 	}
-	if err := sweep.RunInto(res, cases); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, cases); err != nil {
 		return nil, err
 	}
 	res.AddNote("success criterion: FM0 preamble correlation > 0.8 after coherent averaging (paper §6.2)")

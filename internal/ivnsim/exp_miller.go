@@ -42,7 +42,7 @@ func runAblationMiller(cfg Config) (*engine.Result, error) {
 		// Trials are independent; per-trial error counts summed in index
 		// order keep the BER table identical at any GOMAXPROCS.
 		label := fmt.Sprintf("ber-%s-%v", e.name, snrDB)
-		trialErrs, err := engine.Trials(cfg.Seed, label, trials, func(_ int, r *rng.Rand) (int, error) {
+		trialErrs, err := engine.TrialsCtx(cfg.Context(), cfg.Limits, cfg.Seed, label, trials, func(_ int, r *rng.Rand) (int, error) {
 			payload := make(gen2.Bits, nbits)
 			for i := range payload {
 				payload[i] = byte(r.Intn(2))

@@ -193,7 +193,7 @@ func runPopulation(cfg Config) (*engine.Result, error) {
 		n := n
 		label := fmt.Sprintf("population-%d", n)
 		maxCommands := 12*n + 256
-		results, err := engine.Trials(cfg.Seed, label, trials, func(trial int, r *rng.Rand) (popTrialResult, error) {
+		results, err := engine.TrialsCtx(cfg.Context(), cfg.Limits, cfg.Seed, label, trials, func(trial int, r *rng.Rand) (popTrialResult, error) {
 			var tr *session.Trace
 			if cfg.Trace != nil {
 				span, commit := cfg.Trace.Span(fmt.Sprintf("%s/%04d", label, trial))
@@ -272,7 +272,7 @@ func runAdaptiveQ(cfg Config) (*engine.Result, error) {
 		// The stream label excludes the policy and starting Q, pairing the
 		// cells: every point faces the same placements, shadowing draws and
 		// tag RNGs, and differs only in reader-side Q control.
-		results, err := engine.Trials(cfg.Seed, "adaptiveq", trials, func(trial int, r *rng.Rand) (popTrialResult, error) {
+		results, err := engine.TrialsCtx(cfg.Context(), cfg.Limits, cfg.Seed, "adaptiveq", trials, func(trial int, r *rng.Rand) (popTrialResult, error) {
 			var tr *session.Trace
 			if cfg.Trace != nil {
 				span, commit := cfg.Trace.Span(fmt.Sprintf("adaptiveq-%s-q%d/%04d", pt.policy(), pt.initialQ, trial))

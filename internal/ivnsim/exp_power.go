@@ -87,7 +87,7 @@ func runFig9(cfg Config) (*engine.Result, error) {
 			return append([]engine.Cell{engine.Int(n)}, summaryCells(s)...), nil
 		},
 	}
-	if err := sweep.RunInto(res, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}); err != nil {
 		return nil, err
 	}
 	res.AddNote("%d trials per point; gain = CIB envelope peak / single-antenna peak at the same location", trials)
@@ -124,7 +124,7 @@ func runFig10a(cfg Config) (*engine.Result, error) {
 			return append(row, engine.Number("%.1f", 10*math.Log10(abs.Median)+30)), nil
 		},
 	}
-	if err := sweep.RunInto(res, []float64{0, 0.05, 0.10, 0.15, 0.20}); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, []float64{0, 0.05, 0.10, 0.15, 0.20}); err != nil {
 		return nil, err
 	}
 	res.AddNote("gain is depth-independent while the absolute delivered power falls with depth (paper §6.1.1b)")
@@ -159,7 +159,7 @@ func runFig10b(cfg Config) (*engine.Result, error) {
 		},
 	}
 	orientations := []float64{0, math.Pi / 4, math.Pi / 2, 3 * math.Pi / 4, math.Pi, 1.25 * math.Pi, 1.5 * math.Pi}
-	if err := sweep.RunInto(res, orientations); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, orientations); err != nil {
 		return nil, err
 	}
 	res.AddNote("orientation scales every scheme's channel identically, so the gain ratio is flat")
@@ -221,7 +221,7 @@ func runFig11(cfg Config) (*engine.Result, error) {
 	for mi, sc := range media {
 		points[mi] = mediumPoint{index: mi, sc: sc}
 	}
-	if err := sweep.RunInto(res, points); err != nil {
+	if err := sweep.RunIntoCtx(cfg.Context(), cfg.Limits, res, points); err != nil {
 		return nil, err
 	}
 	res.AddNote("the baseline's ≈10x comes entirely from radiating 10x total power; CIB's extra ≈8x is the blind beamforming gain")
@@ -234,7 +234,7 @@ func runFig12(cfg Config) (*engine.Result, error) {
 		engine.Col("power ratio", ""), engine.Col("CDF", ""))
 	trials := cfg.trials(400, 60)
 	sc := scenario.NewTank(0.5, em.Water, 0.10)
-	samples, err := RunGainTrialsTraced(sc, 10, trials, cfg.Seed, cfg.Trace, "fig12")
+	samples, err := RunGainTrialsCtx(cfg.Context(), cfg.Limits, sc, 10, trials, cfg.Seed, cfg.Trace, "fig12")
 	if err != nil {
 		return nil, err
 	}

@@ -83,7 +83,7 @@ func runRangeSweep(cfg Config, id string, model tag.Model, water bool) (*engine.
 	// probe's trials), so the sweep over antenna counts stays a plain loop.
 	var first, last float64
 	for _, n := range antennaCounts {
-		d, err := MaxOperatingDistance(mk, n, model, lo, hi, trialsPerPoint, successNeeded, cfg.Seed+uint64(n))
+		d, err := MaxOperatingDistanceCtx(cfg.Context(), cfg.Limits, mk, n, model, lo, hi, trialsPerPoint, successNeeded, cfg.Seed+uint64(n))
 		if err != nil {
 			return nil, err
 		}

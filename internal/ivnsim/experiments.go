@@ -1,6 +1,7 @@
 package ivnsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,6 +25,25 @@ type Config struct {
 	// traced trial, one span per trial (e.g. "fig12/0007"). Nil is free;
 	// the serialized log is byte-identical at any GOMAXPROCS.
 	Trace *session.TraceLog
+	// Ctx, when non-nil, cancels the run cooperatively: the scheduler
+	// checks it between trials and between sweep points, so a cancelled
+	// run returns the context's error promptly without publishing a
+	// partial table. Nil means context.Background(). Cancellation never
+	// changes the rows of a run that completes.
+	Ctx context.Context
+	// Limits is this run's scheduler configuration — parallelism cap and
+	// optional metrics — carried per run so concurrent jobs in one
+	// process (daemon workloads) stay independent. The zero value
+	// inherits the process defaults.
+	Limits engine.Limits
+}
+
+// Context resolves the run's cancellation context (nil → Background).
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // trials resolves the effective trial count.

@@ -1,6 +1,7 @@
 package ivnsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -106,8 +107,15 @@ func RunGainTrials(sc scenario.Scenario, n, trials int, seed uint64) ([]GainSamp
 // same streams and returns identical samples. Trials run on the batched
 // scratch path: per-worker gain kits absorb the per-trial allocations.
 func RunGainTrialsTraced(sc scenario.Scenario, n, trials int, seed uint64, tlog *session.TraceLog, prefix string) ([]GainSample, error) {
+	return RunGainTrialsCtx(context.Background(), engine.Limits{}, sc, n, trials, seed, tlog, prefix)
+}
+
+// RunGainTrialsCtx is RunGainTrialsTraced under a cancellation context
+// and per-run scheduler limits; samples are identical to the unlimited
+// form whenever the run completes.
+func RunGainTrialsCtx(ctx context.Context, lim engine.Limits, sc scenario.Scenario, n, trials int, seed uint64, tlog *session.TraceLog, prefix string) ([]GainSample, error) {
 	s := engine.NewScratches(newGainKit)
-	return engine.TrialsScratch(seed, "gain-trial", trials, s, func(i int, scratch any, r *rng.Rand) (GainSample, error) {
+	return engine.TrialsScratchCtx(ctx, lim, seed, "gain-trial", trials, s, func(i int, scratch any, r *rng.Rand) (GainSample, error) {
 		var tr *session.Trace
 		if tlog != nil {
 			var commit func()
@@ -234,6 +242,13 @@ func commExchangeAt(lk *link.Link, tagRand *rng.Rand, model tag.Model, opts Comm
 // the power-up + decode exchange. Returns 0 when even the minimum
 // distance fails.
 func MaxOperatingDistance(mk func(d float64) scenario.Scenario, n int, model tag.Model, lo, hi float64, trialsPerPoint, successNeeded int, seed uint64) (float64, error) {
+	return MaxOperatingDistanceCtx(context.Background(), engine.Limits{}, mk, n, model, lo, hi, trialsPerPoint, successNeeded, seed)
+}
+
+// MaxOperatingDistanceCtx is MaxOperatingDistance under a cancellation
+// context and per-run scheduler limits: each probe's trial loop checks
+// ctx between trials, so a cancelled bisection returns promptly.
+func MaxOperatingDistanceCtx(ctx context.Context, lim engine.Limits, mk func(d float64) scenario.Scenario, n int, model tag.Model, lo, hi float64, trialsPerPoint, successNeeded int, seed uint64) (float64, error) {
 	if lo <= 0 || hi <= lo {
 		return 0, fmt.Errorf("ivnsim: bad search interval [%v, %v]", lo, hi)
 	}
@@ -254,7 +269,7 @@ func MaxOperatingDistance(mk func(d float64) scenario.Scenario, n int, model tag
 		// read-only across the parallel trials.
 		sc := mk(d)
 		label := fmt.Sprintf("range-%.6g", d)
-		err := engine.ForEachScratch(trialsPerPoint, scratches, func(i int, scratch any, r *rng.Rand) error {
+		err := engine.ForEachScratchCtx(ctx, lim, trialsPerPoint, scratches, func(i int, scratch any, r *rng.Rand) error {
 			parent.SplitIndexedInto(r, label, i)
 			tr, err := runCommScratch(scratch.(*commKit), sc, n, model, CommOptions{}, r)
 			if err != nil {

@@ -18,16 +18,15 @@ func TestPopulationTablesIdenticalAcrossWorkerCap(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	defer engine.SetMaxParallel(0)
 	cfg := Config{Seed: 7, Quick: true}
 	for _, id := range []string{"population", "adaptiveq"} {
-		engine.SetMaxParallel(1)
+		cfg.Limits = engine.Limits{MaxParallel: 1}
 		tabOne, err := mustRun(t, id, cfg)
 		if err != nil {
 			t.Fatalf("%s at -parallel 1: %v", id, err)
 		}
 		one := renderedTable(tabOne)
-		engine.SetMaxParallel(4)
+		cfg.Limits = engine.Limits{MaxParallel: 4}
 		tabFour, err := mustRun(t, id, cfg)
 		if err != nil {
 			t.Fatalf("%s at -parallel 4: %v", id, err)

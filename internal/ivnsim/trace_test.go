@@ -59,15 +59,13 @@ func TestTracedRunMatchesUntraced(t *testing.T) {
 // two worker-pool widths and requires identical bytes — the acceptance
 // bar for -trace determinism at any GOMAXPROCS.
 func TestTraceLogByteIdenticalAcrossParallel(t *testing.T) {
-	defer engine.SetMaxParallel(0)
 	run := func(workers int) []byte {
-		engine.SetMaxParallel(workers)
 		e, err := ByID("fig12")
 		if err != nil {
 			t.Fatal(err)
 		}
 		tlog := session.NewTraceLog()
-		if _, err := e.Run(Config{Seed: 3, Quick: true, Trace: tlog}); err != nil {
+		if _, err := e.Run(Config{Seed: 3, Quick: true, Trace: tlog, Limits: engine.Limits{MaxParallel: workers}}); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer

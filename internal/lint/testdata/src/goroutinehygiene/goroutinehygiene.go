@@ -142,3 +142,90 @@ func injectorFanOutSuppressed(inj injector, out []string) {
 	}
 	wg.Wait()
 }
+
+// --- HTTP-service shapes (the ivnsimd daemon's patterns) ---
+
+// request/response stand in for net/http's types so the fixture stays
+// dependency-free; the analyzer only cares about the go statements.
+type request struct{}
+type responseWriter interface{ write([]byte) }
+
+// handlerFireAndForget spawns per-request work with nothing joining it:
+// the classic handler leak — the response returns while the goroutine
+// still runs, and a burst of requests is an unbounded spawn.
+func handlerFireAndForget(w responseWriter, r *request) {
+	go func() { // want `goroutine launched outside a sanctioned runner`
+		w.write([]byte("done"))
+	}()
+}
+
+// handlerPerRequestWorker launches one goroutine per request even
+// though it joins: the spawn rate is still request-driven, so the raw
+// launch is flagged all the same.
+func handlerPerRequestWorker(w responseWriter, r *request) {
+	done := make(chan struct{})
+	go func() { // want `goroutine launched outside a sanctioned runner`
+		defer close(done)
+		w.write([]byte("done"))
+	}()
+	<-done
+}
+
+// jobQueue is a daemon-shaped service: a fixed worker pool draining a
+// bounded channel, joined by a WaitGroup at close. The pool size is set
+// once at construction — not per request — which is why the annotated
+// launch is the sanctioned form for service code.
+type jobQueue struct {
+	queue chan func()
+	wg    sync.WaitGroup
+}
+
+// startWorkers is the sanctioned daemon shape: Add before spawn, fixed
+// fan-out, joined in close. No findings on the annotated launch.
+func (q *jobQueue) startWorkers(workers int) {
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		//ivn:allow goroutinehygiene fixture: fixed-size service worker pool joined by wg in close
+		go func() {
+			defer q.wg.Done()
+			for job := range q.queue {
+				job()
+			}
+		}()
+	}
+}
+
+// startWorkersRaw is the same pool without the annotation: service code
+// must declare its worker pools, not launch them silently.
+func (q *jobQueue) startWorkersRaw(workers int) {
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() { // want `goroutine launched outside a sanctioned runner`
+			defer q.wg.Done()
+			for job := range q.queue {
+				job()
+			}
+		}()
+	}
+}
+
+// startWorkersAddInside both launches raw and registers late: two
+// findings on one line, the worst service-pool shape.
+func (q *jobQueue) startWorkersAddInside(workers int) {
+	for i := 0; i < workers; i++ {
+		//ivn:allow goroutinehygiene fixture: isolating the Add-inside-worker check on the pool shape
+		go func() {
+			q.wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine`
+			defer q.wg.Done()
+			for job := range q.queue {
+				job()
+			}
+		}()
+	}
+}
+
+// close drains the pool; no goroutines, no findings.
+func (q *jobQueue) close() {
+	close(q.queue)
+	q.wg.Wait()
+}

@@ -1,0 +1,193 @@
+// Command daemonsmoke drives a running ivnsimd through its whole API
+// surface and fails loudly on any deviation from the contract:
+//
+//  1. POST a quick run, poll it to completion, and byte-compare the
+//     served result against a reference file produced by `ivnsim -json`
+//     for the same spec — the daemon must never change what a run means.
+//  2. POST the identical spec again: the response must be a cache hit
+//     (state done at submit, cached flag set) and /metrics must show the
+//     hit with no new trials executed.
+//  3. POST a long population sweep, cancel it with DELETE mid-run, and
+//     require the terminal cancelled state within the 2-second latency
+//     budget.
+//
+// Usage: daemonsmoke -addr http://127.0.0.1:PORT -cli fig9.json
+//
+// The caller (scripts/verify.sh) owns the daemon process: starting it on
+// an ephemeral port, producing the reference file, and checking the
+// SIGTERM drain after this program exits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// smokeSpec is the quick run both the daemon and the CLI execute; it
+// must match the spec verify.sh renders into the -cli reference file.
+const smokeSpec = `{"experiment":"fig9","seed":2,"quick":true}`
+
+// cancelSpec is a sweep long enough that DELETE provably interrupts it:
+// 40 trials per population point takes tens of seconds uninterrupted.
+const cancelSpec = `{"experiment":"population","seed":2,"quick":true,"trials":40}`
+
+// status mirrors the service's job status document.
+type status struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "daemon base URL, e.g. http://127.0.0.1:8347")
+	cliFile := flag.String("cli", "", "reference file: `ivnsim -run fig9 -seed 2 -quick -json` output")
+	flag.Parse()
+	if *addr == "" || *cliFile == "" {
+		fmt.Fprintln(os.Stderr, "daemonsmoke: -addr and -cli are required")
+		os.Exit(2)
+	}
+	if err := smoke(*addr, *cliFile); err != nil {
+		fmt.Fprintf(os.Stderr, "daemonsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("daemonsmoke: OK")
+}
+
+func smoke(base, cliFile string) error {
+	want, err := os.ReadFile(cliFile)
+	if err != nil {
+		return err
+	}
+
+	// 1. Submit, poll to done, byte-compare.
+	first, err := post(base, smokeSpec, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if err := pollState(base, first.ID, "done", 600); err != nil {
+		return err
+	}
+	got, err := get(base + "/v1/runs/" + first.ID + "/result")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("daemon result for %s differs from the CLI reference (%d vs %d bytes)", first.ID, len(got), len(want))
+	}
+
+	// 2. The identical spec must be served from the cache.
+	second, err := post(base, smokeSpec, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if second.State != "done" || !second.Cached {
+		return fmt.Errorf("second submission not a cache hit: state %s cached %v", second.State, second.Cached)
+	}
+	metrics, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, line := range []string{"cache_hits 1\n", "cache_misses 1\n"} {
+		if !strings.Contains(string(metrics), line) {
+			return fmt.Errorf("metrics missing %q:\n%s", strings.TrimSpace(line), metrics)
+		}
+	}
+
+	// 3. Cancel a long sweep mid-run; terminal within the 2s budget.
+	long, err := post(base, cancelSpec, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("long submit: %w", err)
+	}
+	if err := pollState(base, long.ID, "running", 300); err != nil {
+		return err
+	}
+	time.Sleep(200 * time.Millisecond) // let it get into the sweep proper
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/runs/"+long.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("DELETE returned %d", resp.StatusCode)
+	}
+	// 2-second latency budget: 20 polls at 100ms.
+	if err := pollState(base, long.ID, "cancelled", 20); err != nil {
+		return fmt.Errorf("cancel latency: %w", err)
+	}
+	return nil
+}
+
+// post submits a spec document and decodes the status reply.
+func post(base, spec string, wantCode int) (status, error) {
+	resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return status{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return status{}, err
+	}
+	if resp.StatusCode != wantCode {
+		return status{}, fmt.Errorf("POST /v1/runs: %d %s", resp.StatusCode, body)
+	}
+	var st status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return status{}, fmt.Errorf("status document: %w", err)
+	}
+	return st, nil
+}
+
+// pollState polls the run until it reports state, at 100ms per attempt.
+func pollState(base, id, state string, attempts int) error {
+	last := ""
+	for i := 0; i < attempts; i++ {
+		body, err := get(base + "/v1/runs/" + id)
+		if err != nil {
+			return err
+		}
+		var st status
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("status document: %w", err)
+		}
+		last = st.State
+		if st.State == state {
+			return nil
+		}
+		// A terminal state other than the wanted one never resolves.
+		if st.State == "failed" || st.State == "cancelled" || st.State == "done" {
+			return fmt.Errorf("run %s reached %s (%s), want %s", id, st.State, st.Error, state)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("run %s still %s after %d polls, want %s", id, last, attempts, state)
+}
+
+// get fetches a URL expecting 200.
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}

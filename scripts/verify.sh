@@ -35,6 +35,12 @@
 #                              -parallel 1 and -parallel 4 must be
 #                              byte-identical: per-worker kit state must
 #                              never leak into results
+# 10. daemon smoke           — ivnsimd end to end on an ephemeral port:
+#                              POST a quick run, poll to completion, the
+#                              served result must be byte-identical to
+#                              `ivnsim -json`, a second identical POST
+#                              must be a cache hit, DELETE must cancel,
+#                              and SIGTERM must drain cleanly
 #
 # Stages run fail-fast: the first failing stage stops the script with a
 # FAIL banner naming the stage, so CI logs point at the culprit directly.
@@ -75,7 +81,8 @@ stage "go test" go test ./...
 
 stage "go test -race (parallel trial paths)" \
   go test -race . ./internal/engine/ ./internal/ivnsim/ ./internal/pool/ ./internal/phasor/ \
-  ./internal/dsp/ ./internal/fault/ ./internal/gen2/ ./internal/session/ ./internal/link/
+  ./internal/dsp/ ./internal/fault/ ./internal/gen2/ ./internal/session/ ./internal/link/ \
+  ./internal/service/
 
 stage "faultmatrix smoke" \
   go run ./cmd/ivnsim -run faultmatrix -quick -seed 2
@@ -116,5 +123,44 @@ renderer_equiv() {
   return "$rc"
 }
 stage "renderer equivalence" renderer_equiv
+
+daemon_smoke() {
+  local dir rc=1 addr pid i
+  dir="$(mktemp -d)" || return 1
+  if ! go build -o "$dir/ivnsimd" ./cmd/ivnsimd; then rm -rf "$dir"; return 1; fi
+  # The reference bytes the daemon must serve verbatim (same spec as
+  # daemonsmoke's smokeSpec).
+  if ! go run ./cmd/ivnsim -run fig9 -seed 2 -quick -json > "$dir/fig9.json" 2>/dev/null; then
+    rm -rf "$dir"; return 1
+  fi
+  "$dir/ivnsimd" -addr 127.0.0.1:0 > "$dir/out.log" 2> "$dir/err.log" &
+  pid=$!
+  addr=""
+  for i in $(seq 1 100); do
+    addr="$(awk '/listening on/{print $NF}' "$dir/out.log" 2>/dev/null)"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "ivnsimd never reported a listen address" >&2
+    cat "$dir/err.log" >&2
+    kill "$pid" 2>/dev/null
+    rm -rf "$dir"
+    return 1
+  fi
+  if go run ./scripts/daemonsmoke -addr "http://$addr" -cli "$dir/fig9.json"; then
+    # Clean SIGTERM drain is part of the contract: the process must exit
+    # 0 by itself within the drain window.
+    kill -TERM "$pid" && wait "$pid" && rc=0
+    [ "$rc" -eq 0 ] || { echo "ivnsimd did not drain cleanly on SIGTERM" >&2; cat "$dir/err.log" >&2; }
+  else
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+  fi
+  rm -rf "$dir"
+  return "$rc"
+}
+stage "daemon smoke" daemon_smoke
 
 echo "verify: OK"
