@@ -9,6 +9,20 @@
 //	ivnsim -run fig12 -trace events.jsonl
 //	ivnsim -run fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
+// Sharded execution splits one run's trials across processes (or
+// machines sharing a filesystem), each fragment checkpointing to its
+// own journal; the merge renders the exact bytes of the unsharded run:
+//
+//	ivnsim -run fig9 -shard 0/2 -journal frags/fig9.s0.jsonl
+//	ivnsim -run fig9 -shard 1/2 -journal frags/fig9.s1.jsonl
+//	ivnsim -merge frags -json
+//
+// A killed run (sharded or not) resumes from its journal, re-executing
+// only trials the journal lacks:
+//
+//	ivnsim -run fig9 -journal fig9.jsonl
+//	ivnsim -run fig9 -journal fig9.jsonl -resume
+//
 // The CLI and the ivnsimd daemon share one run pipeline
 // (internal/ivnsim/runspec): each invocation builds a validated RunSpec
 // from the flags and executes it exactly the way a daemon job would, so
@@ -51,12 +65,43 @@ func run() int {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to FILE on exit")
 		faultScales = flag.String("faultscales", "", "comma-separated fault-intensity multiples for faultmatrix (e.g. 0,1,4)")
 		traceFile   = flag.String("trace", "", "write the session-layer event stream to FILE as JSON lines")
+		shardFlag   = flag.String("shard", "", "execute only fragment I/N of the run's trials (requires -journal; the journal is the output)")
+		journalFile = flag.String("journal", "", "checkpoint completed trials to FILE as JSONL")
+		resume      = flag.Bool("resume", false, "reload -journal and re-execute only trials it lacks")
+		mergeDir    = flag.String("merge", "", "merge the shard journals in DIR into the whole run's table (byte-identical to an unsharded run)")
 	)
 	flag.Parse()
 
 	if *csv && *jsonOut {
 		fmt.Fprintln(os.Stderr, "ivnsim: -csv and -json are mutually exclusive")
 		return 2
+	}
+	shard, err := engine.ParseShard(*shardFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivnsim: -shard: %v\n", err)
+		return 2
+	}
+	if *mergeDir != "" && (*runID != "" || *shardFlag != "" || *journalFile != "" || *resume || *traceFile != "") {
+		fmt.Fprintln(os.Stderr, "ivnsim: -merge stands alone (the fragments' journals already pin the run)")
+		return 2
+	}
+	if shard.Enabled() && *journalFile == "" {
+		fmt.Fprintln(os.Stderr, "ivnsim: -shard requires -journal (a fragment's output is its journal)")
+		return 2
+	}
+	if *resume && *journalFile == "" {
+		fmt.Fprintln(os.Stderr, "ivnsim: -resume requires -journal")
+		return 2
+	}
+	if *journalFile != "" {
+		if *runID == "" || *runID == "all" {
+			fmt.Fprintln(os.Stderr, "ivnsim: -journal checkpoints a single run: pass one experiment via -run")
+			return 2
+		}
+		if *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "ivnsim: -trace cannot be combined with -journal (replayed trials emit no events)")
+			return 2
+		}
 	}
 	// The cap is carried per run (engine.Limits), not set process-wide:
 	// the CLI is a one-job process, but the shared pipeline keeps the
@@ -126,6 +171,26 @@ func run() int {
 	}
 
 	switch {
+	case *mergeDir != "":
+		if err := runMerge(*mergeDir, lim, *jsonOut, render, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: merge: %v\n", err)
+			return 1
+		}
+		return 0
+	case shard.Enabled():
+		if *runID == "" || *runID == "all" {
+			fmt.Fprintln(os.Stderr, "ivnsim: -shard fragments a single run: pass one experiment via -run")
+			return 2
+		}
+		spec := specFor(*runID)
+		spec.Shard = &shard
+		spec.Journal = *journalFile
+		spec.Resume = *resume
+		if err := runFragment(spec, lim); err != nil {
+			fmt.Fprintf(os.Stderr, "ivnsim: %s: %v\n", spec.Experiment, err)
+			return 1
+		}
+		return 0
 	case *list:
 		for _, e := range ivnsim.Registry() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
@@ -140,6 +205,8 @@ func run() int {
 		}
 	case *runID != "":
 		spec := specFor(*runID)
+		spec.Journal = *journalFile
+		spec.Resume = *resume
 		if err := spec.Validate(); err != nil {
 			fmt.Fprintf(os.Stderr, "ivnsim: %v\n", err)
 			return 2
@@ -160,6 +227,53 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// runFragment executes one shard of a run, leaving its journal as the
+// product. The stderr summary is the fragment's machine-checkable
+// receipt: scripts/shardsmoke parses the recorded/replayed counts.
+func runFragment(spec runspec.Spec, lim engine.Limits) error {
+	//ivn:allow determinism wall-clock only feeds the stderr elapsed-time diagnostic, never a table
+	start := time.Now()
+	j, err := runspec.RunFragment(context.Background(), lim, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(%s shard %s: recorded %d, replayed %d, journal %s, in %v)\n",
+		spec.Experiment, spec.Shard, j.Recorded(), j.Replayed(), spec.Journal,
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runMerge recombines a directory of shard journals into the whole
+// run's result and renders it exactly as an unsharded invocation would.
+func runMerge(dir string, lim engine.Limits, jsonOut bool, render engine.Renderer, outDir string) error {
+	//ivn:allow determinism wall-clock only feeds the stderr elapsed-time diagnostic, never a table
+	start := time.Now()
+	paths, err := runspec.FindFragments(dir)
+	if err != nil {
+		return err
+	}
+	res, spec, err := runspec.Merge(context.Background(), lim, paths)
+	if err != nil {
+		return err
+	}
+	if err := render(res, os.Stdout); err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := runspec.WriteOutputs(res, outDir); err != nil {
+			return err
+		}
+	}
+	// Match runOne's footer placement so output pipelines treat a merged
+	// run exactly like a direct one.
+	if !jsonOut {
+		fmt.Printf("(%s in %v, seed %d)\n\n", spec.Experiment, time.Since(start).Round(time.Millisecond), spec.Seed)
+	} else {
+		fmt.Fprintf(os.Stderr, "(%s in %v, seed %d)\n", spec.Experiment, time.Since(start).Round(time.Millisecond), spec.Seed)
+	}
+	return nil
 }
 
 // writeTrace serializes the collected event log as JSON lines.

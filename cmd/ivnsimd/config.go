@@ -80,5 +80,10 @@ func restartRequired(cur, next daemonConfig) []string {
 	if next.QueueDepth != cur.QueueDepth {
 		fields = append(fields, "queue_depth")
 	}
+	if next.JournalPath != cur.JournalPath {
+		// The journal file is opened (and its pending jobs resubmitted)
+		// once, at Manager construction.
+		fields = append(fields, "journal")
+	}
 	return fields
 }

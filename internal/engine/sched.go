@@ -15,12 +15,14 @@ var parallelOverride atomic.Int64
 // restores the automatic GOMAXPROCS-derived default. Changing the cap
 // never changes results — only how many trials run at once.
 //
-// Deprecated: the global is kept only as a thin backward-compatible
-// default for callers that run one sweep per process (the ivnsim CLI's
-// -parallel flag maps to a per-run value now). New code — and anything
-// that may share a process with other runs, such as the ivnsimd daemon —
-// must carry a per-run cap in Limits instead, so concurrent jobs get
-// independent parallelism.
+// Deprecated: this global survives only as a documented compatibility
+// fallback — the value Limits.maxParallel resolves to when a run carries
+// no cap of its own. Nothing in this repository sets it anymore (the
+// ivnsim CLI's -parallel flag and the ivnsimd daemon both pass per-run
+// Limits); it exists for out-of-tree callers that predate Limits and run
+// one sweep per process. Anything that may share a process with other
+// runs must carry a per-run cap in Limits instead, so concurrent jobs
+// get independent parallelism.
 func SetMaxParallel(n int) {
 	if n < 0 {
 		n = 0
@@ -45,23 +47,61 @@ func MaxParallel() int {
 // concurrently with running sweeps; a single SchedMetrics may be shared
 // by many runs (the daemon aggregates every job into one), in which case
 // the counters report the union.
+//
+// Trials counts only *executed* trials: a journaled run that replays
+// recorded samples never schedules them, so resumed work leaves Trials
+// untouched — which is exactly what the resume tests pin on.
+//
+// When runs with different per-run caps share one SchedMetrics (shard
+// sub-jobs beside ordinary jobs), Cap is the union maximum — the largest
+// cap any attached run ever resolved, not a sum and not the current
+// run's cap. Busy/Cap is then a lower bound on occupancy, exact only
+// while all attached runs resolved the same cap. Consumers that need a
+// heterogeneous run's own cap must read it from that run's private
+// SchedMetrics (chain it to the aggregate via Parent), which is how the
+// service reports per-sub-job caps.
 type SchedMetrics struct {
-	// Trials counts completed trial invocations.
+	// Trials counts completed trial invocations (executed, not replayed).
 	Trials atomic.Int64
 	// Busy is the number of workers currently executing a trial.
 	Busy atomic.Int64
 	// Cap is the largest worker cap any attached run has resolved — the
-	// denominator for an occupancy estimate (Busy/Cap).
+	// denominator for an occupancy estimate (Busy/Cap). Union max across
+	// attached runs; see the type comment for heterogeneous-cap caveats.
 	Cap atomic.Int64
+
+	// Parent, when non-nil, receives every counter update this instance
+	// does, letting a run keep private per-run numbers while rolling them
+	// up into an aggregate (daemon shard sub-jobs chain into the service
+	// metrics). Set before the run starts and never mutated after; chains
+	// must be acyclic.
+	Parent *SchedMetrics
 }
 
-// noteCap raises Cap to at least workers.
+// noteCap raises Cap to at least workers, propagating up the chain.
 func (m *SchedMetrics) noteCap(workers int) {
 	for {
 		cur := m.Cap.Load()
 		if int64(workers) <= cur || m.Cap.CompareAndSwap(cur, int64(workers)) {
-			return
+			break
 		}
+	}
+	if m.Parent != nil {
+		m.Parent.noteCap(workers)
+	}
+}
+
+// addBusy adjusts Busy along the chain.
+func (m *SchedMetrics) addBusy(d int64) {
+	for c := m; c != nil; c = c.Parent {
+		c.Busy.Add(d)
+	}
+}
+
+// addTrials adds executed-trial counts along the chain.
+func (m *SchedMetrics) addTrials(d int64) {
+	for c := m; c != nil; c = c.Parent {
+		c.Trials.Add(d)
 	}
 }
 
@@ -76,6 +116,22 @@ type Limits struct {
 	MaxParallel int
 	// Metrics, when non-nil, receives per-trial scheduler counters.
 	Metrics *SchedMetrics
+
+	// Shard restricts the run's Trials-level calls to the trial indices
+	// this shard owns (stride partition; see Shard). The zero value runs
+	// everything. A sharded run requires a Journal to record its
+	// contributions — Trials errors otherwise, because a fragment without
+	// a journal produces nothing recoverable. ForEach/ForEachScratch sit
+	// BELOW the shard seam and ignore Shard entirely: adaptive helpers
+	// (range bisection probes) run all their indices on every shard, so
+	// control flow that depends on their outcomes stays identical across
+	// shards and the merge replay.
+	Shard Shard
+	// Journal, when non-nil, checkpoint-journals the run's Trials-level
+	// calls: recorded samples are replayed instead of re-executed
+	// (resume/merge), executed samples are recorded. One Journal per run;
+	// see Journal.
+	Journal *Journal
 }
 
 // maxParallel resolves the run's effective worker cap.
@@ -154,12 +210,12 @@ func forEachWorkerN(ctx context.Context, m *SchedMetrics, n, workers int, fn fun
 					return
 				}
 				if m != nil {
-					m.Busy.Add(1)
+					m.addBusy(1)
 				}
 				errs[i] = fn(worker, i)
 				if m != nil {
-					m.Busy.Add(-1)
-					m.Trials.Add(1)
+					m.addBusy(-1)
+					m.addTrials(1)
 				}
 			}
 		}(w)

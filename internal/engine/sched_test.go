@@ -64,29 +64,22 @@ func TestMaxParallelPositive(t *testing.T) {
 	}
 }
 
-func TestSetMaxParallelCapsWorkers(t *testing.T) {
+func TestSetMaxParallelFallback(t *testing.T) {
+	// SetMaxParallel survives only as the deprecated compatibility
+	// fallback that zero-cap Limits resolve to; concurrency bounding
+	// itself is pinned per-run in TestLimitsCapWorkers. This test covers
+	// just the fallback resolution contract.
 	defer SetMaxParallel(0)
 	SetMaxParallel(2)
 	if got := MaxParallel(); got != 2 {
 		t.Fatalf("MaxParallel() = %d after SetMaxParallel(2)", got)
 	}
-	// With a cap of 2, at most 2 callbacks may ever be in flight.
-	var inFlight, peak atomic.Int64
-	err := ForEach(64, func(int) error {
-		n := inFlight.Add(1)
-		defer inFlight.Add(-1)
-		for {
-			p := peak.Load()
-			if n <= p || peak.CompareAndSwap(p, n) {
-				return nil
-			}
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
+	// A per-run cap takes precedence over the global fallback.
+	if got := (Limits{MaxParallel: 5}).maxParallel(); got != 5 {
+		t.Fatalf("Limits{5}.maxParallel() = %d with global fallback 2", got)
 	}
-	if peak.Load() > 2 {
-		t.Fatalf("observed %d concurrent callbacks with cap 2", peak.Load())
+	if got := (Limits{}).maxParallel(); got != 2 {
+		t.Fatalf("Limits{}.maxParallel() = %d, want the global fallback 2", got)
 	}
 	SetMaxParallel(-5) // negative restores the automatic default
 	if MaxParallel() < 1 {

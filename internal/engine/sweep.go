@@ -2,10 +2,79 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"reflect"
+	"sync/atomic"
 
 	"ivn/internal/rng"
 )
+
+// resolveJournal partitions one Trials-level call's indices under the
+// run's shard and journal: recorded samples are decoded straight into
+// the samples slice (replayed), missing indices the shard owns are
+// returned for execution, and missing unowned indices mark the call
+// incomplete (a fragment whose reduction will be discarded). A nil
+// return call means the plain unjournaled path applies.
+func resolveJournal[S any](lim Limits, seed uint64, label string, samples []S) (*journalCall, []int, error) {
+	if err := lim.Shard.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if lim.Journal == nil {
+		if lim.Shard.Enabled() {
+			return nil, nil, fmt.Errorf("engine: sharded run (shard %s) requires a journal", lim.Shard)
+		}
+		return nil, nil, nil
+	}
+	c := lim.Journal.beginCall(seed, label)
+	toRun := make([]int, 0, len(samples))
+	incomplete := false
+	for i := range samples {
+		if raw, ok := c.lookup(i); ok {
+			if err := json.Unmarshal(raw, &samples[i]); err != nil {
+				return nil, nil, fmt.Errorf("engine: journal replay %q occ %d trial %d: %w", label, c.occ, i, err)
+			}
+			c.j.replayed.Add(1)
+			continue
+		}
+		if lim.Shard.Owns(i) {
+			toRun = append(toRun, i)
+			continue
+		}
+		incomplete = true
+	}
+	if incomplete {
+		c.j.incomplete.Add(1)
+	}
+	return c, toRun, nil
+}
+
+// recorder journals executed samples for one call, guarding the first
+// record with a decode round-trip so a sample type that cannot survive
+// JSON (unexported fields marshal to {} silently) fails the run loudly
+// instead of corrupting a resume or merge.
+type recorder[S any] struct {
+	call    *journalCall
+	samples []S
+	guarded atomic.Bool
+}
+
+func (rc *recorder[S]) record(i int) error {
+	data, err := json.Marshal(rc.samples[i])
+	if err != nil {
+		return fmt.Errorf("engine: sample for trial %d of %q does not serialize: %w", i, rc.call.label, err)
+	}
+	if rc.guarded.CompareAndSwap(false, true) {
+		var back S
+		if err := json.Unmarshal(data, &back); err != nil {
+			return fmt.Errorf("engine: sample for trial %d of %q does not decode back: %w", i, rc.call.label, err)
+		}
+		if !reflect.DeepEqual(back, rc.samples[i]) {
+			return fmt.Errorf("engine: sample type %T does not round-trip through JSON (unexported fields?)", back)
+		}
+	}
+	return rc.call.record(i, data)
+}
 
 // Trials runs n independent trials of measure on the bounded scheduler
 // and returns the samples in trial order. Each trial's stream is derived
@@ -21,17 +90,44 @@ func Trials[S any](seed uint64, label string, n int, measure func(trial int, r *
 // cancellation stops the run between trials (no partial samples are
 // returned — a cancelled run yields ctx's error), and lim caps this
 // run's parallelism independently of any other run in the process.
+//
+// When lim carries a Journal, recorded samples replay instead of
+// re-executing (they never enter the scheduler, so SchedMetrics.Trials
+// counts executed trials only), executed samples are recorded, and a
+// Shard restricts execution to owned indices — unowned missing indices
+// stay zero-valued and mark the call incomplete on the Journal.
 func TrialsCtx[S any](ctx context.Context, lim Limits, seed uint64, label string, n int, measure func(trial int, r *rng.Rand) (S, error)) ([]S, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("engine: %d trials", n)
 	}
 	parent := rng.New(seed)
 	samples := make([]S, n)
-	err := ForEachCtx(ctx, lim, n, func(i int) error {
+	call, toRun, jerr := resolveJournal(lim, seed, label, samples)
+	if jerr != nil {
+		return nil, jerr
+	}
+	if call == nil {
+		err := ForEachCtx(ctx, lim, n, func(i int) error {
+			r := parent.SplitIndexed(label, i)
+			var e error
+			samples[i], e = measure(i, r)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return samples, nil
+	}
+	rec := &recorder[S]{call: call, samples: samples}
+	err := ForEachCtx(ctx, lim, len(toRun), func(k int) error {
+		i := toRun[k]
 		r := parent.SplitIndexed(label, i)
 		var e error
 		samples[i], e = measure(i, r)
-		return e
+		if e != nil {
+			return e
+		}
+		return rec.record(i)
 	})
 	if err != nil {
 		return nil, err
@@ -112,20 +208,41 @@ func TrialsScratch[S any](seed uint64, label string, n int, s *Scratches, measur
 }
 
 // TrialsScratchCtx is TrialsScratch under a cancellation context and
-// per-run limits.
+// per-run limits, with the same journal/shard semantics as TrialsCtx.
 func TrialsScratchCtx[S any](ctx context.Context, lim Limits, seed uint64, label string, n int, s *Scratches, measure func(trial int, scratch any, r *rng.Rand) (S, error)) ([]S, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("engine: %d trials", n)
 	}
 	parent := rng.New(seed)
 	samples := make([]S, n)
-	err := ForEachScratchCtx(ctx, lim, n, s, func(i int, scratch any, r *rng.Rand) error {
-		// SplitIndexedInto only reads the parent state — concurrent
-		// derivation from the shared parent is race-free.
+	call, toRun, jerr := resolveJournal(lim, seed, label, samples)
+	if jerr != nil {
+		return nil, jerr
+	}
+	if call == nil {
+		err := ForEachScratchCtx(ctx, lim, n, s, func(i int, scratch any, r *rng.Rand) error {
+			// SplitIndexedInto only reads the parent state — concurrent
+			// derivation from the shared parent is race-free.
+			parent.SplitIndexedInto(r, label, i)
+			var e error
+			samples[i], e = measure(i, scratch, r)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return samples, nil
+	}
+	rec := &recorder[S]{call: call, samples: samples}
+	err := ForEachScratchCtx(ctx, lim, len(toRun), s, func(k int, scratch any, r *rng.Rand) error {
+		i := toRun[k]
 		parent.SplitIndexedInto(r, label, i)
 		var e error
 		samples[i], e = measure(i, scratch, r)
-		return e
+		if e != nil {
+			return e
+		}
+		return rec.record(i)
 	})
 	if err != nil {
 		return nil, err
@@ -202,6 +319,15 @@ func (s Sweep[P, S]) RunCtx(ctx context.Context, lim Limits, points []P) ([][]Ce
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Fragment mode: a shard that does not own all of a point's
+		// missing trials leaves the sample set incomplete, and reducing
+		// garbage rows would be misleading even in a result that the
+		// fragment runner discards. Snapshot the incomplete-call count so
+		// such points can skip Row below.
+		var preIncomplete int64
+		if lim.Journal != nil {
+			preIncomplete = lim.Journal.IncompleteCalls()
+		}
 		seed, label := s.Plan(p)
 		var samples []S
 		var err error
@@ -222,6 +348,9 @@ func (s Sweep[P, S]) RunCtx(ctx context.Context, lim Limits, points []P) ([][]Ce
 		}
 		if err != nil {
 			return nil, err
+		}
+		if lim.Journal != nil && lim.Journal.IncompleteCalls() > preIncomplete {
+			continue
 		}
 		row, err := s.Row(p, samples)
 		if err != nil {

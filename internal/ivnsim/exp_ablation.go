@@ -109,8 +109,9 @@ func runAblationCoherent(cfg Config) (*engine.Result, error) {
 
 // equalPowerSample is one equal-budget trial: gains under the fixed total
 // budget and under the N-chain budget, against the same placement.
+// Exported fields: journaled runs serialize samples to JSONL.
 type equalPowerSample struct {
-	eq, full float64
+	Eq, Full float64
 }
 
 func runAblationEqualPower(cfg Config) (*engine.Result, error) {
@@ -148,16 +149,16 @@ func runAblationEqualPower(cfg Config) (*engine.Result, error) {
 			if err != nil {
 				return s, err
 			}
-			s.eq = pe / ps
-			s.full = pf / ps
+			s.Eq = pe / ps
+			s.Full = pf / ps
 			return s, nil
 		},
 		Row: func(n int, samples []equalPowerSample) ([]engine.Cell, error) {
 			eq := make([]float64, len(samples))
 			full := make([]float64, len(samples))
 			for i, s := range samples {
-				eq[i] = s.eq
-				full[i] = s.full
+				eq[i] = s.Eq
+				full[i] = s.Full
 			}
 			se, err := stats.Summarize(eq)
 			if err != nil {
@@ -220,10 +221,11 @@ func runAblationTwoStage(cfg Config) (*engine.Result, error) {
 }
 
 // flatnessSample is one flatness trial: whether the query decoded and the
-// worst high-level envelope fluctuation observed.
+// worst high-level envelope fluctuation observed. Exported fields:
+// journaled runs serialize samples to JSONL.
 type flatnessSample struct {
-	decoded bool
-	fluct   float64
+	Decoded bool
+	Fluct   float64
 }
 
 func runAblationFlatness(cfg Config) (*engine.Result, error) {
@@ -273,10 +275,10 @@ func runAblationFlatness(cfg Config) (*engine.Result, error) {
 				}
 			}
 			if hi > 0 {
-				s.fluct = (hi - lo) / hi
+				s.Fluct = (hi - lo) / hi
 			}
 			got, _, err := pie.DecodeFrame(combined)
-			s.decoded = err == nil && got.Equal(bits)
+			s.Decoded = err == nil && got.Equal(bits)
 			return s, nil
 		},
 		Row: func(scale float64, samples []flatnessSample) ([]engine.Cell, error) {
@@ -287,10 +289,10 @@ func runAblationFlatness(cfg Config) (*engine.Result, error) {
 			ok := 0
 			var worstFluct float64
 			for _, s := range samples {
-				if s.decoded {
+				if s.Decoded {
 					ok++
 				}
-				worstFluct = math.Max(worstFluct, s.fluct)
+				worstFluct = math.Max(worstFluct, s.Fluct)
 			}
 			return []engine.Cell{
 				engine.Number("%.0f", core.RMSOffset(offsets)),

@@ -104,9 +104,10 @@ func runAblationSafety(cfg Config) (*engine.Result, error) {
 }
 
 // freqErrorSample is one frequency-error trial: the 1 s envelope peak and
-// its recurrence ratio 10 periods later.
+// its recurrence ratio 10 periods later. Exported fields: journaled runs
+// serialize samples to JSONL.
 type freqErrorSample struct {
-	peak, recur float64
+	Peak, Recur float64
 }
 
 func runAblationFreqError(cfg Config) (*engine.Result, error) {
@@ -145,11 +146,11 @@ func runAblationFreqError(cfg Config) (*engine.Result, error) {
 					peak, idx = v, k
 				}
 			}
-			s.peak = peak
+			s.Peak = peak
 			// The cyclic-operation guarantee: with exact integer offsets
 			// the same peak recurs at t+10 s; frequency error dephases it.
 			tPeak := float64(idx) / 4096
-			s.recur = core.Envelope(offsets, betas, tPeak+10) / peak
+			s.Recur = core.Envelope(offsets, betas, tPeak+10) / peak
 			return s, nil
 		},
 		Row: func(sigma float64, samples []freqErrorSample) ([]engine.Cell, error) {
@@ -157,8 +158,8 @@ func runAblationFreqError(cfg Config) (*engine.Result, error) {
 			// so the reduction must not depend on scheduling.
 			var peaks, recurs stats.Stream
 			for _, s := range samples {
-				peaks.Add(s.peak)
-				recurs.Add(s.recur)
+				peaks.Add(s.Peak)
+				recurs.Add(s.Recur)
 			}
 			return []engine.Cell{
 				engine.Number("%.2f", sigma),

@@ -77,14 +77,16 @@ func (r FaultMatrixRow) SuccessRate() float64 {
 	return float64(r.TagsRead) / float64(r.TagsTotal)
 }
 
-// faultTrialResult is one trial's outcome.
+// faultTrialResult is one trial's outcome. Fields are exported because
+// journaled runs serialize samples to JSONL (the engine's round-trip
+// guard rejects types whose fields cannot survive JSON).
 type faultTrialResult struct {
-	read, total                     int
-	rounds, commands                int
-	ackRetries, recovered           int
-	truncated, corrupted, brownouts int
-	captureOK                       bool
-	captureAttempts                 int
+	Read, Total                     int
+	Rounds, Commands                int
+	ACKRetries, Recovered           int
+	Truncated, Corrupted, Brownouts int
+	CaptureOK                       bool
+	CaptureAttempts                 int
 }
 
 // roundChannel composes the injector's link faults with the physics-level
@@ -111,7 +113,7 @@ func (rc *roundChannel) CorruptUplink(cmd int, bits gen2.Bits) (gen2.Bits, bool)
 // ablation is paired: both variants face the same placement, the same PLL
 // phases, and the same fault schedule.
 func runFaultTrial(scale float64, recovery bool, r *rng.Rand) (faultTrialResult, error) {
-	res := faultTrialResult{total: faultTags}
+	res := faultTrialResult{Total: faultTags}
 	p, err := scenario.NewSwine(scenario.Subcutaneous).Realize(faultAntennas, r.Split("placement"))
 	if err != nil {
 		return res, err
@@ -166,18 +168,18 @@ func runFaultTrial(scale float64, recovery bool, r *rng.Rand) (faultTrialResult,
 		if err != nil {
 			return res, err
 		}
-		res.rounds++
-		res.commands += stats.Commands
-		res.ackRetries += stats.ACKRetries
-		res.recovered += stats.Recovered
-		res.truncated += stats.Truncated
-		res.corrupted += stats.Corrupted
-		res.brownouts += stats.Brownouts
+		res.Rounds++
+		res.Commands += stats.Commands
+		res.ACKRetries += stats.ACKRetries
+		res.Recovered += stats.Recovered
+		res.Truncated += stats.Truncated
+		res.Corrupted += stats.Corrupted
+		res.Brownouts += stats.Brownouts
 		for _, epc := range stats.EPCs {
 			seen[string(epc)] = true
 		}
 	}
-	res.read = len(seen)
+	res.Read = len(seen)
 
 	// Reader-side capture retry sub-measurement: one RN16 uplink decode
 	// through the out-of-band reader with the injector corrupting captures
@@ -206,8 +208,8 @@ func runFaultTrial(scale float64, recovery bool, r *rng.Rand) (faultTrialResult,
 	if err != nil {
 		return res, err
 	}
-	res.captureOK = rr.Succeeded()
-	res.captureAttempts = len(rr.Attempts)
+	res.CaptureOK = rr.Succeeded()
+	res.CaptureAttempts = len(rr.Attempts)
 	return res, nil
 }
 
@@ -235,22 +237,22 @@ func FaultMatrixSummary(cfg Config) ([]FaultMatrixRow, error) {
 				return nil, err
 			}
 			for _, tr := range results {
-				if tr.read == tr.total {
+				if tr.Read == tr.Total {
 					row.Inventoried++
 				}
-				row.TagsRead += tr.read
-				row.TagsTotal += tr.total
-				row.Rounds += tr.rounds
-				row.Commands += tr.commands
-				row.ACKRetries += tr.ackRetries
-				row.Recovered += tr.recovered
-				row.Truncated += tr.truncated
-				row.Corrupted += tr.corrupted
-				row.Brownouts += tr.brownouts
-				if tr.captureOK {
+				row.TagsRead += tr.Read
+				row.TagsTotal += tr.Total
+				row.Rounds += tr.Rounds
+				row.Commands += tr.Commands
+				row.ACKRetries += tr.ACKRetries
+				row.Recovered += tr.Recovered
+				row.Truncated += tr.Truncated
+				row.Corrupted += tr.Corrupted
+				row.Brownouts += tr.Brownouts
+				if tr.CaptureOK {
 					row.CaptureOK++
 				}
-				row.CaptureAttempts += tr.captureAttempts
+				row.CaptureAttempts += tr.CaptureAttempts
 			}
 			rows = append(rows, row)
 		}

@@ -59,15 +59,17 @@ const (
 )
 
 // popTrialResult aggregates one inventory trial over a shadowed
-// population.
+// population. Fields are exported because journaled runs serialize
+// samples to JSONL (unexported fields would silently vanish — the
+// engine's round-trip guard rejects such types).
 type popTrialResult struct {
-	read, total         int
-	slots, commands     int
-	singles, captures   int
-	collisions, empties int
-	queryAdjusts        int
-	fairness            float64
-	finalQ              float64
+	Read, Total         int
+	Slots, Commands     int
+	Singles, Captures   int
+	Collisions, Empties int
+	QueryAdjusts        int
+	Fairness            float64
+	FinalQ              float64
 }
 
 // populationChannel realizes one swine placement, reduces it to an
@@ -115,7 +117,7 @@ func populationChannel(n int, r *rng.Rand) (*session.EventChannel, []*gen2.TagLo
 // stack; otherwise the controller re-sizes Q per sweep from the Schoute
 // backlog estimate only.
 func runPopulationTrial(n int, initialQ byte, floating bool, maxRounds, maxCommands int, tr *session.Trace, r *rng.Rand) (popTrialResult, error) {
-	res := popTrialResult{total: n}
+	res := popTrialResult{Total: n}
 	ec, logics, err := populationChannel(n, r)
 	if err != nil {
 		return res, err
@@ -137,22 +139,22 @@ func runPopulationTrial(n int, initialQ byte, floating bool, maxRounds, maxComma
 		if err != nil {
 			return res, err
 		}
-		res.slots += stats.Slots
-		res.commands += stats.Commands
-		res.singles += stats.Singles
-		res.captures += stats.Captures
-		res.collisions += stats.Collisions
-		res.empties += stats.Empties
-		res.queryAdjusts += stats.QueryAdjusts
-		res.finalQ = stats.FinalQ
+		res.Slots += stats.Slots
+		res.Commands += stats.Commands
+		res.Singles += stats.Singles
+		res.Captures += stats.Captures
+		res.Collisions += stats.Collisions
+		res.Empties += stats.Empties
+		res.QueryAdjusts += stats.QueryAdjusts
+		res.FinalQ = stats.FinalQ
 		for _, epc := range stats.EPCs {
 			if _, ok := readRound[string(epc)]; !ok {
 				readRound[string(epc)] = round + 1
 			}
 		}
 	}
-	res.read = len(readRound)
-	res.fairness = jainFairness(logics, readRound)
+	res.Read = len(readRound)
+	res.Fairness = jainFairness(logics, readRound)
 	return res, nil
 }
 
@@ -209,15 +211,15 @@ func runPopulation(cfg Config) (*engine.Result, error) {
 		var fairness float64
 		incomplete := 0
 		for _, tr := range results {
-			read += tr.read
-			total += tr.total
-			slots += tr.slots
-			cmds += tr.commands
-			singles += tr.singles
-			captures += tr.captures
-			collisions += tr.collisions
-			fairness += tr.fairness
-			if tr.read < tr.total {
+			read += tr.Read
+			total += tr.Total
+			slots += tr.Slots
+			cmds += tr.Commands
+			singles += tr.Singles
+			captures += tr.Captures
+			collisions += tr.Collisions
+			fairness += tr.Fairness
+			if tr.Read < tr.Total {
 				incomplete++
 			}
 		}
@@ -287,14 +289,14 @@ func runAdaptiveQ(cfg Config) (*engine.Result, error) {
 		var read, total, slots, cmds, singles, captures, adjusts int
 		var finalQ float64
 		for _, tr := range results {
-			read += tr.read
-			total += tr.total
-			slots += tr.slots
-			cmds += tr.commands
-			singles += tr.singles
-			captures += tr.captures
-			adjusts += tr.queryAdjusts
-			finalQ += tr.finalQ
+			read += tr.Read
+			total += tr.Total
+			slots += tr.Slots
+			cmds += tr.Commands
+			singles += tr.Singles
+			captures += tr.Captures
+			adjusts += tr.QueryAdjusts
+			finalQ += tr.FinalQ
 		}
 		res.AddRow(
 			engine.Str(pt.policy()),

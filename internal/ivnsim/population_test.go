@@ -87,19 +87,19 @@ func TestPopulationShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.total != 64 {
-		t.Fatalf("total = %d", res.total)
+	if res.Total != 64 {
+		t.Fatalf("total = %d", res.Total)
 	}
-	if res.read == 0 {
+	if res.Read == 0 {
 		t.Fatal("waterfall inventory read nothing")
 	}
-	if res.slots != res.singles+res.captures+res.collisions+res.empties {
-		t.Fatalf("slot ledger: %d slots vs %d+%d+%d+%d", res.slots, res.singles, res.captures, res.collisions, res.empties)
+	if res.Slots != res.Singles+res.Captures+res.Collisions+res.Empties {
+		t.Fatalf("slot ledger: %d slots vs %d+%d+%d+%d", res.Slots, res.Singles, res.Captures, res.Collisions, res.Empties)
 	}
-	if res.fairness <= 0 || res.fairness > 1 {
-		t.Fatalf("fairness = %g outside (0,1]", res.fairness)
+	if res.Fairness <= 0 || res.Fairness > 1 {
+		t.Fatalf("fairness = %g outside (0,1]", res.Fairness)
 	}
-	if res.queryAdjusts == 0 {
+	if res.QueryAdjusts == 0 {
 		t.Fatal("floating-Q round issued no QueryAdjusts")
 	}
 }

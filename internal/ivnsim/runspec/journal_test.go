@@ -1,0 +1,268 @@
+package runspec
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ivn/internal/engine"
+)
+
+func TestValidateShardJournalCombos(t *testing.T) {
+	ok := Spec{Experiment: "fig2", Seed: 1, Quick: true,
+		Shard: &engine.Shard{Index: 0, Count: 2}, Journal: "j.jsonl"}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		// A shard without a journal produces nothing recoverable.
+		{Experiment: "fig2", Shard: &engine.Shard{Index: 0, Count: 2}},
+		// Count 1 is "the whole run" — written as no shard at all.
+		{Experiment: "fig2", Shard: &engine.Shard{Index: 0, Count: 1}, Journal: "j"},
+		{Experiment: "fig2", Shard: &engine.Shard{Index: 2, Count: 2}, Journal: "j"},
+		{Experiment: "fig2", Resume: true},
+		// Replayed trials emit no events: trace + journal is rejected.
+		{Experiment: "fig2", Trace: true, Journal: "j"},
+		{Experiment: "fig2", Trace: true, Shard: &engine.Shard{Index: 0, Count: 2}, Journal: "j"},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v validated", s)
+		}
+	}
+}
+
+func TestNormalizeStripsExecutionDetailsKeepsShard(t *testing.T) {
+	s := Spec{Experiment: "fig2", Seed: 1,
+		Shard: &engine.Shard{Index: 1, Count: 2}, Journal: "j.jsonl", Resume: true}
+	n := s.Normalize()
+	if n.Journal != "" || n.Resume {
+		t.Fatalf("Normalize kept execution details: %+v", n)
+	}
+	if n.Shard == nil {
+		t.Fatal("Normalize dropped the shard — fragments would collide with whole runs")
+	}
+	w := s.Whole()
+	if w.Shard != nil || w.Journal != "" || w.Resume {
+		t.Fatalf("Whole kept fragment fields: %+v", w)
+	}
+}
+
+func TestKeySeparatesFragmentsFromWholeRun(t *testing.T) {
+	whole := Spec{Experiment: "fig2", Seed: 1, Quick: true}
+	frag0 := whole
+	frag0.Shard = &engine.Shard{Index: 0, Count: 2}
+	frag0.Journal = "a.jsonl"
+	frag1 := whole
+	frag1.Shard = &engine.Shard{Index: 1, Count: 2}
+	frag1.Journal = "b.jsonl"
+
+	keys := map[string]string{}
+	for name, s := range map[string]Spec{"whole": whole, "frag0": frag0, "frag1": frag1} {
+		k, err := s.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for prev, pk := range keys {
+			if pk == k {
+				t.Fatalf("%s and %s share a key", name, prev)
+			}
+		}
+		keys[name] = k
+	}
+	// The journal path is an execution detail: same fragment, different
+	// path, same key.
+	moved := frag0
+	moved.Journal = "elsewhere.jsonl"
+	mk, err := moved.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk != keys["frag0"] {
+		t.Fatal("journal path leaked into the content key")
+	}
+}
+
+// runJSON renders a spec's whole-run result to JSON bytes.
+func runJSON(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	res, _, err := Run(context.Background(), engine.Limits{}, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := engine.RenderJSON(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFragmentsMergeByteIdenticalToWholeRun(t *testing.T) {
+	whole := Spec{Experiment: "fig9", Seed: 11, Quick: true}
+	want := runJSON(t, whole)
+
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		frag := whole
+		frag.Shard = &engine.Shard{Index: i, Count: 2}
+		frag.Journal = filepath.Join(dir, "frag"+string(rune('0'+i))+".jsonl")
+		j, err := RunFragment(context.Background(), engine.Limits{}, frag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Recorded() == 0 {
+			t.Fatalf("fragment %d recorded nothing", i)
+		}
+		paths = append(paths, frag.Journal)
+	}
+
+	found, err := FindFragments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("FindFragments found %d files, want 2", len(found))
+	}
+	res, spec, err := Merge(context.Background(), engine.Limits{}, found)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shard != nil || spec.Journal != "" {
+		t.Fatalf("Merge returned a non-whole spec: %+v", spec)
+	}
+	var got bytes.Buffer
+	if err := engine.RenderJSON(res, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("merged result differs from the single-process run")
+	}
+	// Nothing should go through Run — Merge rejects sharded specs there.
+	if _, _, err := Run(context.Background(), engine.Limits{}, Spec{
+		Experiment: "fig9", Seed: 11, Quick: true,
+		Shard: &engine.Shard{Index: 0, Count: 2}, Journal: paths[0],
+	}, nil); err == nil || !strings.Contains(err.Error(), "RunFragment") {
+		t.Fatalf("Run accepted a sharded spec: %v", err)
+	}
+}
+
+func TestMergeNamesMissingShards(t *testing.T) {
+	dir := t.TempDir()
+	frag := Spec{Experiment: "fig2", Seed: 3, Quick: true,
+		Shard: &engine.Shard{Index: 1, Count: 4}, Journal: filepath.Join(dir, "f1.jsonl")}
+	if _, err := RunFragment(context.Background(), engine.Limits{}, frag); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Merge(context.Background(), engine.Limits{}, []string{frag.Journal})
+	if err == nil {
+		t.Fatal("partial merge succeeded")
+	}
+	for _, miss := range []string{"0/4", "2/4", "3/4"} {
+		if !strings.Contains(err.Error(), miss) {
+			t.Fatalf("error %q does not name missing shard %s", err, miss)
+		}
+	}
+}
+
+func TestMergeRejectsMixedPartitionsAndRuns(t *testing.T) {
+	dir := t.TempDir()
+	mkFrag := func(name string, seed uint64, idx, count int) string {
+		path := filepath.Join(dir, name)
+		frag := Spec{Experiment: "fig2", Seed: seed, Quick: true,
+			Shard: &engine.Shard{Index: idx, Count: count}, Journal: path}
+		if _, err := RunFragment(context.Background(), engine.Limits{}, frag); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := mkFrag("a.jsonl", 5, 0, 2)
+	otherRun := mkFrag("b.jsonl", 6, 1, 2)
+	if _, _, err := Merge(context.Background(), engine.Limits{}, []string{a, otherRun}); err == nil {
+		t.Fatal("fragments of different runs merged")
+	}
+	otherPartition := mkFrag("c.jsonl", 5, 1, 3)
+	if _, _, err := Merge(context.Background(), engine.Limits{}, []string{a, otherPartition}); err == nil {
+		t.Fatal("fragments of different partitions merged")
+	}
+}
+
+func TestJournalResumeSkipsRecordedTrials(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Experiment: "fig9", Seed: 11, Quick: true, Journal: filepath.Join(dir, "run.jsonl")}
+	want := runJSON(t, spec.Whole())
+
+	first := runJSON(t, spec)
+	if !bytes.Equal(first, want) {
+		t.Fatal("journaled run differs from plain run")
+	}
+
+	// Tear the final line as a SIGKILL would, then resume: only the torn
+	// trial may execute (SchedMetrics.Trials counts executed trials only).
+	data, err := os.ReadFile(spec.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spec.Journal, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resume := spec
+	resume.Resume = true
+	var m engine.SchedMetrics
+	res, _, err := Run(context.Background(), engine.Limits{Metrics: &m}, resume, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Trials.Load(); got != 1 {
+		t.Fatalf("resume executed %d trials, want exactly the torn one", got)
+	}
+	var buf bytes.Buffer
+	if err := engine.RenderJSON(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("resumed result differs from the plain run")
+	}
+}
+
+func TestOpenJournalResumeRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Experiment: "fig2", Seed: 1, Quick: true, Journal: filepath.Join(dir, "j.jsonl")}
+	if _, f, err := OpenJournal(spec); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Close()
+	}
+
+	other := spec
+	other.Seed = 2
+	other.Resume = true
+	if _, _, err := OpenJournal(other); err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("resume against another run's journal: %v", err)
+	}
+
+	shifted := spec
+	shifted.Shard = &engine.Shard{Index: 0, Count: 2}
+	shifted.Resume = true
+	if _, _, err := OpenJournal(shifted); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("resume with mismatched shard: %v", err)
+	}
+
+	if err := os.WriteFile(spec.Journal, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resume := spec
+	resume.Resume = true
+	if _, _, err := OpenJournal(resume); err == nil {
+		t.Fatal("resume accepted a non-journal file")
+	}
+}
+
+func TestFindFragmentsEmptyDir(t *testing.T) {
+	if _, err := FindFragments(t.TempDir()); err == nil {
+		t.Fatal("empty merge directory accepted")
+	}
+}

@@ -48,6 +48,20 @@ type Spec struct {
 	FaultScales []float64 `json:"fault_scales,omitempty"`
 	// Trace collects the session-layer event stream alongside the result.
 	Trace bool `json:"trace,omitempty"`
+	// Shard, when non-nil, makes this spec a work fragment: only the
+	// owned stride of each Trials call executes, and the run's output is
+	// its journal rather than a table (see RunFragment/Merge). Shard is
+	// run *content* — it stays in Canonical and Key, so a fragment's key
+	// never collides with the whole run's or another fragment's.
+	Shard *engine.Shard `json:"shard,omitempty"`
+	// Journal is the checkpoint-journal path. Unlike Shard it is an
+	// execution detail — where to checkpoint, not what to compute — so
+	// Normalize strips it and it never reaches Canonical or Key.
+	Journal string `json:"journal,omitempty"`
+	// Resume reloads Journal instead of truncating it, re-executing only
+	// trials the journal lacks. Execution detail like Journal: stripped
+	// by Normalize.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // Validate checks the spec against the experiment registry and the
@@ -73,15 +87,49 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("runspec: fault scale %v is negative", v)
 		}
 	}
+	if s.Shard != nil {
+		if err := s.Shard.Validate(); err != nil {
+			return err
+		}
+		if !s.Shard.Enabled() {
+			return fmt.Errorf("runspec: shard count %d must be >= 2 (omit shard for a whole run)", s.Shard.Count)
+		}
+		if s.Journal == "" {
+			return fmt.Errorf("runspec: sharded run requires a journal path")
+		}
+	}
+	if s.Resume && s.Journal == "" {
+		return fmt.Errorf("runspec: resume requires a journal path")
+	}
+	if s.Trace && (s.Journal != "" || s.Shard != nil) {
+		// Replayed trials execute nothing, so a journaled run's trace
+		// would silently lack their events — reject rather than emit an
+		// incomplete stream.
+		return fmt.Errorf("runspec: trace cannot be combined with journal/shard execution")
+	}
 	return nil
 }
 
 // Normalize returns the spec in canonical form: representations that
-// mean the same run (nil vs empty fault-scale slice) collapse to one.
+// mean the same run (nil vs empty fault-scale slice) collapse to one,
+// and execution details that do not change what is computed — the
+// journal path and the resume flag — are stripped. Shard stays: a
+// fragment computes different content than the whole run.
 func (s Spec) Normalize() Spec {
 	if len(s.FaultScales) == 0 {
 		s.FaultScales = nil
 	}
+	s.Journal = ""
+	s.Resume = false
+	return s
+}
+
+// Whole returns the unsharded, unjournaled run this spec contributes
+// to — the spec whose outputs a merge must reproduce byte for byte.
+func (s Spec) Whole() Spec {
+	s.Shard = nil
+	s.Journal = ""
+	s.Resume = false
 	return s
 }
 
@@ -187,6 +235,25 @@ func ParseScales(s string) ([]float64, error) {
 func Run(ctx context.Context, lim engine.Limits, spec Spec, tlog *session.TraceLog) (*engine.Result, *session.TraceLog, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
+	}
+	if spec.Shard != nil {
+		// A fragment's product is its journal, not a table: route it
+		// through RunFragment, and recombine fragments with Merge.
+		return nil, nil, fmt.Errorf("runspec: sharded spec (shard %s) runs as a fragment — use RunFragment and Merge", spec.Shard)
+	}
+	if spec.Journal != "" {
+		// Unsharded checkpoint journal: the run owns every trial, so the
+		// result is complete; recorded entries let a killed run resume.
+		j, f, err := OpenJournal(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		lim.Journal = j
+		res, tl, rerr := Run(ctx, lim, spec.Whole(), tlog)
+		if cerr := f.Close(); cerr != nil && rerr == nil {
+			return nil, tl, fmt.Errorf("runspec: close journal %s: %w", spec.Journal, cerr)
+		}
+		return res, tl, rerr
 	}
 	e, err := ivnsim.ByID(spec.Experiment)
 	if err != nil {

@@ -229,3 +229,38 @@ func (q *jobQueue) close() {
 	close(q.queue)
 	q.wg.Wait()
 }
+
+// journalSink is the checkpoint-journal writer shape: one mutex-guarded
+// append per entry, committed on the caller's goroutine.
+type journalSink struct {
+	mu    sync.Mutex
+	lines [][]byte
+}
+
+func (s *journalSink) append(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lines = append(s.lines, line)
+}
+
+// journalFromWorkers records trial contributions from the sanctioned
+// runner's workers: the journal write happens inline in the worker, so
+// an entry is durable the moment the trial that produced it returns.
+// No findings.
+func journalFromWorkers(n, workers int, sink *journalSink) {
+	forEachIndexed(n, workers, func(i int) {
+		sink.append([]byte{byte(i)})
+	})
+}
+
+// journalBackgroundFlusher funnels entries through a raw flusher
+// goroutine instead. Beyond the unsanctioned launch, the shape is wrong
+// for a crash journal: entries sit in the channel after the trials that
+// produced them finish, so a kill loses committed work.
+func journalBackgroundFlusher(entries chan []byte, sink *journalSink) {
+	go func() { // want `goroutine launched outside a sanctioned runner`
+		for line := range entries {
+			sink.append(line)
+		}
+	}()
+}

@@ -353,3 +353,32 @@ func retryBalanced(attempts int) float64 {
 	}
 	return 0
 }
+
+// mergeLoopBalanced is the fragment-merge shape: pooled scratch decodes
+// each fragment's samples and goes back before the next acquisition.
+// No findings.
+func mergeLoopBalanced(sizes []int) float64 {
+	var sum float64
+	for _, n := range sizes {
+		buf := pool.Float64(n)
+		sum += consume(buf)
+		pool.PutFloat64(buf)
+	}
+	return sum
+}
+
+// mergeLoopLeaksOnError bails out of the merge mid-loop with the
+// iteration's scratch still checked out.
+func mergeLoopLeaksOnError(sizes []int) (float64, bool) {
+	var sum float64
+	for _, n := range sizes {
+		buf := pool.Float64(n)
+		s := consume(buf)
+		if s < 0 {
+			return 0, false // want `pooled buffer "buf" .* not released at this return`
+		}
+		sum += s
+		pool.PutFloat64(buf)
+	}
+	return sum, true
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"ivn/internal/ivnsim/runspec"
 )
@@ -46,7 +47,20 @@ func NewHandler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		job, err := m.Submit(spec)
+		// ?shards=N requests sharded execution. A query parameter, not a
+		// spec field, because fan-out is transport: the job's key, cache
+		// entry and result bytes are the same at any N.
+		var job *Job
+		if raw := r.URL.Query().Get("shards"); raw != "" {
+			shards, perr := strconv.Atoi(raw)
+			if perr != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad shards %q: %v", raw, perr))
+				return
+			}
+			job, err = m.SubmitSharded(spec, shards)
+		} else {
+			job, err = m.Submit(spec)
+		}
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			httpError(w, http.StatusTooManyRequests, err.Error())

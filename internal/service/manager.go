@@ -22,6 +22,7 @@ import (
 
 	"ivn/internal/engine"
 	"ivn/internal/ivnsim/runspec"
+	"ivn/internal/session"
 )
 
 // State is a job's lifecycle position. Transitions are monotonic:
@@ -66,6 +67,10 @@ type Config struct {
 	MaxParallel int `json:"max_parallel,omitempty"`
 	// CacheEntries bounds the result cache (default 64), hot-reloadable.
 	CacheEntries int `json:"cache_entries,omitempty"`
+	// JournalPath, when set, journals job state (submit/end records) to
+	// this file so a restarted daemon resubmits work that was queued or
+	// running when it died, instead of dropping it. Empty disables.
+	JournalPath string `json:"journal,omitempty"`
 }
 
 // Validate rejects configurations that cannot mean anything.
@@ -106,6 +111,10 @@ type Job struct {
 	id   string
 	key  string
 	spec runspec.Spec
+	// shards is the fan-out requested at submit (0 or 1 = unsharded). A
+	// transport detail, not spec content: the key — and therefore the
+	// cache entry and the result bytes — is the same at any fan-out.
+	shards int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -114,9 +123,11 @@ type Job struct {
 	mu         sync.Mutex
 	state      State
 	cached     bool
+	userCancel bool // Cancel was called: terminal cancellation is a client decision
 	errMsg     string
-	resultJSON []byte // RenderJSON bytes, trailing newline included
-	traceJSONL []byte // session event stream, nil when the spec had Trace off
+	resultJSON []byte  // RenderJSON bytes, trailing newline included
+	traceJSONL []byte  // session event stream, nil when the spec had Trace off
+	shardCaps  []int64 // per-sub-job resolved worker caps, set when sharded
 }
 
 // Status is the immutable snapshot the transport serializes. Field
@@ -128,6 +139,12 @@ type Status struct {
 	State      State  `json:"state"`
 	Cached     bool   `json:"cached,omitempty"`
 	Error      string `json:"error,omitempty"`
+	// Shards is the fan-out the job ran with (absent when unsharded).
+	Shards int `json:"shards,omitempty"`
+	// ShardCaps lists each shard sub-job's resolved trial-worker cap.
+	// The aggregate sched_cap on /metrics is a union max across runs
+	// with possibly different caps; these are the per-run values.
+	ShardCaps []int64 `json:"shard_caps,omitempty"`
 }
 
 // ID returns the job's manager-unique id.
@@ -143,14 +160,19 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return Status{
+	st := Status{
 		ID:         j.id,
 		Experiment: j.spec.Experiment,
 		Key:        j.key,
 		State:      j.state,
 		Cached:     j.cached,
 		Error:      j.errMsg,
+		ShardCaps:  j.shardCaps,
 	}
+	if j.shards > 1 {
+		st.Shards = j.shards
+	}
+	return st
 }
 
 // Result returns the rendered JSON result bytes (exactly what
@@ -179,6 +201,7 @@ func (j *Job) Trace() ([]byte, bool) {
 type Manager struct {
 	metrics *Metrics
 	cache   *resultCache
+	journal *jobJournal // nil when Config.JournalPath is empty
 
 	// maxParallel is the per-job trial-worker cap; atomic so SIGHUP
 	// reconfiguration never races job starts.
@@ -205,17 +228,30 @@ type atomicInt struct {
 func (a *atomicInt) store(n int) { a.v.Lock(); a.n = n; a.v.Unlock() }
 func (a *atomicInt) load() int   { a.v.Lock(); defer a.v.Unlock(); return a.n }
 
-// New builds a Manager and starts its worker pool.
+// New builds a Manager and starts its worker pool. With a JournalPath
+// configured, jobs that were queued or running when the previous
+// process died are resubmitted before New returns (counted by the
+// jobs_resumed metric); their results are recomputed under fresh ids.
 func New(cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	var journal *jobJournal
+	var pending []pendingJob
+	if cfg.JournalPath != "" {
+		var err error
+		journal, pending, err = openJobJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		//ivn:allow determinism the clock only anchors the metrics uptime/rate windows, never a result
 		metrics: newMetrics(time.Now()),
 		cache:   newResultCache(cfg.CacheEntries),
+		journal: journal,
 		baseCtx: ctx, baseCancel: cancel,
 		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
@@ -227,6 +263,13 @@ func New(cfg Config) (*Manager, error) {
 		//ivn:allow goroutinehygiene fixed-size worker pool joined by wg in Close; jobs inside run through the sanctioned engine runners
 		go m.worker()
 	}
+	for _, p := range pending {
+		if _, err := m.submit(p.spec, p.shards); err != nil {
+			_ = m.Close(context.Background())
+			return nil, fmt.Errorf("service: resume journaled job: %w", err)
+		}
+		m.metrics.JobsResumed.Add(1)
+	}
 	return m, nil
 }
 
@@ -234,12 +277,47 @@ func New(cfg Config) (*Manager, error) {
 // and for tests.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
 
+// maxShards bounds a sharded submission's fan-out: each shard costs a
+// goroutine tree and a resident in-memory journal, and past the
+// machine's core count extra shards only add overhead.
+const maxShards = 64
+
 // Submit validates and enqueues a run. Cache hits return a job already
 // in StateDone carrying the cached bytes — no trial executes. A full
 // queue returns ErrQueueFull without registering anything.
 func (m *Manager) Submit(spec runspec.Spec) (*Job, error) {
+	return m.submit(spec, 0)
+}
+
+// SubmitSharded enqueues a run whose trial schedule executes as shards
+// in-memory shard fragments recombined before the result renders. The
+// fan-out is a transport parameter, not spec content: the job's key,
+// cache entry and result bytes are identical to an unsharded submission
+// of the same spec, so sharded and plain clients share cache hits.
+func (m *Manager) SubmitSharded(spec runspec.Spec, shards int) (*Job, error) {
+	if shards < 2 || shards > maxShards {
+		return nil, fmt.Errorf("service: shard count %d out of range [2, %d]", shards, maxShards)
+	}
+	if spec.Trace {
+		// Fragment trials replay during the merge pass and emit no
+		// events; a sharded trace would be silently incomplete.
+		return nil, fmt.Errorf("service: trace cannot be combined with sharded execution")
+	}
+	return m.submit(spec, shards)
+}
+
+// submit is the common enqueue path; shards > 1 selects fragment
+// execution in runJob.
+func (m *Manager) submit(spec runspec.Spec, shards int) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Journal != "" || spec.Resume || spec.Shard != nil {
+		// The daemon journals and shards on its own terms (Config
+		// JournalPath, ?shards=N); spec-carried execution details would
+		// let one client write server-side files or split the cache key
+		// space, so they are transport errors here.
+		return nil, fmt.Errorf("service: journal/shard/resume are execution details the daemon manages — request sharding with ?shards=N")
 	}
 	spec = spec.Normalize()
 	key, err := spec.Key()
@@ -272,7 +350,7 @@ func (m *Manager) Submit(spec runspec.Spec) (*Job, error) {
 
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	job := &Job{
-		id: id, key: key, spec: spec,
+		id: id, key: key, spec: spec, shards: shards,
 		ctx: ctx, cancel: cancel,
 		state: StateQueued,
 		done:  make(chan struct{}),
@@ -281,6 +359,10 @@ func (m *Manager) Submit(spec runspec.Spec) (*Job, error) {
 	case m.queue <- job:
 		m.jobs[id] = job
 		m.mu.Unlock()
+		// Best-effort, like the end records: a lost submit record costs
+		// the job's redo guarantee across one restart, never the job
+		// itself (it is already queued in this process).
+		_ = m.journal.submit(id, shards, spec)
 		m.metrics.JobsSubmitted.Add(1)
 		m.metrics.CacheMisses.Add(1)
 		return job, nil
@@ -317,13 +399,16 @@ func (m *Manager) Cancel(id string) (State, error) {
 	switch job.state {
 	case StateQueued:
 		job.state = StateCancelled
+		job.userCancel = true
 		job.errMsg = context.Canceled.Error()
 		close(job.done)
 		job.mu.Unlock()
 		job.cancel()
+		_ = m.journal.end(job.id)
 		m.metrics.JobsCancelled.Add(1)
 		return StateCancelled, nil
 	case StateRunning:
+		job.userCancel = true
 		job.mu.Unlock()
 		job.cancel()
 		return StateRunning, nil
@@ -370,10 +455,11 @@ func (m *Manager) Close(ctx context.Context) error {
 	select {
 	case <-drained:
 		m.baseCancel() // release the base context
-		return nil
+		return m.journal.close()
 	case <-ctx.Done():
 		m.baseCancel() // abort running jobs; workers observe and exit
 		<-drained
+		_ = m.journal.close()
 		return ctx.Err()
 	}
 }
@@ -401,12 +487,34 @@ func (m *Manager) runJob(job *Job) {
 
 	m.metrics.JobsInFlight.Add(1)
 	defer m.metrics.JobsInFlight.Add(-1)
+	// The end record is terminal-state bookkeeping, not an outcome: it
+	// runs last (after the state is filed below) and best-effort — a lost
+	// record costs one redundant re-run after a restart, never lost work.
+	// A job that ends cancelled WITHOUT a client Cancel was aborted by
+	// shutdown: that is unfinished work the next process owes, so its
+	// submit record deliberately stays un-ended and it resumes.
+	defer func() {
+		job.mu.Lock()
+		st, user := job.state, job.userCancel
+		job.mu.Unlock()
+		if st == StateCancelled && !user {
+			return
+		}
+		_ = m.journal.end(job.id)
+	}()
 
-	lim := engine.Limits{
-		MaxParallel: m.maxParallel.load(),
-		Metrics:     &m.metrics.Sched,
+	var res *engine.Result
+	var tlog *session.TraceLog
+	var err error
+	if job.shards > 1 {
+		res, err = m.runSharded(job)
+	} else {
+		lim := engine.Limits{
+			MaxParallel: m.maxParallel.load(),
+			Metrics:     &m.metrics.Sched,
+		}
+		res, tlog, err = runspec.Run(job.ctx, lim, job.spec, nil)
 	}
-	res, tlog, err := runspec.Run(job.ctx, lim, job.spec, nil)
 
 	job.mu.Lock()
 	defer job.mu.Unlock()
@@ -447,4 +555,77 @@ func (m *Manager) runJob(job *Job) {
 	job.traceJSONL = entry.traceJSONL
 	m.cache.put(entry)
 	m.metrics.JobsCompleted.Add(1)
+}
+
+// runSharded executes one job as job.shards in-memory shard fragments
+// fanned out through the engine's own scheduler, then recombines them by
+// re-running the whole spec with the union journal attached — the same
+// replay mechanism as the CLI's -merge, so the result bytes are
+// byte-identical to an unsharded run of the same spec.
+//
+// The fan-out happens inside this job's worker slot (engine.ForEachCtx,
+// not the manager queue), so sharded jobs can never deadlock the worker
+// pool: a pool of one worker still completes a many-shard job.
+func (m *Manager) runSharded(job *Job) (*engine.Result, error) {
+	shards := job.shards
+	total := m.maxParallel.load()
+	if total <= 0 {
+		total = engine.MaxParallel()
+	}
+	// Each fragment gets an equal slice of the job's trial-worker budget
+	// so the fan-out multiplies concurrency by ~1, not by shards.
+	perCap := total / shards
+	if perCap < 1 {
+		perCap = 1
+	}
+	frags := make([]*engine.Journal, shards)
+	subs := make([]*engine.SchedMetrics, shards)
+	err := engine.ForEachCtx(job.ctx, engine.Limits{MaxParallel: shards}, shards, func(i int) error {
+		frag := engine.NewJournal(nil)
+		sub := &engine.SchedMetrics{Parent: &m.metrics.Sched}
+		frags[i], subs[i] = frag, sub
+		lim := engine.Limits{
+			MaxParallel: perCap,
+			Metrics:     sub,
+			Shard:       engine.Shard{Index: i, Count: shards},
+			Journal:     frag,
+		}
+		// A fragment's table output reduces an incomplete sample set and
+		// is discarded; its journal is the product.
+		_, _, rerr := runspec.Run(job.ctx, lim, job.spec, nil)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	union := engine.NewJournal(nil)
+	var recorded int64
+	for i, frag := range frags {
+		if aerr := union.Absorb(frag); aerr != nil {
+			return nil, fmt.Errorf("service: shard %d/%d: %w", i, shards, aerr)
+		}
+		recorded += frag.Recorded()
+	}
+	caps := make([]int64, shards)
+	for i, sub := range subs {
+		caps[i] = sub.Cap.Load()
+	}
+	job.mu.Lock()
+	job.shardCaps = caps
+	job.mu.Unlock()
+	m.metrics.ShardSubjobs.Add(int64(shards))
+	m.metrics.JournalRecorded.Add(recorded)
+
+	lim := engine.Limits{
+		MaxParallel: total,
+		Metrics:     &m.metrics.Sched,
+		Journal:     union,
+	}
+	res, _, err := runspec.Run(job.ctx, lim, job.spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.metrics.JournalReplayed.Add(union.Replayed())
+	return res, nil
 }

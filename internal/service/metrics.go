@@ -29,10 +29,22 @@ type Metrics struct {
 	JobsCancelled atomic.Int64
 	// JobsInFlight is the number of jobs currently executing a run.
 	JobsInFlight atomic.Int64
+	// JobsResumed counts jobs resubmitted from the job journal at
+	// startup (work the previous process accepted but never finished).
+	JobsResumed atomic.Int64
 	// CacheHits counts submissions served from the result cache.
 	CacheHits atomic.Int64
 	// CacheMisses counts submissions that had to run.
 	CacheMisses atomic.Int64
+	// ShardSubjobs counts shard fragments executed for sharded jobs
+	// (a 4-shard job adds 4).
+	ShardSubjobs atomic.Int64
+	// JournalRecorded counts trial samples recorded into shard-fragment
+	// journals; JournalReplayed counts samples replayed from the union
+	// during merge passes. For a healthy sharded job the two advance by
+	// the same amount — divergence means fragments recomputed work.
+	JournalRecorded atomic.Int64
+	JournalReplayed atomic.Int64
 
 	// Sched aggregates the engine scheduler counters across every job of
 	// the manager (trials completed, busy workers, worker cap).
@@ -115,11 +127,15 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"jobs_completed", fmt.Sprintf("%d", m.JobsCompleted.Load())},
 		{"jobs_failed", fmt.Sprintf("%d", m.JobsFailed.Load())},
 		{"jobs_in_flight", fmt.Sprintf("%d", m.JobsInFlight.Load())},
+		{"jobs_resumed", fmt.Sprintf("%d", m.JobsResumed.Load())},
 		{"jobs_submitted", fmt.Sprintf("%d", m.JobsSubmitted.Load())},
+		{"journal_recorded", fmt.Sprintf("%d", m.JournalRecorded.Load())},
+		{"journal_replayed", fmt.Sprintf("%d", m.JournalReplayed.Load())},
 		{"queue_depth", fmt.Sprintf("%d", depth)},
 		{"sched_busy", fmt.Sprintf("%d", m.Sched.Busy.Load())},
 		{"sched_cap", fmt.Sprintf("%d", m.Sched.Cap.Load())},
 		{"sched_occupancy", fmt.Sprintf("%.4f", m.Occupancy())},
+		{"shard_subjobs", fmt.Sprintf("%d", m.ShardSubjobs.Load())},
 		{"trials_per_sec", fmt.Sprintf("%.1f", rate)},
 		{"trials_total", fmt.Sprintf("%d", trials)},
 		{"uptime_sec", fmt.Sprintf("%.1f", uptime)},

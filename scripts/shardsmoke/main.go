@@ -1,0 +1,193 @@
+// Command shardsmoke exercises the sharded-execution seam end to end
+// with the real ivnsim binary:
+//
+//  1. fragments: run shard 0/2 and 1/2 of one spec into a journal
+//     directory, merge with -merge, and byte-diff the merged text, CSV
+//     and JSON renderings against a single-process run of the same spec;
+//  2. kill and resume: start a longer sharded fragment, SIGKILL it once
+//     its journal holds entries (a real mid-append kill, torn tail and
+//     all), resume it — asserting via the fragment summary that the
+//     journaled trials replayed instead of re-executing — and merge the
+//     result byte-identically again.
+//
+// Usage: shardsmoke -bin path/to/ivnsim
+//
+// The binary path is required (not `go run`) so the SIGKILL lands on
+// ivnsim itself rather than on the go tool wrapping it.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to a built ivnsim binary")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "shardsmoke: -bin is required")
+		os.Exit(2)
+	}
+	if err := run(*bin); err != nil {
+		fmt.Fprintln(os.Stderr, "shardsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("shardsmoke: OK")
+}
+
+func run(bin string) error {
+	dir, err := os.MkdirTemp("", "shardsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := mergeMatchesSingleProcess(bin, filepath.Join(dir, "merge")); err != nil {
+		return fmt.Errorf("shard+merge: %w", err)
+	}
+	if err := killAndResume(bin, filepath.Join(dir, "kill")); err != nil {
+		return fmt.Errorf("kill+resume: %w", err)
+	}
+	return nil
+}
+
+// ivnsim runs the binary with args, returning stdout and stderr.
+func ivnsim(bin string, args ...string) (stdout, stderr []byte, err error) {
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	if err != nil {
+		err = fmt.Errorf("%s %v: %v\n%s", bin, args, err, errb.Bytes())
+	}
+	return out.Bytes(), errb.Bytes(), err
+}
+
+// mergeMatchesSingleProcess runs both fragments of a 2-shard split and
+// checks every rendering of the merge against the unsharded run.
+func mergeMatchesSingleProcess(bin, dir string) error {
+	spec := []string{"-run", "fig9", "-quick", "-seed", "2"}
+	refDir := filepath.Join(dir, "ref")
+	refJSON, _, err := ivnsim(bin, append(spec, "-json", "-out", refDir)...)
+	if err != nil {
+		return err
+	}
+
+	frags := filepath.Join(dir, "frags")
+	if err := os.MkdirAll(frags, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		_, _, err := ivnsim(bin, append(spec,
+			"-shard", fmt.Sprintf("%d/2", i),
+			"-journal", filepath.Join(frags, fmt.Sprintf("f%d.jsonl", i)))...)
+		if err != nil {
+			return err
+		}
+	}
+
+	mergedDir := filepath.Join(dir, "merged")
+	mergedJSON, _, err := ivnsim(bin, "-merge", frags, "-json", "-out", mergedDir)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(mergedJSON, refJSON) {
+		return fmt.Errorf("merged -json stdout differs from the single-process run")
+	}
+	for _, ext := range []string{"txt", "csv", "json"} {
+		want, err := os.ReadFile(filepath.Join(refDir, "fig9."+ext))
+		if err != nil {
+			return err
+		}
+		got, err := os.ReadFile(filepath.Join(mergedDir, "fig9."+ext))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("merged fig9.%s differs from the single-process artifact", ext)
+		}
+	}
+	return nil
+}
+
+// fragSummary parses the fragment stderr summary
+// "(exp shard i/n: recorded R, replayed P, journal ..., in ...)".
+var fragSummary = regexp.MustCompile(`recorded (\d+), replayed (\d+)`)
+
+// killAndResume SIGKILLs a sharded run mid-flight, resumes it, and
+// merges to the single-process bytes.
+func killAndResume(bin, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// population -trials 24 runs long enough (seconds) that the kill
+	// lands mid-sweep, while single trials stay sub-second so the
+	// journal fills quickly.
+	spec := []string{"-run", "population", "-quick", "-seed", "2", "-trials", "24"}
+	frags := filepath.Join(dir, "frags")
+	if err := os.MkdirAll(frags, 0o755); err != nil {
+		return err
+	}
+	j0 := filepath.Join(frags, "f0.jsonl")
+
+	cmd := exec.Command(bin, append(spec, "-shard", "0/2", "-journal", j0)...)
+	cmd.Stdout, cmd.Stderr = nil, nil
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	// Kill as soon as the journal holds committed entries (size past the
+	// header line). If the fragment finishes first the kill is a no-op
+	// and the resume simply replays everything — still a valid check,
+	// just a weaker one.
+	//ivn:allow determinism wall-clock only bounds the kill-poll loop, never a result
+	deadline := time.Now().Add(2 * time.Minute)
+	//ivn:allow determinism wall-clock only bounds the kill-poll loop, never a result
+	for time.Now().Before(deadline) {
+		if fi, err := os.Stat(j0); err == nil && fi.Size() > 512 {
+			break
+		}
+		if cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Signal(syscall.SIGKILL)
+	_ = cmd.Wait() // reap; the kill (or a clean exit) both land here
+
+	// Resume fragment 0/2: journaled trials must replay, not re-execute.
+	_, stderr, err := ivnsim(bin, append(spec, "-shard", "0/2", "-journal", j0, "-resume")...)
+	if err != nil {
+		return err
+	}
+	m := fragSummary.FindSubmatch(stderr)
+	if m == nil {
+		return fmt.Errorf("no fragment summary on resume stderr: %s", stderr)
+	}
+	replayed, _ := strconv.Atoi(string(m[2]))
+	if replayed == 0 {
+		return fmt.Errorf("resume replayed 0 trials — the pre-kill journal was ignored: %s", stderr)
+	}
+
+	if _, _, err := ivnsim(bin, append(spec, "-shard", "1/2", "-journal", filepath.Join(frags, "f1.jsonl"))...); err != nil {
+		return err
+	}
+	refJSON, _, err := ivnsim(bin, append(spec, "-json")...)
+	if err != nil {
+		return err
+	}
+	mergedJSON, _, err := ivnsim(bin, "-merge", frags, "-json")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(mergedJSON, refJSON) {
+		return fmt.Errorf("post-resume merge differs from the single-process run")
+	}
+	return nil
+}

@@ -35,6 +35,13 @@
 #                              -parallel 1 and -parallel 4 must be
 #                              byte-identical: per-worker kit state must
 #                              never leak into results
+# 9b. shard smoke            — the distributed-sweep seam end to end with
+#                              the real binary: shard 0/2 + 1/2 into
+#                              journals, -merge, byte-diff all three
+#                              renderings against the single-process run;
+#                              then SIGKILL a sharded run mid-flight and
+#                              -resume it, asserting journaled trials
+#                              replay instead of re-executing
 # 10. daemon smoke           — ivnsimd end to end on an ephemeral port:
 #                              POST a quick run, poll to completion, the
 #                              served result must be byte-identical to
@@ -123,6 +130,19 @@ renderer_equiv() {
   return "$rc"
 }
 stage "renderer equivalence" renderer_equiv
+
+shard_smoke() {
+  local dir rc=1
+  dir="$(mktemp -d)" || return 1
+  # A built binary (not `go run`) so shardsmoke's SIGKILL lands on
+  # ivnsim itself.
+  if go build -o "$dir/ivnsim" ./cmd/ivnsim && go run ./scripts/shardsmoke -bin "$dir/ivnsim"; then
+    rc=0
+  fi
+  rm -rf "$dir"
+  return "$rc"
+}
+stage "shard smoke" shard_smoke
 
 daemon_smoke() {
   local dir rc=1 addr pid i
